@@ -1,0 +1,28 @@
+// Shared helpers for the experiment binaries.
+//
+// Every exp_* binary regenerates one experiment from DESIGN.md's
+// per-experiment index (EXPERIMENTS.md records the resulting numbers).
+// Default parameters finish in tens of seconds; set CONGOS_BENCH_SCALE=full
+// for the larger sweeps quoted in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+namespace congos::bench {
+
+inline bool full_scale() {
+  const char* v = std::getenv("CONGOS_BENCH_SCALE");
+  return v != nullptr && std::strcmp(v, "full") == 0;
+}
+
+inline void banner(const char* exp_id, const char* claim) {
+  std::printf("=== %s ===\n%s\n", exp_id, claim);
+  std::printf("(scale: %s; set CONGOS_BENCH_SCALE=full for the larger sweep)\n\n",
+              full_scale() ? "full" : "default");
+}
+
+}  // namespace congos::bench

@@ -1,0 +1,123 @@
+// E12 (ablations): the design knobs DESIGN.md calls out.
+//
+// Three sweeps on the same workload:
+//   1. fanout_exponent (the paper's "48"): larger exponents buy faster
+//      in-block convergence with bigger per-iteration bursts;
+//   2. gossip_fanout (the epidemic black-box fanout): the gossip-vs-service
+//      traffic split;
+//   3. partition_c (collusion partition count multiplier, tau = 2): more
+//      partitions, more redundancy, more messages.
+// All rows must keep QoD intact; what moves is cost and fallback usage.
+#include "bench_util.h"
+#include "congos/congos_process.h"
+#include "harness/scenario.h"
+#include "harness/table.h"
+
+using namespace congos;
+
+namespace {
+
+harness::ScenarioConfig base(std::size_t n, std::uint64_t seed) {
+  harness::ScenarioConfig cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  cfg.rounds = 320;
+  cfg.protocol = harness::Protocol::kCongos;
+  cfg.workload = harness::WorkloadKind::kContinuous;
+  cfg.continuous.inject_prob = 0.01;
+  cfg.continuous.dest_min = 2;
+  cfg.continuous.dest_max = 6;
+  cfg.continuous.deadlines = {64};
+  cfg.measure_from = 128;
+  cfg.audit_confidentiality = false;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E12 / ablations",
+                "Effect of the configuration constants on cost (QoD must hold "
+                "in every row).");
+
+  const std::size_t n = 64;
+
+  {
+    harness::Table t({"fanout_exponent", "max/rnd", "mean/rnd", "shoots",
+                      "mean latency"});
+    for (double e : {2.0, 6.0, 12.0, 48.0}) {
+      auto cfg = base(n, 71);
+      cfg.congos.fanout_exponent = e;
+      const auto r = harness::run_scenario(cfg);
+      if (!r.qod.ok()) return 1;
+      t.row({harness::cell(e, 0), harness::cell(r.max_per_round),
+             harness::cell(r.mean_per_round, 1), harness::cell(r.cg_shoots),
+             harness::cell(r.qod.mean_latency, 1)});
+    }
+    std::printf("-- ablation 1: service fan-out exponent (paper: 48) --\n");
+    t.print(std::cout);
+    std::printf("\n");
+  }
+
+  {
+    harness::Table t({"gossip_fanout", "max/rnd", "mean/rnd", "shoots",
+                      "mean latency"});
+    for (int f : {1, 2, 3, 6}) {
+      auto cfg = base(n, 72);
+      cfg.congos.gossip_fanout = f;
+      const auto r = harness::run_scenario(cfg);
+      if (!r.qod.ok()) return 1;
+      t.row({harness::cell(static_cast<std::uint64_t>(f)),
+             harness::cell(r.max_per_round), harness::cell(r.mean_per_round, 1),
+             harness::cell(r.cg_shoots), harness::cell(r.qod.mean_latency, 1)});
+    }
+    std::printf("-- ablation 2: epidemic fan-out of the gossip black box --\n");
+    t.print(std::cout);
+    std::printf("\n");
+  }
+
+  {
+    harness::Table t({"partition_c (tau=2)", "partitions", "max/rnd", "total msgs",
+                      "shoots"});
+    for (double c : {1.0, 2.0, 4.0}) {
+      auto cfg = base(n, 73);
+      cfg.congos.tau = 2;
+      cfg.congos.allow_degenerate = false;
+      cfg.congos.partition_c = c;
+      const auto r = harness::run_scenario(cfg);
+      if (!r.qod.ok()) return 1;
+      const auto parts = core::CongosProcess::build_partitions(n, cfg.congos);
+      t.row({harness::cell(c, 1),
+             harness::cell(static_cast<std::uint64_t>(parts->count())),
+             harness::cell(r.max_per_round), harness::cell(r.total_messages),
+             harness::cell(r.cg_shoots)});
+    }
+    std::printf("-- ablation 3: collusion partition count multiplier --\n");
+    t.print(std::cout);
+    std::printf("\n");
+  }
+
+  {
+    harness::Table t({"gossip strategy", "max/rnd", "mean/rnd", "shoots",
+                      "mean latency", "total msgs"});
+    const std::pair<gossip::GossipStrategy, const char*> strategies[] = {
+        {gossip::GossipStrategy::kEpidemicPush, "epidemic push (random)"},
+        {gossip::GossipStrategy::kExpander, "expander (deterministic)"},
+        {gossip::GossipStrategy::kPushPull, "push-pull (Karp et al.)"},
+    };
+    for (const auto& [strategy, name] : strategies) {
+      auto cfg = base(n, 74);
+      cfg.congos.gossip_strategy = strategy;
+      const auto r = harness::run_scenario(cfg);
+      if (!r.qod.ok()) return 1;
+      t.row({name, harness::cell(r.max_per_round),
+             harness::cell(r.mean_per_round, 1), harness::cell(r.cg_shoots),
+             harness::cell(r.qod.mean_latency, 1), harness::cell(r.total_messages)});
+    }
+    std::printf("-- ablation 4: gossip black-box dissemination strategies --\n");
+    t.print(std::cout);
+  }
+
+  std::printf("\nOK: QoD held in every configuration.\n");
+  return 0;
+}

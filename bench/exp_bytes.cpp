@@ -1,0 +1,67 @@
+// E15 (Section 7, communication complexity): bits, not just messages.
+//
+// The paper is explicit that its efficiency metric counts messages, and that
+// if rumors are large and cannot be merged, the *bit* complexity tells a
+// different story: collaborative dissemination replicates every fragment
+// across whole groups, so CONGOS moves ~n copies of each rumor's worth of
+// data, while direct sending moves |D| copies. We sweep the rumor payload
+// size and report bytes per (real) rumor for CONGOS vs direct send - the
+// honest cost of confidential collaboration.
+#include "bench_util.h"
+#include "harness/scenario.h"
+#include "harness/table.h"
+
+using namespace congos;
+
+int main() {
+  bench::banner("E15 / Section 7 (communication complexity)",
+                "Bytes moved per rumor as payloads grow: collaboration "
+                "replicates fragments group-wide; direct send moves |D| copies.");
+
+  const std::size_t n = 48;
+  harness::Table table({"payload B", "congos msgs/rumor", "congos KB/rumor",
+                        "direct KB/rumor", "byte ratio", "congos peak KB/rnd"});
+
+  for (std::size_t payload : {16u, 256u, 4096u}) {
+    harness::ScenarioConfig cfg;
+    cfg.n = n;
+    cfg.seed = 55;
+    cfg.rounds = 320;
+    cfg.workload = harness::WorkloadKind::kContinuous;
+    cfg.continuous.inject_prob = 0.01;
+    cfg.continuous.dest_min = 4;
+    cfg.continuous.dest_max = 4;
+    cfg.continuous.deadlines = {64};
+    cfg.continuous.payload_len = payload;
+    cfg.measure_from = 128;
+    cfg.audit_confidentiality = false;
+
+    cfg.protocol = harness::Protocol::kCongos;
+    const auto congos = harness::run_scenario(cfg);
+    cfg.protocol = harness::Protocol::kDirect;
+    const auto direct = harness::run_scenario(cfg);
+    if (!congos.qod.ok() || !direct.qod.ok()) return 1;
+
+    const double c_kb = static_cast<double>(congos.total_bytes) /
+                        static_cast<double>(congos.injected) / 1024.0;
+    const double d_kb = static_cast<double>(direct.total_bytes) /
+                        static_cast<double>(direct.injected) / 1024.0;
+    table.row({harness::cell(static_cast<std::uint64_t>(payload)),
+               harness::cell(static_cast<double>(congos.total_messages) /
+                                 static_cast<double>(congos.injected),
+                             0),
+               harness::cell(c_kb, 1), harness::cell(d_kb, 1),
+               harness::cell(c_kb / d_kb, 0),
+               harness::cell(static_cast<double>(congos.max_bytes_per_round) / 1024.0,
+                             0)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nReading: message counts are payload-independent, but bytes scale with\n"
+      "payload x replication x epidemic re-pushing (our gossip realization\n"
+      "re-sends active rumors every round, so the byte premium over direct send\n"
+      "is large and dominated by metadata for small payloads - the ratio falls\n"
+      "as payloads amortize it). This is the paper's own caveat, verbatim: 'if\n"
+      "the rumors cannot be merged, then gossip protocols may not be efficient'.\n");
+  return 0;
+}

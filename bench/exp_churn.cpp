@@ -1,0 +1,64 @@
+// E8 (robustness): delivery under increasing crash/restart churn.
+//
+// The paper requires delivery only for rumors whose source and destination
+// stay continuously alive; everything else is best-effort. We sweep the
+// per-round crash probability and report: how many (rumor, dest) pairs stay
+// admissible, the on-time rate among them (must be 100%), bonus deliveries
+// to non-admissible pairs, fallback usage, and confidentiality (must stay
+// clean no matter the churn).
+#include "bench_util.h"
+#include "harness/scenario.h"
+#include "harness/table.h"
+
+using namespace congos;
+
+int main() {
+  bench::banner("E8 / robustness",
+                "Quality of Delivery and confidentiality under crash/restart "
+                "churn (admissible pairs must always arrive on time).");
+
+  const std::size_t n = bench::full_scale() ? 96 : 48;
+  const std::vector<double> crash_probs = {0.0, 0.002, 0.005, 0.01, 0.02};
+
+  harness::Table table({"crash prob", "crashes+restarts seen", "admissible",
+                        "on-time", "on-time %", "bonus", "shoots", "leaks"});
+
+  bool ok = true;
+  for (double cp : crash_probs) {
+    harness::ScenarioConfig cfg;
+    cfg.n = n;
+    cfg.seed = static_cast<std::uint64_t>(cp * 100000) + 33;
+    cfg.rounds = 384;
+    cfg.protocol = harness::Protocol::kCongos;
+    cfg.workload = harness::WorkloadKind::kContinuous;
+    cfg.continuous.inject_prob = 0.015;
+    cfg.continuous.dest_min = 2;
+    cfg.continuous.dest_max = 6;
+    cfg.continuous.deadlines = {64};
+    cfg.measure_from = 128;
+    if (cp > 0) {
+      cfg.churn = adversary::RandomChurn::Options{};
+      cfg.churn->crash_prob = cp;
+      cfg.churn->restart_prob = 0.05;
+      cfg.churn->min_alive = 6;
+    }
+
+    const auto r = harness::run_scenario(cfg);
+    const double pct =
+        r.qod.admissible_pairs == 0
+            ? 100.0
+            : 100.0 * static_cast<double>(r.qod.delivered_on_time) /
+                  static_cast<double>(r.qod.admissible_pairs);
+    table.row({harness::cell(cp, 3), harness::cell(r.crashes + r.restarts),
+               harness::cell(r.qod.admissible_pairs),
+               harness::cell(r.qod.delivered_on_time), harness::cell(pct, 1),
+               harness::cell(r.qod.bonus_deliveries), harness::cell(r.cg_shoots),
+               harness::cell(r.leaks)});
+    ok = ok && r.qod.ok() && r.leaks == 0;
+  }
+  table.print(std::cout);
+  std::printf("\n%s\n",
+              ok ? "OK: 100%% on-time for admissible pairs at every churn level."
+                 : "UNEXPECTED: QoD or confidentiality violated.");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,125 @@
+// E6 (Theorem 12): border messages of partition-based algorithms.
+//
+// Theorem 12: any tau-collusion-tolerant partition-based algorithm, under
+// the Theorem-1 destination sets, sends Omega(min{n*tau, n^{3/2-eps}})
+// "border messages" - messages carrying rumor fragments from the destination
+// set (or source) to processes outside it. The intuition: fewer than tau+1
+// escaping fragments per rumor would let tau colluders reconstruct it, so
+// fragments *must* leak outward in bulk.
+//
+// We count border messages in actual CONGOS executions (a BorderCounter
+// observer inspects every delivered fragment payload) and compare with the
+// (tau+1)*n/2 floor from the proof of Theorem 12.
+#include "adversary/adversary.h"
+#include "adversary/workload.h"
+#include "audit/confidentiality.h"
+#include "audit/qod.h"
+#include "bench_util.h"
+#include "congos/congos_process.h"
+#include "gossip/continuous_gossip.h"
+#include "harness/table.h"
+
+using namespace congos;
+
+namespace {
+
+/// Counts messages that carry at least one fragment across a rumor's
+/// destination-set border (from inside dest+source to outside).
+class BorderCounter final : public sim::ExecutionObserver {
+ public:
+  void on_inject(const sim::Rumor& rumor, Round) override {
+    rumors_.emplace(rumor.uid, rumor.dest);
+  }
+
+  void on_envelope_delivered(const sim::Envelope& e, Round) override {
+    bool border = false;
+    auto check = [&](const core::Fragment& f) {
+      auto it = rumors_.find(f.meta.key.rumor);
+      if (it == rumors_.end()) return;
+      const bool from_inside =
+          it->second.test(e.from) || e.from == f.meta.key.rumor.source;
+      const bool to_outside =
+          !it->second.test(e.to) && e.to != f.meta.key.rumor.source;
+      if (from_inside && to_outside) border = true;
+    };
+    if (const auto* msg = dynamic_cast<const gossip::GossipMsg*>(e.body.get())) {
+      for (const auto& r : msg->rumors) {
+        if (const auto* fb = dynamic_cast<const core::FragmentBody*>(r.body.get())) {
+          check(fb->fragment);
+        } else if (const auto* ps =
+                       dynamic_cast<const core::ProxyShareBody*>(r.body.get())) {
+          for (const auto& f : ps->proxied) check(f);
+        }
+      }
+    } else if (const auto* req =
+                   dynamic_cast<const core::ProxyRequestPayload*>(e.body.get())) {
+      for (const auto& f : req->fragments) check(f);
+    }
+    if (border) ++count_;
+  }
+
+  std::uint64_t count() const { return count_; }
+
+ private:
+  std::unordered_map<RumorUid, DynamicBitset> rumors_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  bench::banner("E6 / Theorem 12",
+                "Partition-based tau-tolerant confidential gossip must push "
+                ">= (tau+1)*n/2c fragments across destination-set borders.");
+
+  const std::size_t n = bench::full_scale() ? 96 : 64;
+  std::vector<std::uint32_t> taus = {1, 2, 3};
+
+  harness::Table table(
+      {"tau", "border msgs", "floor (tau+1)n/2", "ratio", "leaks"});
+
+  for (std::uint32_t tau : taus) {
+    core::CongosConfig ccfg;
+    ccfg.tau = tau;
+    ccfg.allow_degenerate = false;
+    auto shared_cfg = std::make_shared<const core::CongosConfig>(ccfg);
+    auto partitions = core::CongosProcess::build_partitions(n, ccfg);
+
+    audit::DeliveryAuditor qod(n);
+    std::vector<std::unique_ptr<sim::Process>> procs;
+    Rng seeder(500 + tau);
+    for (ProcessId p = 0; p < n; ++p) {
+      procs.push_back(std::make_unique<core::CongosProcess>(p, shared_cfg, partitions,
+                                                            seeder.next(), &qod));
+    }
+    sim::Engine engine(std::move(procs), seeder.next());
+    audit::ConfidentialityAuditor conf(n, partitions.get());
+    BorderCounter border;
+    engine.add_observer(&conf);
+    engine.add_observer(&qod);
+    engine.add_observer(&border);
+
+    adversary::Composite adv;
+    adversary::Theorem1::Options w;
+    w.x = 4.0;
+    w.dmax = 128;
+    adv.add(std::make_unique<adversary::Theorem1>(w));
+    engine.set_adversary(&adv);
+    engine.run(220);
+
+    const double floor = static_cast<double>(tau + 1) * static_cast<double>(n) / 2.0;
+    table.row({harness::cell(static_cast<std::uint64_t>(tau)),
+               harness::cell(border.count()), harness::cell(floor, 0),
+               harness::cell(static_cast<double>(border.count()) / floor, 1),
+               harness::cell(conf.leaks())});
+    if (conf.leaks() != 0) {
+      std::printf("UNEXPECTED: leak at tau=%u\n", tau);
+      return 1;
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nReading: measured border traffic sits far above the Theorem 12 floor and\n"
+      "grows with tau - the leakage-in-fragments that collusion tolerance forces.\n");
+  return 0;
+}

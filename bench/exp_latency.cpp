@@ -1,0 +1,67 @@
+// E13 (Lemmas 8-10 timing): how early in the deadline window rumors land.
+//
+// The pipeline argument bounds delivery by ~3 blocks (3/4 of the effective
+// deadline) and confirmation one block later; the deadline fallback covers
+// the rest deterministically. We sweep (n, deadline) and report the delivery
+// latency distribution as a *fraction of the deadline* - the p95 should sit
+// comfortably below 1.0 and the fallback column near zero.
+#include "bench_util.h"
+#include "harness/scenario.h"
+#include "harness/table.h"
+
+using namespace congos;
+
+int main() {
+  bench::banner("E13 / Lemmas 8-10",
+                "Delivery latency distribution within the deadline window "
+                "(p95/deadline well below 1.0; fallback near zero).");
+
+  harness::Table table({"n", "deadline", "mean lat", "p50", "p95", "max",
+                        "p95/deadline", "shoots", "on-time %"});
+
+  std::vector<std::pair<std::size_t, Round>> params = {
+      {32, 64}, {32, 128}, {64, 64}, {64, 256}};
+  if (bench::full_scale()) params.push_back({128, 128});
+
+  for (auto [n, d] : params) {
+    harness::ScenarioConfig cfg;
+    cfg.n = n;
+    cfg.seed = 7777 + n + static_cast<std::uint64_t>(d);
+    cfg.rounds = std::max<Round>(4 * d, 256);
+    cfg.protocol = harness::Protocol::kCongos;
+    cfg.workload = harness::WorkloadKind::kContinuous;
+    cfg.continuous.inject_prob = 0.02 * 64.0 / static_cast<double>(d);
+    cfg.continuous.dest_min = 2;
+    cfg.continuous.dest_max = 8;
+    cfg.continuous.deadlines = {d};
+    cfg.measure_from = 2 * d;
+    cfg.audit_confidentiality = false;
+
+    const auto r = harness::run_scenario(cfg);
+    const double pct = r.qod.admissible_pairs == 0
+                           ? 100.0
+                           : 100.0 * static_cast<double>(r.qod.delivered_on_time) /
+                                 static_cast<double>(r.qod.admissible_pairs);
+    table.row({harness::cell(static_cast<std::uint64_t>(n)),
+               harness::cell(static_cast<std::uint64_t>(d)),
+               harness::cell(r.qod.mean_latency, 1),
+               harness::cell(static_cast<std::uint64_t>(r.qod.latency_p50)),
+               harness::cell(static_cast<std::uint64_t>(r.qod.latency_p95)),
+               harness::cell(static_cast<std::uint64_t>(r.qod.latency_max)),
+               harness::cell(static_cast<double>(r.qod.latency_p95) /
+                                 static_cast<double>(d),
+                             2),
+               harness::cell(r.cg_shoots), harness::cell(pct, 1)});
+    if (!r.qod.ok()) {
+      std::printf("UNEXPECTED: QoD violation at n=%zu d=%lld\n", n,
+                  static_cast<long long>(d));
+      return 1;
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nReading: delivery completes in roughly half the deadline window (the\n"
+      "4-block pipeline of Section 4.3), with the p95 well inside the budget -\n"
+      "the deterministic fallback is an insurance policy, not the delivery path.\n");
+  return 0;
+}

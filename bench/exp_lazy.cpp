@@ -1,0 +1,63 @@
+// E14 (Section 7, "Open questions: malicious users"): freeloading processes.
+//
+// A lazy process follows the protocol for its own rumors but silently drops
+// proxy requests and never runs GroupDistribution. The paper conjectures the
+// redundancy built for collusion tolerance also absorbs non-delivering
+// groups. We sweep the lazy fraction and measure: delivery stays perfect
+// (the deadline fallback is executed by each rumor's own source, which is
+// honest for its own rumors), while the *confirmation* pipeline degrades -
+// visible as rising fallback-shoot usage - and confidentiality is never at
+// risk (laziness only removes messages).
+#include "bench_util.h"
+#include "harness/scenario.h"
+#include "harness/table.h"
+
+using namespace congos;
+
+int main() {
+  bench::banner("E14 / Section 7 (lazy processes)",
+                "Freeloaders degrade the confirmation pipeline (more fallback "
+                "shoots) but can never break QoD or confidentiality.");
+
+  const std::size_t n = bench::full_scale() ? 96 : 48;
+  harness::Table table({"lazy %", "injected", "on-time %", "confirmed %",
+                        "shoots", "fallback msgs", "leaks"});
+
+  bool ok = true;
+  for (double f : {0.0, 0.25, 0.5, 0.75, 0.9, 0.97}) {
+    harness::ScenarioConfig cfg;
+    cfg.n = n;
+    cfg.seed = 4100 + static_cast<std::uint64_t>(f * 100);
+    cfg.rounds = 384;
+    cfg.protocol = harness::Protocol::kCongos;
+    cfg.lazy_fraction = f;
+    cfg.workload = harness::WorkloadKind::kContinuous;
+    cfg.continuous.inject_prob = 0.015;
+    cfg.continuous.dest_min = 2;
+    cfg.continuous.dest_max = 6;
+    cfg.continuous.deadlines = {64};
+    cfg.measure_from = 128;
+
+    const auto r = harness::run_scenario(cfg);
+    const double on_time =
+        r.qod.admissible_pairs == 0
+            ? 100.0
+            : 100.0 * static_cast<double>(r.qod.delivered_on_time) /
+                  static_cast<double>(r.qod.admissible_pairs);
+    const double confirmed =
+        r.injected == 0 ? 0.0
+                        : 100.0 * static_cast<double>(r.cg_confirmed) /
+                              static_cast<double>(r.injected);
+    table.row({harness::cell(f * 100, 0), harness::cell(r.injected),
+               harness::cell(on_time, 1), harness::cell(confirmed, 1),
+               harness::cell(r.cg_shoots), harness::cell(r.cg_shoot_messages),
+               harness::cell(r.leaks)});
+    ok = ok && r.qod.ok() && r.leaks == 0;
+  }
+  table.print(std::cout);
+  std::printf("\n%s\n",
+              ok ? "OK: 100%% on-time and zero leaks at every laziness level; "
+                   "freeloading only shifts work onto the sources' fallback."
+                 : "UNEXPECTED: QoD or confidentiality violated.");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+// E4 (Theorem 11, deadline dependence): per-round message complexity vs the
+// rumor deadline at fixed n.
+//
+// The n^{1+E/sqrt(dline)} fan-out term shrinks as deadlines grow: with more
+// time, the services can afford smaller per-iteration fan-outs. We sweep the
+// deadline and report CONGOS's peak/mean per-round complexity, the shape
+// prediction, and the fallback usage (tight deadlines leave less slack for
+// the confirmation pipeline).
+#include <cmath>
+
+#include "bench_util.h"
+#include "harness/scenario.h"
+#include "harness/table.h"
+
+using namespace congos;
+
+int main() {
+  bench::banner("E4 / Theorem 11 (deadline axis)",
+                "CONGOS per-round message complexity falls as deadlines grow "
+                "(the n^{1+E/sqrt(d)} term; n fixed).");
+
+  const std::size_t n = bench::full_scale() ? 128 : 64;
+  std::vector<Round> deadlines = {32, 64, 128, 256};
+  if (bench::full_scale()) deadlines.push_back(512);
+
+  harness::Table table({"deadline", "eff. class", "congos max/rnd", "mean/rnd",
+                        "shape n^{1+6/sqrt(d)}", "shoots", "mean latency"});
+
+  for (Round d : deadlines) {
+    harness::ScenarioConfig cfg;
+    cfg.n = n;
+    cfg.seed = 11 * static_cast<std::uint64_t>(d) + 5;
+    cfg.rounds = std::max<Round>(4 * d, 256);
+    cfg.workload = harness::WorkloadKind::kContinuous;
+    // Hold the expected number of *concurrently active* rumors constant
+    // across the sweep (rumor lifetime scales with d), so the deadline's
+    // effect on the fan-outs is isolated from sheer rumor load.
+    cfg.continuous.inject_prob = 0.02 * 64.0 / static_cast<double>(d);
+    cfg.continuous.dest_min = 2;
+    cfg.continuous.dest_max = 8;
+    cfg.continuous.deadlines = {d};
+    cfg.measure_from = 2 * d;
+    cfg.audit_confidentiality = false;  // cost sweep; E2 audits payloads
+    cfg.protocol = harness::Protocol::kCongos;
+
+    const auto r = harness::run_scenario(cfg);
+    const double shape =
+        std::pow(static_cast<double>(n), 1.0 + 6.0 / std::sqrt(static_cast<double>(d)));
+    table.row({harness::cell(static_cast<std::uint64_t>(d)),
+               harness::cell(static_cast<std::uint64_t>(
+                   core::effective_deadline(d, cfg.congos))),
+               harness::cell(r.max_per_round), harness::cell(r.mean_per_round, 1),
+               harness::cell(shape, 0), harness::cell(r.cg_shoots),
+               harness::cell(r.qod.mean_latency, 1)});
+
+    if (!r.qod.ok() || r.leaks != 0) {
+      std::printf("UNEXPECTED: correctness violation at d=%lld\n",
+                  static_cast<long long>(d));
+      return 1;
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nReading: per-round cost falls as the deadline grows - longer deadlines\n"
+      "buy cheaper rounds, Theorem 11's trade. The mean tracks the shrinking\n"
+      "shape column; the peak falls more slowly because the per-iteration\n"
+      "request bursts saturate their candidate pools at this n.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// E7 (Lemmas 7-10): per-service message accounting.
+//
+// Lemma 7 bounds the Proxy and GroupDistribution services' own traffic
+// separately from the black-box gossip traffic; Lemmas 8-10 bound in-block
+// delivery and confirmation. We run one instrumented execution per deadline
+// class and print the per-service peaks and totals, plus the pipeline
+// outcome counters (confirmed before deadline vs fallback shoots).
+#include "bench_util.h"
+#include "harness/scenario.h"
+#include "harness/table.h"
+
+using namespace congos;
+
+int main() {
+  bench::banner("E7 / Lemmas 7-10",
+                "Per-service traffic breakdown: Proxy and GroupDistribution are "
+                "bounded separately from the GroupGossip/AllGossip black boxes.");
+
+  const std::size_t n = bench::full_scale() ? 128 : 64;
+  harness::Table table({"deadline", "service", "max/round", "total"});
+  harness::Table outcome({"deadline", "injected", "confirmed", "shoots",
+                          "reassembled deliveries", "latency mean/p50/p95/max",
+                          "max bytes/round"});
+
+  for (Round d : {64, 256}) {
+    harness::ScenarioConfig cfg;
+    cfg.n = n;
+    cfg.seed = 90 + static_cast<std::uint64_t>(d);
+    cfg.rounds = std::max<Round>(4 * d, 320);
+    cfg.protocol = harness::Protocol::kCongos;
+    cfg.workload = harness::WorkloadKind::kContinuous;
+    cfg.continuous.inject_prob = 0.02;
+    cfg.continuous.dest_min = 2;
+    cfg.continuous.dest_max = 8;
+    cfg.continuous.deadlines = {d};
+    cfg.measure_from = 2 * d;
+
+    const auto r = harness::run_scenario(cfg);
+    const char* names[] = {"group-gossip", "all-gossip", "proxy", "group-dist",
+                           "fallback"};
+    const sim::ServiceKind kinds[] = {
+        sim::ServiceKind::kGroupGossip, sim::ServiceKind::kAllGossip,
+        sim::ServiceKind::kProxy, sim::ServiceKind::kGroupDistribution,
+        sim::ServiceKind::kFallback};
+    for (int i = 0; i < 5; ++i) {
+      table.row({harness::cell(static_cast<std::uint64_t>(d)), names[i],
+                 harness::cell(r.max_by_kind[static_cast<int>(kinds[i])]),
+                 harness::cell(r.total_by_kind[static_cast<int>(kinds[i])])});
+    }
+    outcome.row({harness::cell(static_cast<std::uint64_t>(d)),
+                 harness::cell(r.injected), harness::cell(r.cg_confirmed),
+                 harness::cell(r.cg_shoots), harness::cell(r.cg_reassembled),
+                 harness::cell(r.qod.mean_latency, 1) + " / " +
+                     std::to_string(r.qod.latency_p50) + " / " +
+                     std::to_string(r.qod.latency_p95) + " / " +
+                     std::to_string(r.qod.latency_max),
+                 harness::cell(r.max_bytes_per_round)});
+    if (!r.qod.ok() || r.leaks != 0) {
+      std::printf("UNEXPECTED: correctness violation at d=%lld\n",
+                  static_cast<long long>(d));
+      return 1;
+    }
+  }
+
+  table.print(std::cout);
+  std::printf("\n");
+  outcome.print(std::cout);
+  std::printf(
+      "\nReading: proxy/group-dist peaks are the bounded per-iteration bursts of\n"
+      "Lemma 7; gossip carries the steady fragment+metadata load; fallback stays\n"
+      "at (or near) zero because confirmations beat the deadline (Lemma 10).\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Microbenchmarks: XOR secret-sharing codec throughput.
+#include <benchmark/benchmark.h>
+
+#include "coding/xor_share.h"
+
+namespace {
+
+using congos::Rng;
+using congos::coding::Bytes;
+
+void BM_Split(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  Rng rng(1);
+  Bytes data(len, 0x5A);
+  for (auto _ : state) {
+    auto frags = congos::coding::split(data, k, rng);
+    benchmark::DoNotOptimize(frags);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_Split)->Args({64, 2})->Args({64, 4})->Args({4096, 2})->Args({4096, 8});
+
+void BM_Combine(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  Rng rng(2);
+  Bytes data(len, 0xA5);
+  const auto frags = congos::coding::split(data, k, rng);
+  for (auto _ : state) {
+    auto out = congos::coding::combine(frags);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len * k));
+}
+BENCHMARK(BM_Combine)->Args({64, 2})->Args({4096, 2})->Args({4096, 8});
+
+void BM_RngSample(benchmark::State& state) {
+  Rng rng(3);
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto k = static_cast<std::uint32_t>(state.range(1));
+  for (auto _ : state) {
+    auto s = rng.sample_without_replacement(n, k);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_RngSample)->Args({1024, 8})->Args({1024, 64})->Args({1 << 16, 32});
+
+}  // namespace
+
+BENCHMARK_MAIN();

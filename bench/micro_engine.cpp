@@ -1,0 +1,58 @@
+// Microbenchmarks: simulator round throughput (how much system we can
+// afford to simulate) for an idle system, plain gossip, and full CONGOS.
+#include <benchmark/benchmark.h>
+
+#include "adversary/adversary.h"
+#include "adversary/workload.h"
+#include "harness/scenario.h"
+
+namespace {
+
+using namespace congos;
+
+void BM_EngineIdleRounds(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  harness::ScenarioConfig cfg;
+  cfg.n = n;
+  cfg.rounds = 1;
+  cfg.workload = harness::WorkloadKind::kNone;
+  for (auto _ : state) {
+    auto r = harness::run_scenario(cfg);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_EngineIdleRounds)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_PlainGossipRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  harness::ScenarioConfig cfg;
+  cfg.n = n;
+  cfg.rounds = 128;
+  cfg.protocol = harness::Protocol::kPlainGossip;
+  cfg.continuous.inject_prob = 0.02;
+  cfg.continuous.deadlines = {64};
+  for (auto _ : state) {
+    auto r = harness::run_scenario(cfg);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_PlainGossipRun)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_CongosRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  harness::ScenarioConfig cfg;
+  cfg.n = n;
+  cfg.rounds = 128;
+  cfg.protocol = harness::Protocol::kCongos;
+  cfg.continuous.inject_prob = 0.02;
+  cfg.continuous.deadlines = {64};
+  for (auto _ : state) {
+    auto r = harness::run_scenario(cfg);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_CongosRun)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

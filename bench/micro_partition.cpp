@@ -1,0 +1,67 @@
+// Microbenchmarks: partition construction and queries.
+#include <benchmark/benchmark.h>
+
+#include "baseline/subset_cover.h"
+#include "partition/bit_partition.h"
+#include "partition/random_partition.h"
+
+namespace {
+
+using namespace congos;
+using namespace congos::partition;
+
+void BM_BitPartitions(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto set = make_bit_partitions(n);
+    benchmark::DoNotOptimize(set);
+  }
+}
+BENCHMARK(BM_BitPartitions)->Arg(64)->Arg(1024)->Arg(1 << 14);
+
+void BM_RandomPartitions(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto tau = static_cast<std::uint32_t>(state.range(1));
+  Rng rng(42);
+  RandomPartitionOptions opt;
+  opt.tau = tau;
+  opt.property2_trials = 50;
+  for (auto _ : state) {
+    auto result = make_random_partitions(n, opt, rng);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_RandomPartitions)->Args({128, 2})->Args({256, 3})->Args({512, 4});
+
+void BM_PartitionCovers(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto set = make_bit_partitions(n);
+  Rng rng(7);
+  auto s = DynamicBitset::from_indices(
+      n, rng.sample_without_replacement(static_cast<std::uint32_t>(n),
+                                        static_cast<std::uint32_t>(n / 8)));
+  for (auto _ : state) {
+    bool c = set[0].covers(s);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_PartitionCovers)->Arg(1024)->Arg(1 << 14);
+
+void BM_SubsetCover(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  baseline::SubsetCover sc(n);
+  Rng rng(9);
+  DynamicBitset d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.chance(0.25)) d.set(i);
+  }
+  for (auto _ : state) {
+    auto c = sc.cover(d);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_SubsetCover)->Arg(256)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+// CRRI adversary framework (Section 2).
+//
+// The Crash-and-Restart-Rumor-Injection adversary decides, every round, which
+// processes crash, which restart, and which rumors are injected. It is
+// *adaptive*: decisions in round t may depend on all prior events and on the
+// random choices made in round t itself (it inspects the pending messages of
+// the round before delivery).
+//
+// Adversarial behaviours compose: a typical experiment runs a Composite of an
+// injection workload plus one or more failure patterns.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace congos::adversary {
+
+/// Runs several adversary components in registration order each hook.
+class Composite final : public sim::Adversary {
+ public:
+  void add(std::unique_ptr<sim::Adversary> part);
+
+  void at_round_start(sim::Engine& engine) override;
+  void after_sends(sim::Engine& engine) override;
+  void at_round_end(sim::Engine& engine) override;
+
+  std::size_t size() const { return parts_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<sim::Adversary>> parts_;
+};
+
+}  // namespace congos::adversary

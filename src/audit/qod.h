@@ -1,0 +1,88 @@
+// DeliveryAuditor: machine-checks Quality of Delivery (Definition 1) and
+// end-to-end data integrity.
+//
+// It observes injections, crashes and restarts (to decide admissibility:
+// source and destination continuously alive over [t, t+d]) and receives
+// every application-level delivery through the DeliveryListener interface.
+// finalize() classifies every (rumor, destination) pair:
+//   * admissible + delivered on time  -> ok          (required by Def. 1)
+//   * admissible + late/missing       -> violation   (protocol bug)
+//   * not admissible + delivered      -> bonus       (allowed, not required)
+// and verifies that delivered bytes equal the injected bytes.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/process.h"
+
+namespace congos::audit {
+
+struct QodReport {
+  std::uint64_t rumors = 0;
+  std::uint64_t admissible_pairs = 0;
+  std::uint64_t delivered_on_time = 0;  // of admissible pairs
+  std::uint64_t late = 0;               // admissible but after the deadline
+  std::uint64_t missing = 0;            // admissible, never delivered
+  std::uint64_t bonus_deliveries = 0;   // non-admissible pairs delivered anyway
+  std::uint64_t data_mismatches = 0;
+  /// Delivery-latency distribution (rounds) over on-time admissible pairs.
+  double mean_latency = 0.0;
+  Round latency_p50 = 0;
+  Round latency_p95 = 0;
+  Round latency_max = 0;
+
+  bool ok() const { return late == 0 && missing == 0 && data_mismatches == 0; }
+};
+
+class DeliveryAuditor final : public sim::ExecutionObserver,
+                              public sim::DeliveryListener {
+ public:
+  explicit DeliveryAuditor(std::size_t n);
+
+  // -- ExecutionObserver -----------------------------------------------------
+  void on_inject(const sim::Rumor& rumor, Round now) override;
+  void on_crash(ProcessId p, Round now) override;
+  void on_restart(ProcessId p, Round now) override;
+
+  // -- DeliveryListener -------------------------------------------------------
+  void on_rumor_delivered(ProcessId at, const RumorUid& uid, Round when,
+                          std::span<const std::uint8_t> data) override;
+
+  /// True iff p was alive for the whole closed interval [a, b] with no crash.
+  bool continuously_alive(ProcessId p, Round a, Round b) const;
+
+  /// Classify all rumors whose deadline has passed by round `now`
+  /// (pass the final round + max deadline to cover everything).
+  QodReport finalize(Round now) const;
+
+  /// Delivery round of (uid, p), or kNoRound.
+  Round delivery_round(const RumorUid& uid, ProcessId p) const;
+
+  std::uint64_t injected_count() const { return injected_.size(); }
+
+  /// Total crash events observed.
+  std::uint64_t crash_count() const;
+  /// Total restart events observed.
+  std::uint64_t restart_count() const;
+
+ private:
+  struct InjectedRumor {
+    sim::Rumor rumor;
+  };
+  struct LifeEvent {
+    Round round = 0;
+    bool crash = false;  // false = restart
+  };
+
+  std::size_t n_;
+  std::unordered_map<RumorUid, InjectedRumor> injected_;
+  std::vector<std::vector<LifeEvent>> life_;  // per process, chronological
+  // first delivery per (uid, process)
+  std::unordered_map<RumorUid, std::unordered_map<ProcessId, Round>> delivered_;
+  std::uint64_t data_mismatches_ = 0;
+};
+
+}  // namespace congos::audit

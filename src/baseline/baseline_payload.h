@@ -1,0 +1,29 @@
+// Shared payload type for the comparison protocols: a whole rumor in one
+// message. Any delivery of this payload to a process outside the rumor's
+// destination set is a confidentiality violation the auditor can observe.
+#pragma once
+
+#include "sim/message.h"
+#include "sim/rumor.h"
+
+namespace congos::baseline {
+
+struct BaselineRumorPayload final : sim::Payload {
+  sim::Rumor rumor;
+
+  std::size_t wire_size() const override { return sim::wire_size(rumor); }
+};
+
+/// Batch of whole rumors (used by the strongly-confidential protocol, where
+/// one message may merge several rumors when allowed).
+struct BaselineBatchPayload final : sim::Payload {
+  std::vector<sim::Rumor> rumors;
+
+  std::size_t wire_size() const override {
+    std::size_t total = 4;
+    for (const auto& r : rumors) total += sim::wire_size(r);
+    return total;
+  }
+};
+
+}  // namespace congos::baseline

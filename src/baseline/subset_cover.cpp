@@ -1,0 +1,82 @@
+#include "baseline/subset_cover.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/math.h"
+
+namespace congos::baseline {
+
+SubsetCover::SubsetCover(std::size_t n) : n_(n) {
+  CONGOS_ASSERT(n >= 1);
+  padded_ = 1;
+  while (padded_ < n) padded_ <<= 1;
+}
+
+namespace {
+
+/// Recursive minimal cover over the leaf range [lo, lo+len) (len a power of
+/// two). Padding leaves (index >= n) are "don't care": a subtree whose real
+/// leaves are all destinations is usable even when it also spans padding
+/// (padding keys are never assigned to a device, so including them leaks
+/// nothing). Appends (first_leaf, real_leaf_count) ranges.
+struct NodeSummary {
+  bool any_dest = false;     // some real leaf in range is a destination
+  bool any_nondest = false;  // some real leaf in range is NOT a destination
+  bool full() const { return any_dest && !any_nondest; }
+};
+
+NodeSummary cover_rec(const DynamicBitset& dest, std::size_t n, std::uint32_t lo,
+                      std::uint32_t len,
+                      std::vector<std::pair<std::uint32_t, std::uint32_t>>& out) {
+  if (lo >= n) return {};  // entirely padding
+  if (len == 1) {
+    return {dest.test(lo), !dest.test(lo)};
+  }
+  const std::uint32_t half = len / 2;
+  const std::size_t mark = out.size();
+  auto real_count = [&](std::uint32_t first, std::uint32_t span) {
+    return std::min<std::uint32_t>(span, static_cast<std::uint32_t>(n) - first);
+  };
+  const NodeSummary left = cover_rec(dest, n, lo, half, out);
+  if (left.full()) out.emplace_back(lo, real_count(lo, half));
+  const NodeSummary right = cover_rec(dest, n, lo + half, half, out);
+  if (right.full()) out.emplace_back(lo + half, real_count(lo + half, half));
+
+  const NodeSummary me{left.any_dest || right.any_dest,
+                       left.any_nondest || right.any_nondest};
+  // A full node lets the parent merge: drop the children's entries.
+  if (me.full()) out.resize(mark);
+  return me;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> SubsetCover::cover(
+    const DynamicBitset& dest) const {
+  CONGOS_ASSERT(dest.size() == n_);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
+  const NodeSummary root =
+      cover_rec(dest, n_, 0, static_cast<std::uint32_t>(padded_), out);
+  if (root.full()) {
+    out.clear();
+    out.emplace_back(0, static_cast<std::uint32_t>(n_));
+  }
+  return out;
+}
+
+std::size_t SubsetCover::cover_size(const DynamicBitset& dest) const {
+  return cover(dest).size();
+}
+
+std::uint64_t lkh_rekey_messages(std::size_t n, std::size_t joins, std::size_t leaves) {
+  const double log_n = std::max(1.0, std::log2(static_cast<double>(n)));
+  return static_cast<std::uint64_t>(
+      std::ceil(2.0 * log_n * static_cast<double>(joins + leaves)));
+}
+
+std::uint64_t per_destination_messages(const DynamicBitset& dest) {
+  return dest.count();
+}
+
+}  // namespace congos::baseline

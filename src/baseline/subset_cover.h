@@ -1,0 +1,61 @@
+// Cryptographic multicast cost models (the paper's "alternative approaches"
+// discussion, Section 1).
+//
+// Two standard constructions are modelled analytically (no network traffic -
+// these are comparators for experiment E9):
+//
+//  * Complete-Subtree broadcast encryption [Fiat-Naor'93 lineage]: processes
+//    are leaves of a complete binary tree; each process holds the keys on its
+//    root-to-leaf path. A rumor for destination set D is encrypted once per
+//    node of the minimal subtree cover of D; cover_size(D) is the number of
+//    ciphertext headers (and of per-group multicast "channels") needed.
+//
+//  * LKH / key-tree group keying [Wong-Gouda-Lam'00, Sherman-McGrew'03]: a
+//    long-lived group with one shared key; each membership change re-keys the
+//    changed leaf's path, costing about 2*log2(n) key-update messages.
+//
+// The paper's argument: these are efficient for *stable* groups but expensive
+// when every rumor has a fresh destination set; E9 measures exactly that
+// crossover against CONGOS.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitset.h"
+
+namespace congos::baseline {
+
+/// Complete-subtree cover: minimal set of maximal subtrees whose leaf sets
+/// exactly tile the destination set D (|D| >= 1). Returned as the number of
+/// subtrees; the cover itself is available for inspection.
+class SubsetCover {
+ public:
+  /// `n` leaves; n need not be a power of two (the tree is conceptually
+  /// padded, padding leaves never count as destinations).
+  explicit SubsetCover(std::size_t n);
+
+  std::size_t n() const { return n_; }
+
+  /// Number of subtrees in the minimal cover of `dest`.
+  std::size_t cover_size(const DynamicBitset& dest) const;
+
+  /// The cover as (first_leaf, subtree_leaf_count) ranges.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> cover(
+      const DynamicBitset& dest) const;
+
+ private:
+  std::size_t n_;
+  std::size_t padded_;  // next power of two >= n
+};
+
+/// LKH re-keying cost: key-update messages for `joins` + `leaves` membership
+/// changes in a group over an n-leaf key tree (~2 log2 n per change).
+std::uint64_t lkh_rekey_messages(std::size_t n, std::size_t joins, std::size_t leaves);
+
+/// Point-to-point message cost of delivering one rumor to D with per-
+/// destination encryption (the "encrypt individually for each process"
+/// fallback the paper mentions): |D| messages, |D| encryptions.
+std::uint64_t per_destination_messages(const DynamicBitset& dest);
+
+}  // namespace congos::baseline

@@ -1,0 +1,34 @@
+#include "coding/xor_share.h"
+
+#include "common/assert.h"
+
+namespace congos::coding {
+
+std::vector<Bytes> split(std::span<const std::uint8_t> data, std::size_t k, Rng& rng) {
+  CONGOS_ASSERT_MSG(k >= 2, "secret sharing needs at least 2 fragments");
+  std::vector<Bytes> frags(k);
+  Bytes acc(data.begin(), data.end());
+  for (std::size_t i = 0; i + 1 < k; ++i) {
+    frags[i].resize(data.size());
+    rng.fill_bytes(frags[i].data(), frags[i].size());
+    xor_into(acc, frags[i]);
+  }
+  frags[k - 1] = std::move(acc);
+  return frags;
+}
+
+Bytes combine(std::span<const Bytes> fragments) {
+  CONGOS_ASSERT_MSG(!fragments.empty(), "combine of zero fragments");
+  Bytes out = fragments[0];
+  for (std::size_t i = 1; i < fragments.size(); ++i) {
+    xor_into(out, fragments[i]);
+  }
+  return out;
+}
+
+void xor_into(Bytes& a, std::span<const std::uint8_t> b) {
+  CONGOS_ASSERT_MSG(a.size() == b.size(), "fragment length mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] ^= b[i];
+}
+
+}  // namespace congos::coding

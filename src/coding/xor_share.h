@@ -1,0 +1,31 @@
+// XOR secret sharing (Section 4.1 / Section 6.2).
+//
+// A rumor datum z is split into k fragments z_0..z_{k-1}: z_0..z_{k-2} are
+// independent uniform random strings and z_{k-1} = z xor z_0 xor ... xor
+// z_{k-2}. Any k-1 fragments are jointly uniform and reveal nothing about z;
+// all k fragments XOR back to z. This is the simplest instantiation of
+// cryptographic secret sharing [Shamir'79], and the only coding CONGOS needs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace congos::coding {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Split `data` into `k` >= 2 fragments, each the same length as `data`.
+/// Randomness drawn from `rng`.
+std::vector<Bytes> split(std::span<const std::uint8_t> data, std::size_t k, Rng& rng);
+
+/// Recombine fragments produced by split(). All fragments must have equal
+/// length; order does not matter (XOR is commutative).
+Bytes combine(std::span<const Bytes> fragments);
+
+/// XOR b into a (a ^= b); lengths must match.
+void xor_into(Bytes& a, std::span<const std::uint8_t> b);
+
+}  // namespace congos::coding

@@ -1,0 +1,27 @@
+// Always-on invariant checks.
+//
+// The simulator is a correctness instrument: a silently-wrong simulation is
+// worse than a crash, so invariant checks stay on in release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace congos::detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "CONGOS_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg ? msg : "");
+  std::abort();
+}
+}  // namespace congos::detail
+
+#define CONGOS_ASSERT(expr)                                                \
+  do {                                                                     \
+    if (!(expr)) ::congos::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define CONGOS_ASSERT_MSG(expr, msg)                                       \
+  do {                                                                     \
+    if (!(expr)) ::congos::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,122 @@
+#include "common/bitset.h"
+
+namespace congos {
+
+namespace {
+constexpr std::size_t word_count(std::size_t n) { return (n + 63) / 64; }
+}  // namespace
+
+DynamicBitset::DynamicBitset(std::size_t n, bool value)
+    : size_(n), words_(word_count(n), value ? ~0ull : 0ull) {
+  if (value && n % 64 != 0 && !words_.empty()) {
+    words_.back() = (1ull << (n % 64)) - 1;
+  }
+}
+
+void DynamicBitset::set(std::size_t i) {
+  CONGOS_ASSERT(i < size_);
+  words_[i / 64] |= 1ull << (i % 64);
+}
+
+void DynamicBitset::reset(std::size_t i) {
+  CONGOS_ASSERT(i < size_);
+  words_[i / 64] &= ~(1ull << (i % 64));
+}
+
+void DynamicBitset::assign(std::size_t i, bool v) { v ? set(i) : reset(i); }
+
+bool DynamicBitset::test(std::size_t i) const {
+  CONGOS_ASSERT(i < size_);
+  return (words_[i / 64] >> (i % 64)) & 1u;
+}
+
+void DynamicBitset::set_all() {
+  for (auto& w : words_) w = ~0ull;
+  if (size_ % 64 != 0 && !words_.empty()) words_.back() = (1ull << (size_ % 64)) - 1;
+}
+
+void DynamicBitset::reset_all() {
+  for (auto& w : words_) w = 0;
+}
+
+std::size_t DynamicBitset::count() const {
+  std::size_t c = 0;
+  for (auto w : words_) c += static_cast<std::size_t>(__builtin_popcountll(w));
+  return c;
+}
+
+bool DynamicBitset::any() const {
+  for (auto w : words_)
+    if (w != 0) return true;
+  return false;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& o) {
+  check_compatible(o);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& o) {
+  check_compatible(o);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator-=(const DynamicBitset& o) {
+  check_compatible(o);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+  return *this;
+}
+
+bool DynamicBitset::contains_all(const DynamicBitset& o) const {
+  check_compatible(o);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((o.words_[i] & ~words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool DynamicBitset::intersects(const DynamicBitset& o) const {
+  check_compatible(o);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & o.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+std::vector<std::uint32_t> DynamicBitset::to_vector() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(count());
+  for_each([&](std::uint32_t i) { out.push_back(i); });
+  return out;
+}
+
+std::size_t DynamicBitset::find_first() const {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0)
+      return w * 64 + static_cast<std::size_t>(__builtin_ctzll(words_[w]));
+  }
+  return size_;
+}
+
+std::size_t DynamicBitset::find_next(std::size_t i) const {
+  ++i;
+  if (i >= size_) return size_;
+  std::size_t w = i / 64;
+  std::uint64_t bits = words_[w] & (~0ull << (i % 64));
+  while (true) {
+    if (bits != 0) return w * 64 + static_cast<std::size_t>(__builtin_ctzll(bits));
+    if (++w >= words_.size()) return size_;
+    bits = words_[w];
+  }
+}
+
+DynamicBitset DynamicBitset::from_indices(std::size_t n,
+                                          const std::vector<std::uint32_t>& idx) {
+  DynamicBitset b(n);
+  for (auto i : idx) b.set(i);
+  return b;
+}
+
+}  // namespace congos

@@ -1,0 +1,89 @@
+// DynamicBitset: a compact set over a dense id universe [0, n).
+//
+// Used throughout for destination sets, group membership, hit sets and
+// knowledge tracking. Unlike std::vector<bool> it exposes word-level
+// operations (union/intersection/superset tests) which the auditors rely on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace congos {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t n, bool value = false);
+
+  std::size_t size() const { return size_; }
+  bool empty_universe() const { return size_ == 0; }
+
+  /// Serialized size in bytes (one bit per universe element).
+  std::size_t byte_size() const { return (size_ + 7) / 8; }
+
+  void set(std::size_t i);
+  void reset(std::size_t i);
+  void assign(std::size_t i, bool v);
+  bool test(std::size_t i) const;
+  bool operator[](std::size_t i) const { return test(i); }
+
+  void set_all();
+  void reset_all();
+
+  /// Number of set bits.
+  std::size_t count() const;
+  bool any() const;
+  bool none() const { return !any(); }
+  bool all() const { return count() == size_; }
+
+  DynamicBitset& operator|=(const DynamicBitset& o);
+  DynamicBitset& operator&=(const DynamicBitset& o);
+  DynamicBitset& operator-=(const DynamicBitset& o);  // set difference
+
+  friend DynamicBitset operator|(DynamicBitset a, const DynamicBitset& b) { return a |= b; }
+  friend DynamicBitset operator&(DynamicBitset a, const DynamicBitset& b) { return a &= b; }
+  friend DynamicBitset operator-(DynamicBitset a, const DynamicBitset& b) { return a -= b; }
+
+  friend bool operator==(const DynamicBitset&, const DynamicBitset&) = default;
+
+  /// True iff every bit of `o` is also set in *this.
+  bool contains_all(const DynamicBitset& o) const;
+  /// True iff *this and `o` share at least one set bit.
+  bool intersects(const DynamicBitset& o) const;
+
+  /// Indices of set bits in increasing order.
+  std::vector<std::uint32_t> to_vector() const;
+
+  /// First set bit index, or size() when none.
+  std::size_t find_first() const;
+  /// Next set bit strictly after `i`, or size() when none.
+  std::size_t find_next(std::size_t i) const;
+
+  /// Iterate set bits without materializing a vector.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        fn(static_cast<std::uint32_t>(w * 64 + static_cast<std::size_t>(b)));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  static DynamicBitset from_indices(std::size_t n, const std::vector<std::uint32_t>& idx);
+  static DynamicBitset full(std::size_t n) { return DynamicBitset(n, true); }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+
+  void check_compatible(const DynamicBitset& o) const {
+    CONGOS_ASSERT_MSG(size_ == o.size_, "bitset universe mismatch");
+  }
+};
+
+}  // namespace congos

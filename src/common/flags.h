@@ -1,0 +1,37 @@
+// Minimal command-line flag parsing for the CLI tools.
+//
+// Supported forms: --key=value, --key value, --switch (boolean true),
+// plus bare positional arguments. No registration step: callers query by
+// name with a default, and can list unknown keys to reject typos.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace congos {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  /// --flag and --flag=true/1/yes are true; --flag=false/0/no is false.
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Keys present on the command line but not in `known` (typo detection).
+  std::vector<std::string> unknown_keys(const std::vector<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace congos

@@ -1,0 +1,53 @@
+#include "common/math.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace congos {
+
+int ilog2_floor(std::uint64_t x) {
+  CONGOS_ASSERT(x > 0);
+  return 63 - __builtin_clzll(x);
+}
+
+int ilog2_ceil(std::uint64_t x) {
+  CONGOS_ASSERT(x > 0);
+  const int f = ilog2_floor(x);
+  return (x == (1ull << f)) ? f : f + 1;
+}
+
+std::uint64_t floor_pow2(std::uint64_t x) {
+  CONGOS_ASSERT(x > 0);
+  return 1ull << ilog2_floor(x);
+}
+
+bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  CONGOS_ASSERT(b > 0);
+  return (a + b - 1) / b;
+}
+
+std::uint64_t pow_real_ceil(std::uint64_t n, double exponent, std::uint64_t cap) {
+  CONGOS_ASSERT(exponent >= 0.0);
+  if (n == 0) return 0;
+  const double v = std::pow(static_cast<double>(n), exponent);
+  if (!(v < static_cast<double>(cap))) return cap;
+  return static_cast<std::uint64_t>(std::ceil(v));
+}
+
+double log_factor(std::uint64_t n) {
+  if (n < 3) return 1.0;
+  return std::log(static_cast<double>(n));
+}
+
+std::uint64_t isqrt(std::uint64_t x) {
+  if (x == 0) return 0;
+  auto r = static_cast<std::uint64_t>(std::sqrt(static_cast<double>(x)));
+  while (r > 0 && r * r > x) --r;
+  while ((r + 1) * (r + 1) <= x) ++r;
+  return r;
+}
+
+}  // namespace congos

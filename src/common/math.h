@@ -1,0 +1,34 @@
+// Small integer/float helpers shared across subsystems, in particular the
+// paper's fan-out formulas (powers n^{1 + 48/sqrt(dline)} and friends).
+#pragma once
+
+#include <cstdint>
+
+namespace congos {
+
+/// floor(log2(x)); x must be > 0.
+int ilog2_floor(std::uint64_t x);
+
+/// ceil(log2(x)); x must be > 0.
+int ilog2_ceil(std::uint64_t x);
+
+/// Largest power of two <= x; x must be > 0.
+std::uint64_t floor_pow2(std::uint64_t x);
+
+bool is_pow2(std::uint64_t x);
+
+/// ceil(a / b) for positive integers.
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b);
+
+/// n^e for real exponent e >= 0, rounded up, saturating at `cap`.
+/// This evaluates the paper's n^{48/sqrt(dline)}-style factors.
+std::uint64_t pow_real_ceil(std::uint64_t n, double exponent, std::uint64_t cap);
+
+/// Natural log of n, floored at 1.0 so it can be used as a multiplicative
+/// "log n" factor even for tiny n.
+double log_factor(std::uint64_t n);
+
+/// Integer square root: floor(sqrt(x)).
+std::uint64_t isqrt(std::uint64_t x);
+
+}  // namespace congos

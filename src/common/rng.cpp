@@ -1,0 +1,117 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace congos {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  CONGOS_ASSERT(bound > 0);
+  // Lemire's method with rejection to remove modulo bias.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  CONGOS_ASSERT(lo <= hi);
+  return lo + static_cast<std::int64_t>(
+                  next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double Rng::uniform01() {
+  // 53 random bits into the mantissa.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+unsigned Rng::poisson(double lambda) {
+  if (lambda <= 0.0) return 0;
+  const double limit = std::exp(-lambda);
+  unsigned k = 0;
+  double prod = uniform01();
+  while (prod > limit) {
+    ++k;
+    prod *= uniform01();
+  }
+  return k;
+}
+
+std::vector<std::uint32_t> Rng::sample_without_replacement(std::uint32_t n,
+                                                           std::uint32_t k) {
+  CONGOS_ASSERT(k <= n);
+  // Floyd's algorithm: expected O(k), no O(n) allocation.
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  for (std::uint32_t j = n - k; j < n; ++j) {
+    auto t = static_cast<std::uint32_t>(next_below(j + 1));
+    bool present = false;
+    for (auto v : out) {
+      if (v == t) {
+        present = true;
+        break;
+      }
+    }
+    out.push_back(present ? j : t);
+  }
+  return out;
+}
+
+Rng Rng::fork() { return Rng(next()); }
+
+void Rng::fill_bytes(std::uint8_t* out, std::size_t len) {
+  std::size_t i = 0;
+  while (i + 8 <= len) {
+    const std::uint64_t v = next();
+    for (int b = 0; b < 8; ++b) out[i + static_cast<std::size_t>(b)] =
+        static_cast<std::uint8_t>(v >> (8 * b));
+    i += 8;
+  }
+  if (i < len) {
+    const std::uint64_t v = next();
+    for (int b = 0; i < len; ++i, ++b) out[i] = static_cast<std::uint8_t>(v >> (8 * b));
+  }
+}
+
+}  // namespace congos

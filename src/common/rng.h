@@ -1,0 +1,68 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library flows through Rng instances seeded from a
+// single experiment seed, so that a (seed, configuration) pair fully
+// determines an execution. This is what makes the adaptive-adversary tests
+// reproducible.
+//
+// The generator is xoshiro256**; seeding uses splitmix64 as recommended by
+// its authors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace congos {
+
+/// splitmix64 step; used for seeding and for deriving child seeds.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// UniformRandomBitGenerator interface (usable with <random> and
+  /// std::shuffle).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  /// Uses Lemire's nearly-divisionless method.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Geometric-ish: number of arrivals of a Poisson(lambda) in one step,
+  /// via Knuth's method (lambda expected to be small).
+  unsigned poisson(double lambda);
+
+  /// k distinct values uniformly drawn from [0, n) without replacement.
+  /// Requires k <= n. O(k) expected time (Floyd's algorithm).
+  std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n, std::uint32_t k);
+
+  /// Derive an independent child generator; successive calls give distinct
+  /// streams. Deterministic given the parent state.
+  Rng fork();
+
+  /// Fill a byte buffer with uniform random bytes.
+  void fill_bytes(std::uint8_t* out, std::size_t len);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace congos

@@ -1,0 +1,19 @@
+// String formatting helpers for human-readable experiment output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace congos {
+
+/// "1, 2, 3" style join.
+std::string join(const std::vector<std::uint32_t>& v, const std::string& sep = ", ");
+
+/// Fixed-precision double -> string without trailing noise ("12.34").
+std::string fmt_double(double v, int precision = 2);
+
+/// Thousands-separated integer ("1,234,567").
+std::string fmt_count(std::uint64_t v);
+
+}  // namespace congos

@@ -1,0 +1,62 @@
+// Fundamental identifier and time types shared by every subsystem.
+//
+// The paper (Section 2) models a system of `n` synchronous processes with
+// unique ids from [n] = {1, ..., n}; we use 0-based ids internally and render
+// them 1-based only when printing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace congos {
+
+/// Identifier of a process; dense in [0, n).
+using ProcessId = std::uint32_t;
+
+/// Globally numbered synchronous round (the paper assumes a global clock).
+using Round = std::int64_t;
+
+/// Index of a partition (the paper uses log n bit-partitions, or
+/// c*tau*log n random partitions under collusion).
+using PartitionIndex = std::uint32_t;
+
+/// Index of a group inside a partition (2 groups without collusion,
+/// tau+1 groups with collusion tolerance tau).
+using GroupIndex = std::uint32_t;
+
+/// Globally unique rumor identifier: (source process, per-source sequence).
+/// The sequence number doubles as the `counter` the paper appends to rumor
+/// fragments so delivery confirmations can reference a rumor without
+/// revealing its contents.
+struct RumorUid {
+  ProcessId source = 0;
+  std::uint64_t seq = 0;
+
+  friend bool operator==(const RumorUid&, const RumorUid&) = default;
+  friend auto operator<=>(const RumorUid&, const RumorUid&) = default;
+};
+
+/// 64-bit packing of a RumorUid, handy as a map key.
+constexpr std::uint64_t pack(RumorUid uid) {
+  return (static_cast<std::uint64_t>(uid.source) << 40) | (uid.seq & ((1ull << 40) - 1));
+}
+
+constexpr ProcessId kNoProcess = std::numeric_limits<ProcessId>::max();
+constexpr Round kNoRound = std::numeric_limits<Round>::min();
+
+}  // namespace congos
+
+template <>
+struct std::hash<congos::RumorUid> {
+  std::size_t operator()(const congos::RumorUid& uid) const noexcept {
+    // splitmix-style finalizer over the packed value
+    std::uint64_t x = congos::pack(uid);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};

@@ -1,0 +1,45 @@
+#include "congos/config.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/math.h"
+
+namespace congos::core {
+
+Round effective_deadline(Round d, const CongosConfig& cfg) {
+  CONGOS_ASSERT(cfg.direct_threshold >= 32);
+  CONGOS_ASSERT(is_pow2(static_cast<std::uint64_t>(cfg.max_effective_deadline)));
+  if (d < cfg.direct_threshold) return 0;
+  const Round capped = std::min(d, cfg.max_effective_deadline);
+  return static_cast<Round>(floor_pow2(static_cast<std::uint64_t>(capped)));
+}
+
+Round block_length(Round dline) {
+  CONGOS_ASSERT(dline >= 32 && is_pow2(static_cast<std::uint64_t>(dline)));
+  return dline / 4;
+}
+
+Round iteration_length(Round dline) {
+  return static_cast<Round>(isqrt(static_cast<std::uint64_t>(dline))) + 2;
+}
+
+Round iterations_per_block(Round dline) {
+  const Round iters = block_length(dline) / iteration_length(dline);
+  CONGOS_ASSERT_MSG(iters >= 1, "deadline class too short for one iteration");
+  return iters;
+}
+
+std::uint64_t service_fanout(std::size_t n, Round dline, std::size_t collaborators,
+                             const CongosConfig& cfg) {
+  const double sqrt_d = std::sqrt(static_cast<double>(dline));
+  const double n_d = static_cast<double>(n);
+  const double collab = static_cast<double>(std::max<std::size_t>(collaborators, 1));
+  const double raw = cfg.fanout_c * std::pow(n_d, cfg.fanout_exponent / sqrt_d) *
+                     log_factor(n) * n_d / collab;
+  if (!(raw < n_d)) return n;
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::ceil(raw)));
+}
+
+}  // namespace congos::core

@@ -1,0 +1,105 @@
+// CONGOS configuration and deadline policy (Section 4.2).
+//
+// The paper fixes several constants (the 48 in n^{1+48/sqrt(dline)}, the
+// Theta(.) factors, the dline > 48 direct-send threshold, the c*log^6 n
+// deadline cap). At simulable scales (n <= 4096) those exact constants would
+// either vanish or saturate, so they are configuration knobs with defaults
+// chosen to keep the asymptotic terms visible; experiments sweep them.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "gossip/continuous_gossip.h"
+
+namespace congos::core {
+
+struct CongosConfig {
+  /// Collusion tolerance tau (Section 6): rumors are split into tau+1
+  /// fragments and partitions have tau+1 groups. tau = 1 is plain CONGOS
+  /// (2 groups, bit partitions).
+  std::uint32_t tau = 1;
+
+  /// Multiplier on the c*tau*log n partition count (tau >= 2 only).
+  double partition_c = 2.0;
+
+  /// The exponent constant "48" in the service fan-out n^{1+E/sqrt(dline)}.
+  /// Paper value 48; default 6 so that the fan-out term is distinguishable
+  /// from n at simulable scales (see DESIGN.md section 5).
+  double fanout_exponent = 6.0;
+
+  /// Theta(.) multiplier in the service fan-outs.
+  double fanout_c = 1.0;
+
+  /// Fan-out of the underlying continuous gossip realization.
+  int gossip_fanout = 3;
+
+  /// Dissemination strategy of the gossip black box: randomized epidemic
+  /// push, or the deterministic expander-graph push that mirrors [13].
+  gossip::GossipStrategy gossip_strategy = gossip::GossipStrategy::kEpidemicPush;
+
+  /// Rumors with deadline strictly below this are sent directly to their
+  /// destination set at injection (the paper does this for dline <= 48).
+  /// Must be >= 32: shorter deadlines cannot fit the 4-block pipeline with
+  /// at least one full iteration per block.
+  Round direct_threshold = 32;
+
+  /// Deadline cap: the paper trims deadlines to c*log^6 n; anything above
+  /// this is truncated. Must be a power of two.
+  Round max_effective_deadline = 1 << 10;
+
+  /// GroupDistribution activation requires being alive for
+  /// gd_alive_factor * dline rounds (paper: 2/3).
+  double gd_alive_factor = 2.0 / 3.0;
+
+  /// Theorem 16's first case sends everything directly once
+  /// tau >= n / log^2 n. That cutoff is asymptotic; at simulable n it
+  /// triggers for tau as small as 2, hiding the pipeline the experiments
+  /// want to measure. Setting this false keeps the fragment pipeline running
+  /// regardless of the cutoff (the partition construction still verifies
+  /// Lemma 13's properties, so correctness is unaffected).
+  bool allow_degenerate = true;
+
+  /// If tau >= n / log^2 n the algorithm degenerates to direct sending
+  /// (Theorem 16's first case); computed per instance.
+
+  /// Deterministic seed for the shared partition family.
+  std::uint64_t partition_seed = 0x5eed0fc04605ULL;
+};
+
+/// Per-process behaviour (Section 7, "Open questions: malicious users").
+///
+/// kLazy models a *freeloading* process: it follows the protocol for its own
+/// rumors and consumes what it receives, but silently refuses to do work for
+/// others - it ignores proxy requests (never caches, never acks) and never
+/// runs GroupDistribution. Lazy processes do not lie; they just don't help.
+/// The paper conjectures the collusion machinery tolerates "some groups
+/// misbehaving and failing to deliver their message fragments" - experiment
+/// E14 measures how much laziness the pipeline absorbs before the
+/// deterministic deadline fallback has to pick up the slack (QoD itself can
+/// never be lost: the fallback is run by the rumor's own source).
+enum class ProcessBehavior : std::uint8_t {
+  kHonest,
+  kLazy,
+};
+
+/// Effective (trimmed) deadline class for a rumor deadline `d`:
+/// min(d, cap) rounded down to a power of two. Returns 0 when the rumor
+/// should be sent directly instead (d below the direct threshold).
+Round effective_deadline(Round d, const CongosConfig& cfg);
+
+/// Block length of a deadline class (dline / 4).
+Round block_length(Round dline);
+
+/// Iteration length inside a block (sqrt(dline) + 2).
+Round iteration_length(Round dline);
+
+/// Number of whole iterations per block (>= 1 for dline >= 32).
+Round iterations_per_block(Round dline);
+
+/// Per-collaborator fan-out: ceil(fanout_c * n^{fanout_exponent/sqrt(dline)}
+/// * ln(n) * n / collaborators), clamped to [1, n].
+std::uint64_t service_fanout(std::size_t n, Round dline, std::size_t collaborators,
+                             const CongosConfig& cfg);
+
+}  // namespace congos::core

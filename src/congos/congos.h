@@ -1,0 +1,25 @@
+// Umbrella header: the full public API of the CONGOS library.
+//
+//   #include "congos/congos.h"
+//
+// brings in the core protocol (CongosProcess + configuration), the simulator
+// substrate it runs on, the CRRI adversary toolkit, the auditors, and the
+// scenario harness. Finer-grained includes remain available for users who
+// want only a subsystem (e.g. just the XOR codec or the partitions).
+#pragma once
+
+#include "adversary/adversary.h"    // IWYU pragma: export
+#include "adversary/patterns.h"     // IWYU pragma: export
+#include "adversary/workload.h"     // IWYU pragma: export
+#include "audit/confidentiality.h"  // IWYU pragma: export
+#include "audit/qod.h"              // IWYU pragma: export
+#include "coding/xor_share.h"       // IWYU pragma: export
+#include "congos/config.h"          // IWYU pragma: export
+#include "congos/congos_process.h"  // IWYU pragma: export
+#include "congos/extensions.h"      // IWYU pragma: export
+#include "gossip/continuous_gossip.h"  // IWYU pragma: export
+#include "harness/scenario.h"       // IWYU pragma: export
+#include "partition/bit_partition.h"     // IWYU pragma: export
+#include "partition/random_partition.h"  // IWYU pragma: export
+#include "sim/engine.h"             // IWYU pragma: export
+#include "sim/trace.h"              // IWYU pragma: export

@@ -1,0 +1,50 @@
+#include "congos/extensions.h"
+
+#include "common/assert.h"
+
+namespace congos::core {
+
+std::vector<sim::Rumor> hide_destination_set(const sim::Rumor& rumor, std::size_t n,
+                                             std::uint64_t first_seq, Rng& rng) {
+  CONGOS_ASSERT(rumor.dest.size() == n);
+  std::vector<sim::Rumor> out;
+  out.reserve(n);
+  for (ProcessId q = 0; q < n; ++q) {
+    sim::Rumor s;
+    s.uid = RumorUid{rumor.uid.source, first_seq + q};
+    s.deadline = rumor.deadline;
+    s.dest = DynamicBitset(n);
+    s.dest.set(q);
+    if (rumor.dest.test(q)) {
+      s.data = rumor.data;
+    } else {
+      // Chaff: indistinguishable from content for everyone but q, who has
+      // no way to know either (it simply is not a destination of rho).
+      s.data.resize(rumor.data.size());
+      rng.fill_bytes(s.data.data(), s.data.size());
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void CoverTraffic::at_round_start(sim::Engine& engine) {
+  const auto n = static_cast<ProcessId>(engine.n());
+  if (seq_.empty()) seq_.resize(n, opt_.seq_base);
+  auto& rng = engine.rng();
+  for (ProcessId p = 0; p < n; ++p) {
+    if (!engine.alive(p) || engine.injected_this_round(p)) continue;
+    if (!rng.chance(opt_.rate)) continue;
+    sim::Rumor decoy;
+    decoy.uid = RumorUid{p, seq_[p]++};
+    decoy.deadline = opt_.deadline;
+    decoy.data.resize(opt_.payload_len);
+    rng.fill_bytes(decoy.data.data(), decoy.data.size());
+    decoy.dest = DynamicBitset(engine.n());
+    decoy.dest.set(rng.next_below(n));
+    engine.inject(p, std::move(decoy));
+    ++decoys_;
+  }
+}
+
+}  // namespace congos::core

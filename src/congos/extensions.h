@@ -1,0 +1,61 @@
+// Metadata-hiding extensions (Section 7, "Discussion").
+//
+// CONGOS keeps rumor *contents* confidential but releases metadata: which
+// processes are destinations, and how many rumors exist. The paper sketches
+// two mitigations, both implemented here:
+//
+//  * Destination-set hiding: when rumor rho is injected at p, the source
+//    creates n singleton rumors, one per process; destinations receive the
+//    real content, everyone else an independent random string of the same
+//    length. Only a destination can tell its rumor from chaff, so observers
+//    learn nothing about rho.D. Message complexity is unchanged per rumor
+//    count, but the rumor count (and hence total data moved) grows by a
+//    factor n/|D|.
+//
+//  * Existence hiding (cover traffic): processes continuously inject fake,
+//    content-free rumors so that observers cannot count real rumors. Modeled
+//    as an adversary component that injects decoys at a configurable rate.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/engine.h"
+#include "sim/rumor.h"
+
+namespace congos::core {
+
+/// Explodes `rumor` into `n` singleton rumors (destination {q} for every
+/// q in [n]): real content for q in rumor.dest, fresh random bytes of the
+/// same length otherwise. Sequence numbers are allocated from `first_seq`
+/// (the caller owns the per-source counter; n consecutive values are used).
+/// The source's own singleton is included when the source is a destination.
+std::vector<sim::Rumor> hide_destination_set(const sim::Rumor& rumor, std::size_t n,
+                                             std::uint64_t first_seq, Rng& rng);
+
+/// Cover-traffic injector: each round, every alive process injects a decoy
+/// rumor with probability `rate`. Decoys carry random data to a random
+/// singleton destination, making the real rumor count unobservable.
+class CoverTraffic final : public sim::Adversary {
+ public:
+  struct Options {
+    double rate = 0.01;     // decoys per process per round
+    Round deadline = 64;
+    std::size_t payload_len = 16;
+    /// Decoy sequence numbers start here to stay clear of workload ranges.
+    std::uint64_t seq_base = 1ull << 32;
+  };
+
+  explicit CoverTraffic(Options opt) : opt_(opt) {}
+
+  void at_round_start(sim::Engine& engine) override;
+
+  std::uint64_t decoys_injected() const { return decoys_; }
+
+ private:
+  Options opt_;
+  std::vector<std::uint64_t> seq_;
+  std::uint64_t decoys_ = 0;
+};
+
+}  // namespace congos::core

@@ -1,0 +1,180 @@
+// Rumor fragments and every CONGOS wire payload type.
+//
+// A fragment is one XOR share of a rumor, bound to a (partition, group):
+// fragment (uid, l, g) is the share that group g of partition l is allowed
+// to hold. Fragment *metadata* (destination set, deadline, identifiers) is
+// not confidential - the paper discusses hiding it in Section 7 - but the
+// payload bytes of any proper subset of a partition's fragments are
+// information-theoretically independent of the rumor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coding/xor_share.h"
+#include "common/bitset.h"
+#include "common/types.h"
+#include "sim/message.h"
+#include "sim/rumor.h"
+
+namespace congos::core {
+
+struct FragmentKey {
+  RumorUid rumor;
+  PartitionIndex partition = 0;
+  GroupIndex group = 0;
+
+  friend bool operator==(const FragmentKey&, const FragmentKey&) = default;
+  friend auto operator<=>(const FragmentKey&, const FragmentKey&) = default;
+};
+
+struct FragmentKeyHash {
+  std::size_t operator()(const FragmentKey& k) const noexcept {
+    std::uint64_t x = pack(k.rumor) ^ (static_cast<std::uint64_t>(k.partition) << 48) ^
+                      (static_cast<std::uint64_t>(k.group) << 40);
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+/// Metadata carried with each fragment (the paper: destination set, deadline
+/// and counter ride along; they reveal nothing about the datum).
+struct FragmentMeta {
+  FragmentKey key;
+  DynamicBitset dest;          // the original rumor's destination set
+  Round expires_at = 0;        // absolute trimmed deadline of the rumor
+  Round dline = 0;             // effective deadline class (power of two)
+  GroupIndex num_groups = 2;   // fragments per partition (tau + 1)
+};
+
+struct Fragment {
+  FragmentMeta meta;
+  coding::Bytes data;
+};
+
+/// Serialized size of a fragment: key (12 + 2 + 2) + destination bitset +
+/// expiry/class (16) + group count (2) + share bytes.
+inline std::size_t wire_size(const Fragment& f) {
+  return 16 + f.meta.dest.byte_size() + 16 + 2 + f.data.size();
+}
+
+// ---------------------------------------------------------------------------
+// Network payloads (Envelope bodies)
+// ---------------------------------------------------------------------------
+
+/// Proxy[l] request: fragments a process asks members of another group to
+/// distribute on its behalf (Fig. 9 round 1). All fragments belong to the
+/// receiver's group - [PROXY:CONFIDENTIAL].
+struct ProxyRequestPayload final : sim::Payload {
+  Round dline = 0;  // deadline class, for routing to the right instance
+  std::vector<Fragment> fragments;
+
+  std::size_t wire_size() const override {
+    std::size_t total = 12;
+    for (const auto& f : fragments) total += core::wire_size(f);
+    return total;
+  }
+};
+
+/// Proxy[l] acknowledgement (Fig. 9 last iteration round).
+struct ProxyAckPayload final : sim::Payload {
+  Round dline = 0;
+
+  std::size_t wire_size() const override { return 8; }
+};
+
+/// GroupDistribution[l] "partials": fragments sent to a process in their
+/// destination set (Fig. 10 round 2). Receiver reassembles via
+/// ConfidentialGossip - [GD:CONFIDENTIAL] guarantees receiver is in every
+/// fragment's destination set.
+struct PartialsPayload final : sim::Payload {
+  Round dline = 0;
+  std::vector<Fragment> fragments;
+
+  std::size_t wire_size() const override {
+    std::size_t total = 12;
+    for (const auto& f : fragments) total += core::wire_size(f);
+    return total;
+  }
+};
+
+/// ConfidentialGossip's direct fallback ("shoot", Fig. 8 line 50): the whole
+/// rumor, sent by the source to a destination when the deadline is about to
+/// expire without a delivery confirmation.
+struct DirectRumorPayload final : sim::Payload {
+  sim::Rumor rumor;
+
+  std::size_t wire_size() const override { return sim::wire_size(rumor); }
+};
+
+// ---------------------------------------------------------------------------
+// Gossip rumor bodies (carried inside gossip::GossipMsg)
+// ---------------------------------------------------------------------------
+
+/// A fragment disseminated inside its own group via GroupGossip[l]
+/// (ConfidentialGossip step 2).
+struct FragmentBody final : sim::Payload {
+  Fragment fragment;
+
+  std::size_t wire_size() const override { return core::wire_size(fragment); }
+};
+
+/// Proxy[l] intra-group share (Fig. 9 round 2): fragments received as a
+/// proxy for this group, the failed-proxies set, and the sender id (which
+/// establishes the collaborator set).
+struct ProxyShareBody final : sim::Payload {
+  Round dline = 0;
+  std::uint64_t block = 0;
+  ProcessId from = kNoProcess;
+  std::vector<Fragment> proxied;          // fragments of the *receiving* group
+  std::vector<ProcessId> failed_proxies;  // per other-group flattened
+
+  std::size_t wire_size() const override {
+    std::size_t total = 20 + 4 * failed_proxies.size();
+    for (const auto& f : proxied) total += core::wire_size(f);
+    return total;
+  }
+};
+
+/// One hitSet entry: fragment of rumor `rumor` was sent to process `target`.
+struct Hit {
+  ProcessId target = kNoProcess;
+  RumorUid rumor;
+
+  friend bool operator==(const Hit&, const Hit&) = default;
+  friend auto operator<=>(const Hit&, const Hit&) = default;
+};
+
+/// GroupDistribution[l] intra-group share (Fig. 10 round 3): hitSet and
+/// sender id (collaborator counting).
+struct HitSetShareBody final : sim::Payload {
+  Round dline = 0;
+  std::uint64_t block = 0;
+  ProcessId from = kNoProcess;
+  std::vector<Hit> hits;
+
+  std::size_t wire_size() const override { return 20 + 16 * hits.size(); }
+};
+
+/// AllGossip distribution report (Fig. 10 line 36): sanitized hitSet - which
+/// (group g of partition l) fragments of which rumor ids were sent to which
+/// processes. Contains identifiers only, never fragment data ([GD:CONFIRM]).
+struct DistributionReportBody final : sim::Payload {
+  ProcessId reporter = kNoProcess;
+  PartitionIndex partition = 0;
+  GroupIndex group = 0;  // reporter's group in `partition`
+  Round dline = 0;
+  std::vector<Hit> hits;
+
+  std::size_t wire_size() const override { return 20 + 16 * hits.size(); }
+};
+
+/// Splits rumor data into `num_groups` fragments for partition `l`.
+/// Fragment g goes to group g. Fresh randomness per partition.
+std::vector<Fragment> split_rumor(const sim::Rumor& rumor, PartitionIndex l,
+                                  GroupIndex num_groups, Round expires_at, Round dline,
+                                  Rng& rng);
+
+}  // namespace congos::core

@@ -1,0 +1,166 @@
+#include "congos/group_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/math.h"
+
+namespace congos::core {
+
+GroupDistributionService::GroupDistributionService(ProcessId self, PartitionIndex l,
+                                                   const partition::Partition* part,
+                                                   Round dline, const CongosConfig* cfg,
+                                                   Rng* rng, Hooks hooks)
+    : self_(self),
+      partition_(l),
+      part_(part),
+      dline_(dline),
+      block_len_(block_length(dline)),
+      iter_len_(iteration_length(dline)),
+      iters_per_block_(iterations_per_block(dline)),
+      cfg_(cfg),
+      rng_(rng),
+      hooks_(std::move(hooks)),
+      my_group_(part->group_of(self)),
+      collaborators_(part->n()) {
+  CONGOS_ASSERT(part_ != nullptr && cfg_ != nullptr && rng_ != nullptr);
+}
+
+void GroupDistributionService::reset(Round /*now*/) {
+  waiting_.clear();
+  partials_.clear();
+  partial_keys_.clear();
+  hitset_.clear();
+  collaborators_.reset_all();
+  status_active_ = false;
+}
+
+void GroupDistributionService::enqueue(Round now, Fragment frag) {
+  CONGOS_ASSERT_MSG(frag.meta.key.group == my_group_,
+                    "GroupDistribution only handles own-group fragments");
+  if (frag.meta.expires_at < now) return;
+  waiting_.push_back(std::move(frag));
+}
+
+void GroupDistributionService::begin_block(Round now) {
+  partials_.clear();
+  partial_keys_.clear();
+  hitset_.clear();
+  status_active_ = false;
+
+  // Activation requires ~2*dline/3 rounds of continuous uptime (Fig. 10),
+  // which guarantees the process witnessed the whole preceding proxy block.
+  const auto needed = static_cast<Round>(
+      std::ceil(cfg_->gd_alive_factor * static_cast<double>(dline_)));
+  if (now - hooks_.alive_since() < needed) return;
+
+  status_active_ = true;
+  for (auto& frag : waiting_) {
+    if (frag.meta.expires_at < now) continue;
+    if (partial_keys_.insert(frag.meta.key).second) {
+      partials_.push_back(std::move(frag));
+    }
+  }
+  waiting_.clear();
+  collaborators_ = part_->members(my_group_);
+}
+
+void GroupDistributionService::distribute(Round now, sim::Sender& out) {
+  if (!status_active_ || partials_.empty()) return;
+  std::erase_if(partials_,
+                [now](const Fragment& f) { return f.meta.expires_at < now; });
+
+  // Destinations still needing at least one of our fragments.
+  std::unordered_map<ProcessId, std::vector<const Fragment*>> needed;
+  for (const auto& frag : partials_) {
+    frag.meta.dest.for_each([&](std::uint32_t q) {
+      if (hitset_.contains(Hit{q, frag.meta.key.rumor})) return;
+      needed[q].push_back(&frag);
+    });
+  }
+  if (needed.empty()) return;
+
+  std::vector<ProcessId> candidates;
+  candidates.reserve(needed.size());
+  for (const auto& [q, _] : needed) candidates.push_back(q);
+  std::sort(candidates.begin(), candidates.end());  // determinism
+
+  const std::uint64_t fanout =
+      service_fanout(part_->n(), dline_, collaborators_.count(), *cfg_);
+  const auto k =
+      static_cast<std::uint32_t>(std::min<std::uint64_t>(fanout, candidates.size()));
+  const auto picks = rng_->sample_without_replacement(
+      static_cast<std::uint32_t>(candidates.size()), k);
+
+  for (auto idx : picks) {
+    const ProcessId target = candidates[idx];
+    auto msg = std::make_shared<PartialsPayload>();
+    msg->dline = dline_;
+    for (const Fragment* f : needed[target]) {
+      CONGOS_ASSERT_MSG(f->meta.dest.test(target),
+                        "[GD:CONFIDENTIAL] target outside destination set");
+      msg->fragments.push_back(*f);
+      hitset_.insert(Hit{target, f->meta.key.rumor});
+    }
+    out.send(sim::Envelope{
+        self_, target, sim::ServiceTag{sim::ServiceKind::kGroupDistribution, partition_},
+        std::move(msg)});
+  }
+}
+
+void GroupDistributionService::inject_share(Round now) {
+  collaborators_.reset_all();
+  if (!status_active_) return;
+  collaborators_.set(self_);
+  auto share = std::make_shared<HitSetShareBody>();
+  share->dline = dline_;
+  share->block = static_cast<std::uint64_t>(now / block_len_);
+  share->from = self_;
+  share->hits.assign(hitset_.begin(), hitset_.end());
+  std::sort(share->hits.begin(), share->hits.end());
+  if (hooks_.gossip_share) {
+    hooks_.gossip_share(now, std::move(share),
+                        now + static_cast<Round>(isqrt(static_cast<std::uint64_t>(dline_))));
+  }
+}
+
+void GroupDistributionService::publish_report(Round now) {
+  if (!status_active_ || hitset_.empty()) return;
+  auto report = std::make_shared<DistributionReportBody>();
+  report->reporter = self_;
+  report->partition = partition_;
+  report->group = my_group_;
+  report->dline = dline_;
+  report->hits.assign(hitset_.begin(), hitset_.end());
+  std::sort(report->hits.begin(), report->hits.end());
+  if (hooks_.all_gossip) {
+    hooks_.all_gossip(now, std::move(report), now + block_len_ - 1);
+  }
+}
+
+void GroupDistributionService::send_phase(Round now, sim::Sender& out) {
+  const Round offset = now % block_len_;
+  if (offset == 1) begin_block(now);  // round 1 waits for late fragments
+
+  if (offset == block_len_ - 1) publish_report(now);
+
+  if (offset == 0) return;
+  const Round rel = offset - 1;  // iterations start at block round 2
+  const Round iter_index = rel / iter_len_;
+  if (iter_index >= iters_per_block_) return;
+  const Round io = rel % iter_len_;
+
+  if (io == 1) {
+    distribute(now, out);
+  } else if (io == 2) {
+    inject_share(now);
+  }
+}
+
+void GroupDistributionService::on_share(Round /*now*/, const HitSetShareBody& share) {
+  collaborators_.set(share.from);
+  for (const auto& h : share.hits) hitset_.insert(h);
+}
+
+}  // namespace congos::core

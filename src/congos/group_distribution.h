@@ -1,0 +1,99 @@
+// GroupDistribution[l] service (Section 4.5, Fig. 4/10).
+//
+// Distributes the fragments a group holds to the rumors' destination sets.
+// Each iteration, every active collaborator samples destination processes
+// that have not yet been "hit" and sends each one exactly the fragments whose
+// destination set contains it ([GD:CONFIDENTIAL]). The group shares hitSets
+// via GroupGossip[l], so collaborators do not duplicate work, and counts its
+// active members to size the fan-out. At the end of each block, the sanitized
+// hitSet (identifiers only, no fragment data) is published via AllGossip so
+// sources can confirm delivery ([GD:CONFIRM]) and suppress their fallback.
+//
+// Note on targeting: the outline samples targets from the opposite group,
+// but Lemma 9's proof measures progress over all of [n] \ hitProcs, and
+// confirmation (Fig. 8 lines 41-46) needs hitSet coverage of *every*
+// destination, including destinations in the sender's own group. We
+// therefore target any not-yet-hit destination in [n]; this only ever sends
+// fragments to processes in their destination set, so [GD:CONFIDENTIAL] is
+// unaffected. (See DESIGN.md section 6.)
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "congos/config.h"
+#include "congos/fragment.h"
+#include "partition/partition.h"
+#include "sim/process.h"
+
+namespace congos::core {
+
+struct HitHash {
+  std::size_t operator()(const Hit& h) const noexcept {
+    std::uint64_t x = pack(h.rumor) ^ (static_cast<std::uint64_t>(h.target) << 37);
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+class GroupDistributionService {
+ public:
+  struct Hooks {
+    /// Inject a metadata rumor into GroupGossip[l] (dest = own group).
+    std::function<void(Round now, sim::PayloadPtr body, Round deadline_at)> gossip_share;
+    /// Inject the sanitized report into AllGossip (dest = [n]).
+    std::function<void(Round now, sim::PayloadPtr body, Round deadline_at)> all_gossip;
+    /// Rounds this process has been continuously alive (from the host).
+    std::function<Round()> alive_since;
+  };
+
+  GroupDistributionService(ProcessId self, PartitionIndex l,
+                           const partition::Partition* part, Round dline,
+                           const CongosConfig* cfg, Rng* rng, Hooks hooks);
+
+  void reset(Round now);
+
+  /// ConfidentialGossip routes own-group fragments here (waiting-partials).
+  void enqueue(Round now, Fragment frag);
+
+  void send_phase(Round now, sim::Sender& out);
+
+  /// Intra-group hitSet share delivered by GroupGossip[l].
+  void on_share(Round now, const HitSetShareBody& share);
+
+  bool active() const { return status_active_; }
+  Round dline() const { return dline_; }
+  std::size_t hitset_size() const { return hitset_.size(); }
+
+ private:
+  ProcessId self_;
+  PartitionIndex partition_;
+  const partition::Partition* part_;
+  Round dline_;
+  Round block_len_;
+  Round iter_len_;
+  Round iters_per_block_;
+  const CongosConfig* cfg_;
+  Rng* rng_;
+  Hooks hooks_;
+  GroupIndex my_group_;
+
+  std::vector<Fragment> waiting_;   // enqueued, not yet collected
+  std::vector<Fragment> partials_;  // this block's fragments to distribute
+  std::unordered_set<FragmentKey, FragmentKeyHash> partial_keys_;
+  std::unordered_set<Hit, HitHash> hitset_;
+  DynamicBitset collaborators_;
+  bool status_active_ = false;
+
+  void begin_block(Round now);
+  void distribute(Round now, sim::Sender& out);
+  void inject_share(Round now);
+  void publish_report(Round now);
+};
+
+}  // namespace congos::core

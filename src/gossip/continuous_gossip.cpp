@@ -1,0 +1,256 @@
+#include "gossip/continuous_gossip.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/math.h"
+
+namespace congos::gossip {
+
+std::vector<ProcessId> expander_neighbors(ProcessId self, const DynamicBitset& universe,
+                                          int degree, std::uint64_t seed) {
+  CONGOS_ASSERT(universe.test(self));
+  const auto members = universe.to_vector();
+  const std::size_t m = members.size();
+  if (m <= 1) return {};
+
+  // Rank of self within the (sorted) member list.
+  std::size_t rank = 0;
+  while (members[rank] != self) ++rank;
+
+  const auto want = static_cast<std::size_t>(
+      std::min<std::size_t>(static_cast<std::size_t>(degree), m - 1));
+  // Distinct non-zero skips from a seeded splitmix stream; skip 1 first so
+  // the ring is always included (guaranteed strong connectivity).
+  std::vector<std::size_t> skips;
+  skips.push_back(1);
+  std::uint64_t state = seed ^ (static_cast<std::uint64_t>(m) << 32);
+  while (skips.size() < want) {
+    const auto s = 1 + static_cast<std::size_t>(splitmix64(state) % (m - 1));
+    bool dup = false;
+    for (auto existing : skips) dup = dup || existing == s;
+    if (!dup) skips.push_back(s);
+  }
+  std::vector<ProcessId> out;
+  out.reserve(skips.size());
+  for (auto s : skips) out.push_back(members[(rank + s) % m]);
+  return out;
+}
+
+ContinuousGossipService::ContinuousGossipService(ProcessId self, GossipConfig cfg,
+                                                 Rng* rng, DeliverFn deliver)
+    : self_(self),
+      cfg_(std::move(cfg)),
+      rng_(rng),
+      deliver_(std::move(deliver)),
+      filter_(cfg_.universe) {
+  CONGOS_ASSERT(rng_ != nullptr);
+  CONGOS_ASSERT_MSG(cfg_.universe.test(self_), "host must belong to its universe");
+  CONGOS_ASSERT(cfg_.fanout >= 1);
+  cfg_.universe.for_each([&](std::uint32_t p) {
+    if (p != self_) peers_.push_back(p);
+  });
+  if (cfg_.strategy == GossipStrategy::kExpander) {
+    // Degree at least log2(m): random circulants of logarithmic degree have
+    // logarithmic diameter, the polylog round budget [13] works within.
+    const auto m = peers_.size() + 1;
+    const int degree =
+        std::max(cfg_.fanout, m >= 2 ? ilog2_ceil(static_cast<std::uint64_t>(m)) : 1);
+    neighbors_ = expander_neighbors(self_, cfg_.universe, degree, cfg_.graph_seed);
+  }
+}
+
+void ContinuousGossipService::reset(Round now) {
+  known_.clear();
+  pending_acks_.clear();
+  pending_pulls_.clear();
+  epoch_start_ = now;
+  counter_ = 0;
+}
+
+std::uint64_t ContinuousGossipService::next_gid(Round now) {
+  // Unique across restarts: the epoch (restart round) is part of the id, and
+  // a process restarts at most once per round.
+  CONGOS_ASSERT_MSG(counter_ < (1ull << 21), "too many gossip rumors in one epoch");
+  CONGOS_ASSERT_MSG(now >= 0 && static_cast<std::uint64_t>(now) < (1ull << 19),
+                    "round number exceeds gid packing range");
+  (void)now;
+  return (static_cast<std::uint64_t>(self_) << 40) |
+         (static_cast<std::uint64_t>(epoch_start_ + 1) << 21) | counter_++;
+}
+
+std::uint64_t ContinuousGossipService::inject(Round now, sim::PayloadPtr body,
+                                              DynamicBitset dest, Round deadline_at) {
+  CONGOS_ASSERT_MSG(deadline_at >= now, "injected rumor already expired");
+  CONGOS_ASSERT_MSG(dest.size() == cfg_.universe.size(), "dest universe mismatch");
+  CONGOS_ASSERT_MSG(cfg_.universe.contains_all(dest),
+                    "gossip destinations must lie within the service universe");
+  GossipRumor r;
+  r.gid = next_gid(now);
+  r.origin = self_;
+  r.deadline_at = deadline_at;
+  r.dest = std::move(dest);
+  r.body = std::move(body);
+  accept(now, r);
+  return r.gid;
+}
+
+void ContinuousGossipService::accept(Round now, const GossipRumor& r) {
+  if (r.deadline_at < now) return;  // expired in flight
+  auto [it, inserted] = known_.try_emplace(r.gid);
+  if (!inserted) return;  // already known
+  Tracked& t = it->second;
+  t.rumor = r;
+  if (cfg_.guaranteed && r.origin == self_) {
+    t.acked = DynamicBitset(cfg_.universe.size());
+  }
+  if (r.dest.test(self_) && !t.delivered_locally) {
+    t.delivered_locally = true;
+    if (deliver_) deliver_(now, t.rumor);
+    if (cfg_.guaranteed && r.origin != self_) {
+      pending_acks_[r.origin].push_back(r.gid);
+    }
+  }
+}
+
+void ContinuousGossipService::purge_expired(Round now) {
+  for (auto it = known_.begin(); it != known_.end();) {
+    if (it->second.rumor.deadline_at < now) {
+      it = known_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ContinuousGossipService::send_phase(Round now, sim::Sender& out) {
+  purge_expired(now);
+
+  // Guaranteed mode: flush receipt acks accumulated since the last round.
+  if (cfg_.guaranteed && !pending_acks_.empty()) {
+    // Deterministic emission order.
+    std::vector<ProcessId> origins;
+    origins.reserve(pending_acks_.size());
+    for (const auto& [origin, _] : pending_acks_) origins.push_back(origin);
+    std::sort(origins.begin(), origins.end());
+    for (ProcessId origin : origins) {
+      if (!filter_.allows(origin)) continue;
+      auto ack = std::make_shared<GossipAck>();
+      ack->gids = pending_acks_[origin];
+      out.send(sim::Envelope{self_, origin, cfg_.tag, std::move(ack)});
+    }
+    pending_acks_.clear();
+  }
+
+  // Push-pull: answer last round's pull requests with our active rumors,
+  // and issue one pull request to a random peer. Pulls are issued even when
+  // we hold nothing - that is what lets late joiners and restarted processes
+  // catch up without waiting to be pushed at.
+  if (cfg_.strategy == GossipStrategy::kPushPull && !peers_.empty()) {
+    if (!known_.empty() && !pending_pulls_.empty()) {
+      auto reply = std::make_shared<GossipMsg>();
+      std::vector<std::uint64_t> reply_gids;
+      for (const auto& [gid, _] : known_) reply_gids.push_back(gid);
+      std::sort(reply_gids.begin(), reply_gids.end());
+      for (auto gid : reply_gids) reply->rumors.push_back(known_[gid].rumor);
+      std::sort(pending_pulls_.begin(), pending_pulls_.end());
+      pending_pulls_.erase(
+          std::unique(pending_pulls_.begin(), pending_pulls_.end()),
+          pending_pulls_.end());
+      for (ProcessId requester : pending_pulls_) {
+        if (!filter_.allows(requester)) continue;
+        out.send(sim::Envelope{self_, requester, cfg_.tag, reply});
+      }
+    }
+    pending_pulls_.clear();
+    const ProcessId target = peers_[rng_->next_below(peers_.size())];
+    if (filter_.allows(target)) {
+      out.send(sim::Envelope{self_, target, cfg_.tag,
+                             std::make_shared<GossipPull>()});
+    }
+  }
+
+  if (known_.empty() || peers_.empty()) return;
+
+  // Epidemic push: all active rumors to `fanout` random universe peers.
+  auto batch = std::make_shared<GossipMsg>();
+  batch->rumors.reserve(known_.size());
+  // Deterministic order for reproducibility.
+  std::vector<std::uint64_t> gids;
+  gids.reserve(known_.size());
+  for (const auto& [gid, _] : known_) gids.push_back(gid);
+  std::sort(gids.begin(), gids.end());
+  for (auto gid : gids) batch->rumors.push_back(known_[gid].rumor);
+
+  if (cfg_.strategy == GossipStrategy::kExpander) {
+    // Deterministic push along the expander out-edges.
+    for (ProcessId target : neighbors_) {
+      if (!filter_.allows(target)) continue;
+      out.send(sim::Envelope{self_, target, cfg_.tag, batch});
+    }
+  } else {
+    // kEpidemicPush and the push half of kPushPull.
+    const auto k = static_cast<std::uint32_t>(
+        std::min<std::size_t>(static_cast<std::size_t>(cfg_.fanout), peers_.size()));
+    const auto picks =
+        rng_->sample_without_replacement(static_cast<std::uint32_t>(peers_.size()), k);
+    for (auto idx : picks) {
+      const ProcessId target = peers_[idx];
+      if (!filter_.allows(target)) continue;
+      out.send(sim::Envelope{self_, target, cfg_.tag, batch});
+    }
+  }
+
+  // Guaranteed mode: origin fallback in the round before each deadline.
+  if (cfg_.guaranteed) {
+    for (auto gid : gids) {
+      Tracked& t = known_[gid];
+      if (t.rumor.origin != self_ || t.fallback_sent) continue;
+      if (now < t.rumor.deadline_at - 1) continue;
+      t.fallback_sent = true;
+      auto single = std::make_shared<GossipMsg>();
+      single->rumors.push_back(t.rumor);
+      t.rumor.dest.for_each([&](std::uint32_t q) {
+        if (q == self_ || t.acked.test(q)) return;
+        if (!filter_.allows(q)) return;
+        out.send(sim::Envelope{self_, static_cast<ProcessId>(q), cfg_.tag, single});
+      });
+    }
+  }
+}
+
+void ContinuousGossipService::on_envelope(Round now, const sim::Envelope& e) {
+  CONGOS_ASSERT(e.to == self_);
+  CONGOS_ASSERT(e.tag == cfg_.tag);
+  if (const auto* msg = dynamic_cast<const GossipMsg*>(e.body.get())) {
+    for (const auto& r : msg->rumors) accept(now, r);
+    return;
+  }
+  if (dynamic_cast<const GossipPull*>(e.body.get()) != nullptr) {
+    CONGOS_ASSERT_MSG(cfg_.strategy == GossipStrategy::kPushPull,
+                      "pull request under a non-pull strategy");
+    pending_pulls_.push_back(e.from);
+    return;
+  }
+  if (const auto* ack = dynamic_cast<const GossipAck*>(e.body.get())) {
+    for (auto gid : ack->gids) {
+      auto it = known_.find(gid);
+      if (it != known_.end() && it->second.rumor.origin == self_ &&
+          it->second.acked.size() != 0) {
+        it->second.acked.set(e.from);
+      }
+    }
+    return;
+  }
+  CONGOS_ASSERT_MSG(false, "unknown payload type on gossip service tag");
+}
+
+std::size_t ContinuousGossipService::known_active(Round now) const {
+  std::size_t c = 0;
+  for (const auto& [_, t] : known_) {
+    if (t.rumor.deadline_at >= now) ++c;
+  }
+  return c;
+}
+
+}  // namespace congos::gossip

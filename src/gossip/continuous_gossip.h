@@ -1,0 +1,176 @@
+// Continuous gossip service: our realization of the black box the paper
+// imports from [13] (Georgiou, Gilbert, Kowalski, "Meeting the Deadline",
+// PODC'10 / Dist. Comp. 2011).
+//
+// Interface contract used by CONGOS (Section 4.2):
+//   * rumors are injected at any time with an absolute deadline and a
+//     destination set within a fixed universe (the group, for GroupGossip[l],
+//     or [n] for AllGossip);
+//   * an admissible rumor (source continuously alive) reaches every
+//     continuously-alive destination by its deadline;
+//   * per-round message complexity stays bounded.
+//
+// Realization (documented as a substitution in DESIGN.md section 2): an
+// epidemic push protocol - every process holding active rumors forwards all
+// of them to `fanout` uniformly random universe members per round. Two
+// delivery modes:
+//   * best-effort (default): delivery is w.h.p. within O(log |U|) rounds;
+//     CONGOS layers its own confirmation + direct-send fallback on top, so
+//     end-to-end QoD stays deterministic (exactly the paper's structure).
+//   * guaranteed: destinations ack the origin on first receipt and the origin
+//     direct-sends to unacked destinations in the round before the deadline,
+//     making delivery deterministic for admissible rumors. Used by baselines
+//     that have no outer fallback.
+//
+// All traffic passes a Filter pinned to the universe; in a correct build the
+// filter never fires (tests assert this).
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "gossip/filter.h"
+#include "sim/message.h"
+#include "sim/process.h"
+
+namespace congos::gossip {
+
+/// A rumor as carried by the gossip service. `body` is opaque to the service
+/// (fragments, metadata records, ...).
+struct GossipRumor {
+  std::uint64_t gid = 0;  // unique within a service instance
+  ProcessId origin = kNoProcess;
+  Round deadline_at = 0;  // absolute round
+  DynamicBitset dest;     // subset of the universe
+  sim::PayloadPtr body;
+};
+
+/// Serialized size of one gossip rumor record: gid (8) + origin (4) +
+/// deadline (8) + destination bitset + opaque body.
+inline std::size_t wire_size(const GossipRumor& r) {
+  return 8 + 4 + 8 + r.dest.byte_size() + (r.body ? r.body->wire_size() : 0);
+}
+
+/// Wire payload: a batch of rumors pushed to one peer.
+struct GossipMsg final : sim::Payload {
+  std::vector<GossipRumor> rumors;
+
+  std::size_t wire_size() const override {
+    std::size_t total = 4;  // count
+    for (const auto& r : rumors) total += gossip::wire_size(r);
+    return total;
+  }
+};
+
+/// Wire payload: receipt acknowledgements (guaranteed mode only).
+struct GossipAck final : sim::Payload {
+  std::vector<std::uint64_t> gids;
+
+  std::size_t wire_size() const override { return 4 + 8 * gids.size(); }
+};
+
+/// Dissemination strategy.
+///
+/// * kEpidemicPush - classic randomized gossip: `fanout` uniform targets per
+///   round. Matches the randomized protocols the paper cites [19-21].
+/// * kExpander - deterministic: a circulant expander graph over the universe
+///   (skip offsets derived from a shared seed, degree max(fanout, log2 m));
+///   active processes push to all their neighbors every round. This mirrors
+///   [13]'s derandomization, which "replaces random choices with carefully
+///   chosen expander graphs", and makes the per-round message count of the
+///   black box deterministic.
+/// * kPushPull - randomized push-pull a la Karp et al. [19]: alongside the
+///   pushes, every universe member (even one holding nothing) sends one pull
+///   request to a random peer each round; peers answer with their active
+///   rumors. Pull closes the "last stragglers" tail that pure push pays
+///   Theta(log n) extra rounds for, at the cost of a steady request load.
+enum class GossipStrategy : std::uint8_t { kEpidemicPush, kExpander, kPushPull };
+
+/// Wire payload: a pull request (kPushPull); the receiver responds next
+/// round with its active rumors.
+struct GossipPull final : sim::Payload {
+  std::size_t wire_size() const override { return 4; }
+};
+
+struct GossipConfig {
+  sim::ServiceTag tag;      // kGroupGossip/partition or kAllGossip
+  DynamicBitset universe;   // membership filter; must include the host
+  int fanout = 3;           // push targets per round while active
+  bool guaranteed = false;  // ack + origin fallback mode
+  GossipStrategy strategy = GossipStrategy::kEpidemicPush;
+  /// Seed for the deterministic expander graph; must be identical at every
+  /// member of the universe (it is common knowledge, like the partitions).
+  std::uint64_t graph_seed = 0xeca17e5eedULL;
+};
+
+/// Deterministic circulant out-neighbors of `self` within `universe`:
+/// the member at rank i points at ranks (i + skip_k) mod m for `degree`
+/// distinct skips derived from `seed`. Every member computes the same graph
+/// locally. Exposed for tests (connectivity/diameter properties).
+std::vector<ProcessId> expander_neighbors(ProcessId self, const DynamicBitset& universe,
+                                          int degree, std::uint64_t seed);
+
+class ContinuousGossipService {
+ public:
+  using DeliverFn = std::function<void(Round, const GossipRumor&)>;
+
+  /// `rng` must outlive the service (typically the host process's rng).
+  ContinuousGossipService(ProcessId self, GossipConfig cfg, Rng* rng, DeliverFn deliver);
+
+  /// Crash-restart: drop all state (no durable storage). `now` is read from
+  /// the global clock.
+  void reset(Round now);
+
+  /// Inject a rumor originated at this process. Returns its gid.
+  /// `deadline_at` is absolute and must be >= now.
+  std::uint64_t inject(Round now, sim::PayloadPtr body, DynamicBitset dest,
+                       Round deadline_at);
+
+  /// Host's send phase hook.
+  void send_phase(Round now, sim::Sender& out);
+
+  /// Host routes envelopes whose tag matches cfg.tag here.
+  void on_envelope(Round now, const sim::Envelope& e);
+
+  // -- introspection --------------------------------------------------------
+
+  std::size_t known_active(Round now) const;
+  std::uint64_t filter_drops() const { return filter_.drops(); }
+  const sim::ServiceTag& tag() const { return cfg_.tag; }
+  const DynamicBitset& universe() const { return cfg_.universe; }
+
+ private:
+  struct Tracked {
+    GossipRumor rumor;
+    bool delivered_locally = false;
+    // guaranteed mode, origin side:
+    DynamicBitset acked;
+    bool fallback_sent = false;
+  };
+
+  ProcessId self_;
+  GossipConfig cfg_;
+  Rng* rng_;
+  DeliverFn deliver_;
+  Filter filter_;
+
+  std::vector<ProcessId> peers_;      // universe minus self, for sampling
+  std::vector<ProcessId> neighbors_;  // expander out-neighbors (kExpander)
+  std::unordered_map<std::uint64_t, Tracked> known_;
+  // acks to emit next send phase: origin -> gids (guaranteed mode)
+  std::unordered_map<ProcessId, std::vector<std::uint64_t>> pending_acks_;
+  // pull requests to answer next send phase (kPushPull)
+  std::vector<ProcessId> pending_pulls_;
+  Round epoch_start_ = 0;
+  std::uint64_t counter_ = 0;
+
+  std::uint64_t next_gid(Round now);
+  void accept(Round now, const GossipRumor& r);
+  void purge_expired(Round now);
+};
+
+}  // namespace congos::gossip

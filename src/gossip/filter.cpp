@@ -1,0 +1,3 @@
+#include "gossip/filter.h"
+
+// Header-only today; the translation unit anchors the library target.

@@ -1,0 +1,40 @@
+// Filter[l] (Section 4.2, Fig. 11).
+//
+// Every message emitted by GroupGossip[l] at a process p is filtered before
+// reaching the Network: messages to processes outside p's group in partition
+// l are dropped. From GroupGossip's perspective the filtered processes are
+// simply failed (the continuous gossip service tolerates arbitrary failures).
+//
+// Our gossip realization samples targets inside the universe to begin with,
+// so in a correct build the filter never fires; it is kept as an enforced
+// boundary (and a bug canary: tests assert drops() == 0).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitset.h"
+#include "common/types.h"
+
+namespace congos::gossip {
+
+class Filter {
+ public:
+  /// `universe`: the processes this service instance may talk to.
+  explicit Filter(DynamicBitset universe) : universe_(std::move(universe)) {}
+
+  /// True iff a message to `to` may pass. Counts refusals.
+  bool allows(ProcessId to) {
+    if (universe_.test(to)) return true;
+    ++drops_;
+    return false;
+  }
+
+  const DynamicBitset& universe() const { return universe_; }
+  std::uint64_t drops() const { return drops_; }
+
+ private:
+  DynamicBitset universe_;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace congos::gossip

@@ -1,0 +1,180 @@
+#include "harness/scenario.h"
+
+#include <algorithm>
+
+#include "adversary/adversary.h"
+#include "baseline/direct_send.h"
+#include "baseline/plain_gossip.h"
+#include "baseline/strong_confidential.h"
+#include "common/assert.h"
+#include "congos/congos_process.h"
+#include "sim/engine.h"
+
+namespace congos::harness {
+
+const char* to_string(Protocol p) {
+  switch (p) {
+    case Protocol::kCongos: return "congos";
+    case Protocol::kDirect: return "direct";
+    case Protocol::kDirectPaced: return "direct-paced";
+    case Protocol::kStrongConfidential: return "strong-conf";
+    case Protocol::kPlainGossip: return "plain-gossip";
+  }
+  return "?";
+}
+
+ScenarioResult run_scenario(const ScenarioConfig& cfg) {
+  CONGOS_ASSERT(cfg.n >= 2);
+  Rng seeder(cfg.seed);
+
+  audit::DeliveryAuditor qod(cfg.n);
+
+  // Shared CONGOS inputs (partition family is common knowledge).
+  std::shared_ptr<const core::CongosConfig> ccfg;
+  std::shared_ptr<const partition::PartitionSet> partitions;
+  if (cfg.protocol == Protocol::kCongos) {
+    ccfg = std::make_shared<const core::CongosConfig>(cfg.congos);
+    partitions = core::CongosProcess::build_partitions(cfg.n, *ccfg);
+  }
+
+  // Deterministic lazy-process selection (CONGOS only).
+  DynamicBitset lazy(cfg.n);
+  if (cfg.lazy_fraction > 0.0 && cfg.protocol == Protocol::kCongos) {
+    const auto k = static_cast<std::uint32_t>(
+        static_cast<double>(cfg.n) * std::min(cfg.lazy_fraction, 1.0));
+    Rng picker(cfg.seed ^ 0x1a27ULL);
+    lazy = DynamicBitset::from_indices(
+        cfg.n, picker.sample_without_replacement(static_cast<std::uint32_t>(cfg.n), k));
+  }
+
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  procs.reserve(cfg.n);
+  for (ProcessId p = 0; p < cfg.n; ++p) {
+    const std::uint64_t pseed = seeder.next();
+    switch (cfg.protocol) {
+      case Protocol::kCongos:
+        procs.push_back(std::make_unique<core::CongosProcess>(
+            p, ccfg, partitions, pseed, &qod,
+            lazy.test(p) ? core::ProcessBehavior::kLazy
+                         : core::ProcessBehavior::kHonest));
+        break;
+      case Protocol::kDirect:
+        procs.push_back(std::make_unique<baseline::DirectSendProcess>(
+            p, baseline::DirectSendProcess::Options{false}, &qod));
+        break;
+      case Protocol::kDirectPaced:
+        procs.push_back(std::make_unique<baseline::DirectSendProcess>(
+            p, baseline::DirectSendProcess::Options{true}, &qod));
+        break;
+      case Protocol::kStrongConfidential:
+        procs.push_back(std::make_unique<baseline::StrongConfidentialProcess>(
+            p, baseline::StrongConfidentialProcess::Options{cfg.baseline_fanout},
+            pseed, &qod));
+        break;
+      case Protocol::kPlainGossip:
+        procs.push_back(std::make_unique<baseline::PlainGossipProcess>(
+            p, baseline::PlainGossipProcess::Options{cfg.baseline_fanout, cfg.n},
+            pseed, &qod));
+        break;
+    }
+  }
+
+  sim::Engine engine(std::move(procs), seeder.next());
+
+  audit::ConfidentialityAuditor confidentiality(cfg.n, partitions.get());
+  if (cfg.audit_confidentiality) engine.add_observer(&confidentiality);
+  engine.add_observer(&qod);
+  for (auto* obs : cfg.extra_observers) engine.add_observer(obs);
+
+  adversary::Composite adversaries;
+  Round max_deadline = 0;
+  adversary::Theorem1* thm1 = nullptr;
+  switch (cfg.workload) {
+    case WorkloadKind::kContinuous: {
+      auto opts = cfg.continuous;
+      if (opts.last_injection_round < 0) {
+        // Stop injecting early enough that every rumor can drain.
+        for (Round d : opts.deadlines) max_deadline = std::max(max_deadline, d);
+        opts.last_injection_round = cfg.rounds - 1;
+      } else {
+        for (Round d : opts.deadlines) max_deadline = std::max(max_deadline, d);
+      }
+      adversaries.add(std::make_unique<adversary::Continuous>(opts));
+      break;
+    }
+    case WorkloadKind::kTheorem1: {
+      auto w = std::make_unique<adversary::Theorem1>(cfg.theorem1);
+      thm1 = w.get();
+      max_deadline = cfg.theorem1.dmax;
+      adversaries.add(std::move(w));
+      break;
+    }
+    case WorkloadKind::kNone:
+      break;
+  }
+  if (cfg.churn) adversaries.add(std::make_unique<adversary::RandomChurn>(*cfg.churn));
+  if (cfg.crash_on_service) {
+    adversaries.add(std::make_unique<adversary::CrashOnService>(*cfg.crash_on_service));
+  }
+  if (cfg.crash_senders) {
+    adversaries.add(std::make_unique<adversary::CrashSenders>(*cfg.crash_senders));
+  }
+  engine.set_adversary(&adversaries);
+
+  // Run the scenario plus a drain window so every injected rumor's deadline
+  // passes before finalize().
+  engine.run(cfg.rounds + max_deadline + 2);
+
+  ScenarioResult result;
+  const auto& stats = engine.stats();
+  result.max_per_round = stats.max_from(cfg.measure_from);
+  result.mean_per_round = stats.mean_from(cfg.measure_from);
+  result.total_messages = stats.total_sent();
+  for (std::size_t k = 0; k < sim::kNumServiceKinds; ++k) {
+    result.max_by_kind[k] =
+        stats.max_from(cfg.measure_from, static_cast<sim::ServiceKind>(k));
+    result.total_by_kind[k] =
+        stats.total_from(cfg.measure_from, static_cast<sim::ServiceKind>(k));
+  }
+
+  result.max_bytes_per_round = stats.max_bytes_from(cfg.measure_from);
+  result.total_bytes = stats.total_bytes();
+
+  result.qod = qod.finalize(engine.now());
+  result.leaks = confidentiality.leaks();
+  result.foreign_fragments =
+      confidentiality.count(audit::ViolationKind::kForeignFragment);
+  result.unknown_payloads = confidentiality.unknown_payloads();
+  result.weakest_coalition = confidentiality.weakest_rumor_coalition();
+  if (thm1 != nullptr) {
+    result.theorem1_dest_pairs = thm1->dest_pairs();
+  }
+  result.injected = qod.injected_count();
+  result.crashes = qod.crash_count();
+  result.restarts = qod.restart_count();
+
+  if (cfg.protocol == Protocol::kStrongConfidential) {
+    for (ProcessId p = 0; p < cfg.n; ++p) {
+      const auto& sp =
+          static_cast<const baseline::StrongConfidentialProcess&>(engine.process(p));
+      result.strong_max_merged =
+          std::max<std::uint64_t>(result.strong_max_merged, sp.max_merged());
+    }
+  }
+
+  if (cfg.protocol == Protocol::kCongos) {
+    for (ProcessId p = 0; p < cfg.n; ++p) {
+      const auto& cp = static_cast<const core::CongosProcess&>(engine.process(p));
+      const auto& c = cp.counters();
+      result.cg_confirmed += c.confirmed;
+      result.cg_shoots += c.shoots;
+      result.cg_shoot_messages += c.shoot_messages;
+      result.cg_injected_direct += c.injected_direct;
+      result.cg_reassembled += c.reassembled;
+      result.filter_drops += cp.filter_drops();
+    }
+  }
+  return result;
+}
+
+}  // namespace congos::harness

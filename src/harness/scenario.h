@@ -1,0 +1,114 @@
+// Scenario runner: one-call construction and execution of a full experiment
+// (protocol + workload + failure patterns + auditors), shared by the test
+// suite, the examples and every bench binary.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "adversary/patterns.h"
+#include "adversary/workload.h"
+#include "audit/confidentiality.h"
+#include "audit/qod.h"
+#include "congos/config.h"
+#include "sim/engine.h"
+#include "sim/stats.h"
+
+namespace congos::harness {
+
+enum class Protocol {
+  kCongos,              // the paper's algorithm
+  kDirect,              // source sends all destinations at injection
+  kDirectPaced,         // source paces sends across the deadline window
+  kStrongConfidential,  // Section 3 baseline (gossip within D only)
+  kPlainGossip,         // non-confidential epidemic gossip
+};
+
+const char* to_string(Protocol p);
+
+enum class WorkloadKind { kNone, kContinuous, kTheorem1 };
+
+struct ScenarioConfig {
+  std::size_t n = 64;
+  std::uint64_t seed = 1;
+  Round rounds = 512;
+  Protocol protocol = Protocol::kCongos;
+  core::CongosConfig congos;
+
+  WorkloadKind workload = WorkloadKind::kContinuous;
+  adversary::Continuous::Options continuous;
+  adversary::Theorem1::Options theorem1;
+
+  std::optional<adversary::RandomChurn::Options> churn;
+  std::optional<adversary::CrashOnService::Options> crash_on_service;
+  std::optional<adversary::CrashSenders::Options> crash_senders;
+
+  /// Rounds before this one are excluded from the "measured" statistics
+  /// (warm-up: services need ~2/3 * dline uptime before activating).
+  Round measure_from = 0;
+
+  /// Fraction of processes behaving lazily (Section 7 "malicious users"
+  /// direction: they freeload - no proxy service, no GroupDistribution).
+  /// Lazy ids are drawn deterministically from the scenario seed.
+  double lazy_fraction = 0.0;
+
+  /// Baseline knobs.
+  int baseline_fanout = 3;
+
+  /// The confidentiality auditor inspects every delivered envelope; for pure
+  /// message-cost sweeps it can be disabled (QoD auditing stays on). E2 runs
+  /// the same protocols with it enabled.
+  bool audit_confidentiality = true;
+
+  /// Additional observers to register on the engine (tracing, custom
+  /// counters). Not owned; must outlive run_scenario().
+  std::vector<sim::ExecutionObserver*> extra_observers;
+};
+
+struct ScenarioResult {
+  // message complexity
+  std::uint64_t max_per_round = 0;       // after warm-up
+  double mean_per_round = 0.0;           // after warm-up
+  std::uint64_t total_messages = 0;      // whole run
+  std::uint64_t max_by_kind[sim::kNumServiceKinds] = {};    // after warm-up
+  std::uint64_t total_by_kind[sim::kNumServiceKinds] = {};  // after warm-up
+
+  // communication complexity (Section 7 discussion): serialized bytes
+  std::uint64_t max_bytes_per_round = 0;  // after warm-up
+  std::uint64_t total_bytes = 0;          // whole run
+
+  // delivery
+  audit::QodReport qod;
+  std::uint64_t injected = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+
+  // confidentiality
+  std::uint64_t leaks = 0;              // Definition-2 violations
+  std::uint64_t foreign_fragments = 0;  // structural violations (CONGOS)
+  std::uint64_t unknown_payloads = 0;
+  /// Smallest curious coalition that could break some rumor (SIZE_MAX when
+  /// none): Lemma 14 predicts > tau.
+  std::size_t weakest_coalition = SIZE_MAX;
+
+  // CONGOS-specific aggregates (zero for baselines)
+  std::uint64_t cg_confirmed = 0;
+  std::uint64_t cg_shoots = 0;
+  std::uint64_t cg_shoot_messages = 0;
+  std::uint64_t cg_injected_direct = 0;
+  std::uint64_t cg_reassembled = 0;
+  std::uint64_t filter_drops = 0;
+
+  // extra from specific workloads
+  std::uint64_t theorem1_dest_pairs = 0;
+  /// Largest per-message rumor merge seen by the strongly-confidential
+  /// baseline (Theorem 1 bounds this by a constant c w.h.p.).
+  std::uint64_t strong_max_merged = 0;
+};
+
+/// Builds the system, runs it for cfg.rounds rounds plus a drain period of
+/// the maximum deadline, and returns the audited results.
+ScenarioResult run_scenario(const ScenarioConfig& cfg);
+
+}  // namespace congos::harness

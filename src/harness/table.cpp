@@ -1,0 +1,57 @@
+#include "harness/table.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/assert.h"
+#include "common/strings.h"
+
+namespace congos::harness {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::row(std::vector<std::string> cells) {
+  CONGOS_ASSERT_MSG(cells.size() == header_.size(), "row width mismatch");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << cells[c];
+      for (std::size_t pad = cells[c].size(); pad < width[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::vector<std::string> rule;
+  rule.reserve(header_.size());
+  for (auto w : width) rule.push_back(std::string(w, '-'));
+  emit(rule);
+  for (const auto& r : rows_) emit(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string cell(std::uint64_t v) { return fmt_count(v); }
+std::string cell(double v, int precision) { return fmt_double(v, precision); }
+std::string cell(const std::string& s) { return s; }
+
+}  // namespace congos::harness

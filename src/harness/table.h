@@ -1,0 +1,35 @@
+// Fixed-width table printer for experiment output (the "rows the paper
+// reports" format used by every bench binary), with optional CSV emission.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace congos::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& row(std::vector<std::string> cells);
+
+  /// Pretty fixed-width print.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated (for scripting).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Helpers for assembling cells.
+std::string cell(std::uint64_t v);
+std::string cell(double v, int precision = 2);
+std::string cell(const std::string& s);
+
+}  // namespace congos::harness

@@ -1,0 +1,137 @@
+#include "partition/algebraic_partition.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace congos::partition {
+
+std::uint64_t next_prime(std::uint64_t x) {
+  if (x <= 2) return 2;
+  if (x % 2 == 0) ++x;
+  while (true) {
+    bool prime = true;
+    for (std::uint64_t d = 3; d * d <= x; d += 2) {
+      if (x % d == 0) {
+        prime = false;
+        break;
+      }
+    }
+    if (prime) return x;
+    x += 2;
+  }
+}
+
+namespace {
+
+/// Digits of `value` in base q, least significant first, padded to k.
+std::vector<std::uint64_t> to_coefficients(std::uint64_t value, std::uint64_t q,
+                                           std::size_t k) {
+  std::vector<std::uint64_t> coeffs(k, 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    coeffs[i] = value % q;
+    value /= q;
+  }
+  CONGOS_ASSERT_MSG(value == 0, "id does not fit in k base-q digits");
+  return coeffs;
+}
+
+/// Horner evaluation of the coefficient polynomial at x over GF(q).
+std::uint64_t eval_poly(const std::vector<std::uint64_t>& coeffs, std::uint64_t x,
+                        std::uint64_t q) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) {
+    acc = (acc * x + coeffs[i]) % q;
+  }
+  return acc;
+}
+
+}  // namespace
+
+AlgebraicPartitionResult make_algebraic_partitions(std::size_t n,
+                                                   const RandomPartitionOptions& opt,
+                                                   Rng& verification_rng) {
+  CONGOS_ASSERT(opt.tau >= 1);
+  const std::uint64_t groups = opt.tau + 1;
+  CONGOS_ASSERT_MSG(groups <= n, "more groups than processes");
+
+  const double log_n = std::max(1.0, std::log2(static_cast<double>(n)));
+  const auto want_partitions = static_cast<std::size_t>(
+      std::ceil(opt.c * static_cast<double>(opt.tau) * log_n));
+
+  AlgebraicPartitionResult result;
+  // Field large enough for (a) one *distinct* nonzero evaluation point per
+  // partition (q - 1 >= want_partitions) and (b) a reasonable fold onto
+  // tau+1 groups.
+  const std::uint64_t q = next_prime(std::max<std::uint64_t>(
+      groups + 1, static_cast<std::uint64_t>(want_partitions) + 1));
+  result.field_size = q;
+
+  // Degree bound: k symbols cover ids < q^k.
+  std::size_t k = 1;
+  {
+    std::uint64_t span = q;
+    while (span < n) {
+      span *= q;
+      ++k;
+    }
+  }
+  result.poly_degree = k - 1;
+  result.separation_floor =
+      want_partitions > (k - 1) ? want_partitions - (k - 1) : 0;
+
+  std::vector<std::vector<std::uint64_t>> coeffs;
+  coeffs.reserve(n);
+  for (std::size_t p = 0; p < n; ++p) coeffs.push_back(to_coefficients(p, q, k));
+
+  std::vector<Partition> parts;
+  parts.reserve(want_partitions);
+  for (std::size_t l = 0; l < want_partitions; ++l) {
+    const std::uint64_t x = 1 + (l % (q - 1));  // distinct nonzero points
+    std::vector<GroupIndex> group_of(n);
+    for (std::size_t p = 0; p < n; ++p) {
+      const std::uint64_t value = eval_poly(coeffs[p], x, q);
+      // Non-linear fold onto tau+1 groups. A plain `value % groups` keeps
+      // the code's linear structure: two ids whose polynomials differ by a
+      // constant multiple of `groups` would land in the same group at
+      // almost every point. Hashing the (point, value) pair before reducing
+      // destroys that structure while staying deterministic; equal
+      // evaluations still map to equal groups, so the <= k-1 agreement
+      // bound from the RS code is what limits correlated placements.
+      std::uint64_t h = value * q + x;
+      group_of[p] = static_cast<GroupIndex>(splitmix64(h) % groups);
+    }
+    parts.emplace_back(n, static_cast<GroupIndex>(groups), std::move(group_of));
+  }
+  result.partitions = PartitionSet(std::move(parts));
+
+  // --- verification (the construction is a candidate, not an assumption) ---
+  result.property1 = true;
+  for (PartitionIndex l = 0; l < result.partitions.count(); ++l) {
+    result.property1 = result.property1 && result.partitions[l].well_formed();
+  }
+
+  auto subset_size = static_cast<std::size_t>(
+      std::ceil(2.0 * opt.c_prime * static_cast<double>(opt.tau) * log_n));
+  subset_size = std::min(std::max<std::size_t>(subset_size, groups), n);
+  result.property2_subset_size = subset_size;
+  std::size_t pass = 0;
+  for (std::size_t t = 0; t < opt.property2_trials; ++t) {
+    const auto idx = verification_rng.sample_without_replacement(
+        static_cast<std::uint32_t>(n), static_cast<std::uint32_t>(subset_size));
+    const auto s = DynamicBitset::from_indices(n, idx);
+    for (PartitionIndex l = 0; l < result.partitions.count(); ++l) {
+      if (result.partitions[l].covers(s)) {
+        ++pass;
+        break;
+      }
+    }
+  }
+  result.property2_pass =
+      opt.property2_trials == 0
+          ? 0.0
+          : static_cast<double>(pass) / static_cast<double>(opt.property2_trials);
+  return result;
+}
+
+}  // namespace congos::partition

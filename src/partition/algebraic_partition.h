@@ -1,0 +1,49 @@
+// Deterministic collusion-tolerant partitions (the paper's open problem).
+//
+// Section 6.2 constructs the c*tau*log n partitions of tau+1 groups by the
+// probabilistic method and "leave[s] the polynomial time construction of
+// partitions satisfying the required conditions as future work". This file
+// implements a deterministic Reed-Solomon-style candidate:
+//
+//   * pick the smallest prime q >= max(tau + 2, c*tau*log2(n));
+//   * write each process id as the coefficient vector of a polynomial f_p of
+//     degree < k = ceil(log_q n) over GF(q);
+//   * partition l uses evaluation point x_l in GF(q): process p lands in
+//     group f_p(x_l) mod (tau + 1).
+//
+// Distinct ids share at most k-1 evaluation values (a nonzero polynomial of
+// degree < k has < k roots), so any two processes are separated by at least
+// L - (k-1) of the L partitions *before* the mod-(tau+1) folding - a strong
+// deterministic generalization of Lemma 5. The folding can merge values, so
+// Partition-Properties 1 and 2 are still verified explicitly (exactly and by
+// sampling, respectively, with the same checker as the random construction);
+// the verification is part of the returned result, not an assumption.
+#pragma once
+
+#include "partition/random_partition.h"
+
+namespace congos::partition {
+
+struct AlgebraicPartitionResult {
+  PartitionSet partitions;
+  std::uint64_t field_size = 0;   // the prime q
+  std::size_t poly_degree = 0;    // k - 1
+  bool property1 = false;         // every group of every partition non-empty
+  double property2_pass = 0.0;    // fraction of sampled subsets covered
+  std::size_t property2_subset_size = 0;
+  /// Guaranteed minimum number of partitions separating any two distinct
+  /// processes before group folding: L - (k - 1).
+  std::size_t separation_floor = 0;
+};
+
+/// Smallest prime >= x (trial division; x stays tiny here).
+std::uint64_t next_prime(std::uint64_t x);
+
+/// Builds the deterministic family. Never aborts: the caller inspects the
+/// verification fields (experiment E10 compares this against the
+/// probabilistic construction).
+AlgebraicPartitionResult make_algebraic_partitions(std::size_t n,
+                                                   const RandomPartitionOptions& opt,
+                                                   Rng& verification_rng);
+
+}  // namespace congos::partition

@@ -1,0 +1,32 @@
+#include "partition/bit_partition.h"
+
+#include "common/assert.h"
+#include "common/math.h"
+
+namespace congos::partition {
+
+int bit_partition_count(std::size_t n) {
+  CONGOS_ASSERT_MSG(n >= 2, "need at least two processes to partition");
+  return ilog2_ceil(n);
+}
+
+PartitionSet make_bit_partitions(std::size_t n) {
+  const int bits = bit_partition_count(n);
+  std::vector<Partition> parts;
+  parts.reserve(static_cast<std::size_t>(bits));
+  for (int l = 0; l < bits; ++l) {
+    std::vector<GroupIndex> group_of(n);
+    for (std::size_t p = 0; p < n; ++p) {
+      group_of[p] = static_cast<GroupIndex>((p >> l) & 1u);
+    }
+    // Bit l may be constant over [0, n) when n is not a power of two and the
+    // range doesn't reach that bit -- it cannot be, since bits = ceil(log2 n)
+    // ensures bit l < ceil(log2 n) varies within [0, n). Verified below.
+    Partition part(n, 2, std::move(group_of));
+    CONGOS_ASSERT_MSG(part.well_formed(), "bit partition has an empty group");
+    parts.push_back(std::move(part));
+  }
+  return PartitionSet(std::move(parts));
+}
+
+}  // namespace congos::partition

@@ -1,0 +1,17 @@
+// Bit partitions (Section 4.2): partition l assigns process p to group
+// p[l] in {0,1}, where p[l] is the l-th bit of p's id. With ceil(log2 n)
+// partitions, any two distinct ids land in different groups of some
+// partition (Lemma 5).
+#pragma once
+
+#include "partition/partition.h"
+
+namespace congos::partition {
+
+/// Number of bit partitions needed for universe size n (>= 2).
+int bit_partition_count(std::size_t n);
+
+/// Builds the ceil(log2 n) bit partitions over [0, n).
+PartitionSet make_bit_partitions(std::size_t n);
+
+}  // namespace congos::partition

@@ -1,0 +1,40 @@
+#include "partition/partition.h"
+
+#include "common/assert.h"
+
+namespace congos::partition {
+
+Partition::Partition(std::size_t n, GroupIndex num_groups,
+                     std::vector<GroupIndex> group_of)
+    : num_groups_(num_groups), group_of_(std::move(group_of)) {
+  CONGOS_ASSERT(group_of_.size() == n);
+  CONGOS_ASSERT(num_groups_ >= 2);
+  members_.assign(num_groups_, DynamicBitset(n));
+  for (std::size_t p = 0; p < n; ++p) {
+    CONGOS_ASSERT_MSG(group_of_[p] < num_groups_, "group index out of range");
+    members_[group_of_[p]].set(p);
+  }
+}
+
+bool Partition::well_formed() const {
+  for (const auto& m : members_) {
+    if (m.none()) return false;
+  }
+  return true;
+}
+
+bool Partition::covers(const DynamicBitset& s) const {
+  for (const auto& m : members_) {
+    if (!m.intersects(s)) return false;
+  }
+  return true;
+}
+
+PartitionIndex PartitionSet::separating(ProcessId p, ProcessId q) const {
+  for (PartitionIndex l = 0; l < parts_.size(); ++l) {
+    if (parts_[l].group_of(p) != parts_[l].group_of(q)) return l;
+  }
+  return static_cast<PartitionIndex>(parts_.size());
+}
+
+}  // namespace congos::partition

@@ -1,0 +1,65 @@
+// Process-space partitions (Sections 4.2 and 6.2).
+//
+// CONGOS splits the id space [n] into groups, once per partition index:
+//   * without collusion: log n partitions of 2 groups each, partition l
+//     separating on the l-th bit of the process id (Lemma 5: any two distinct
+//     ids are separated by some partition);
+//   * with collusion tolerance tau: c*tau*log n random partitions of tau+1
+//     groups each, satisfying Partition-Property 1 (every group non-empty)
+//     and Partition-Property 2 (every set of >= 2c'*tau*log n processes has
+//     some partition with a member in every group) - Lemma 13.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/types.h"
+
+namespace congos::partition {
+
+/// A single partition: a total map from process id to group index.
+class Partition {
+ public:
+  Partition() = default;
+  Partition(std::size_t n, GroupIndex num_groups, std::vector<GroupIndex> group_of);
+
+  std::size_t n() const { return group_of_.size(); }
+  GroupIndex num_groups() const { return num_groups_; }
+  GroupIndex group_of(ProcessId p) const { return group_of_[p]; }
+
+  /// Membership bitset of group g (computed once, cached).
+  const DynamicBitset& members(GroupIndex g) const { return members_[g]; }
+
+  std::size_t group_size(GroupIndex g) const { return members_[g].count(); }
+
+  /// True iff every group is non-empty (Partition-Property 1).
+  bool well_formed() const;
+
+  /// True iff every group contains at least one member of `s`.
+  bool covers(const DynamicBitset& s) const;
+
+ private:
+  GroupIndex num_groups_ = 0;
+  std::vector<GroupIndex> group_of_;
+  std::vector<DynamicBitset> members_;
+};
+
+/// A family of partitions, indexed by PartitionIndex.
+class PartitionSet {
+ public:
+  PartitionSet() = default;
+  explicit PartitionSet(std::vector<Partition> parts) : parts_(std::move(parts)) {}
+
+  std::size_t count() const { return parts_.size(); }
+  const Partition& operator[](PartitionIndex l) const { return parts_[l]; }
+
+  /// Index of some partition that separates p and q into different groups,
+  /// or count() if none exists.
+  PartitionIndex separating(ProcessId p, ProcessId q) const;
+
+ private:
+  std::vector<Partition> parts_;
+};
+
+}  // namespace congos::partition

@@ -1,0 +1,98 @@
+#include "partition/random_partition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/math.h"
+#include "partition/bit_partition.h"
+
+namespace congos::partition {
+
+namespace {
+
+PartitionSet sample_family(std::size_t n, std::uint32_t groups, std::size_t count,
+                           Rng& rng) {
+  std::vector<Partition> parts;
+  parts.reserve(count);
+  for (std::size_t l = 0; l < count; ++l) {
+    std::vector<GroupIndex> group_of(n);
+    for (std::size_t p = 0; p < n; ++p) {
+      group_of[p] = static_cast<GroupIndex>(rng.next_below(groups));
+    }
+    parts.emplace_back(n, groups, std::move(group_of));
+  }
+  return PartitionSet(std::move(parts));
+}
+
+bool property1(const PartitionSet& set) {
+  for (PartitionIndex l = 0; l < set.count(); ++l) {
+    if (!set[l].well_formed()) return false;
+  }
+  return true;
+}
+
+bool some_partition_covers(const PartitionSet& set, const DynamicBitset& s) {
+  for (PartitionIndex l = 0; l < set.count(); ++l) {
+    if (set[l].covers(s)) return true;
+  }
+  return false;
+}
+
+bool property2_sampled(const PartitionSet& set, std::size_t n, std::size_t subset_size,
+                       std::size_t trials, Rng& rng) {
+  for (std::size_t t = 0; t < trials; ++t) {
+    const auto idx = rng.sample_without_replacement(
+        static_cast<std::uint32_t>(n), static_cast<std::uint32_t>(subset_size));
+    if (!some_partition_covers(set, DynamicBitset::from_indices(n, idx))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+RandomPartitionResult make_random_partitions(std::size_t n,
+                                             const RandomPartitionOptions& opt,
+                                             Rng& rng) {
+  CONGOS_ASSERT(opt.tau >= 1);
+  const std::uint32_t groups = opt.tau + 1;
+  CONGOS_ASSERT_MSG(groups <= n, "more groups than processes");
+
+  const double log_n = std::max(1.0, std::log2(static_cast<double>(n)));
+  const auto part_count = static_cast<std::size_t>(
+      std::ceil(opt.c * static_cast<double>(opt.tau) * log_n));
+  auto subset_size = static_cast<std::size_t>(
+      std::ceil(2.0 * opt.c_prime * static_cast<double>(opt.tau) * log_n));
+  subset_size = std::min(subset_size, n);
+  // A subset smaller than the group count can never cover all groups; the
+  // guarantee only speaks about sets of at least 2c'*tau*log n >= tau+1
+  // processes, so clamp up.
+  subset_size = std::max<std::size_t>(subset_size, groups);
+
+  RandomPartitionResult result;
+  result.property2_subset_size = subset_size;
+  for (std::size_t attempt = 1; attempt <= opt.max_attempts; ++attempt) {
+    result.attempts = attempt;
+    PartitionSet candidate = sample_family(n, groups, part_count, rng);
+    if (!property1(candidate)) continue;
+    if (subset_size < n &&
+        !property2_sampled(candidate, n, subset_size, opt.property2_trials, rng)) {
+      continue;
+    }
+    result.partitions = std::move(candidate);
+    return result;
+  }
+  CONGOS_ASSERT_MSG(false,
+                    "random partition construction failed; tau likely too large "
+                    "relative to n (Lemma 13 needs tau < n/log^2 n)");
+  return result;  // unreachable
+}
+
+PartitionSet make_congos_partitions(std::size_t n, std::uint32_t tau, Rng& rng) {
+  if (tau <= 1) return make_bit_partitions(n);
+  RandomPartitionOptions opt;
+  opt.tau = tau;
+  return make_random_partitions(n, opt, rng).partitions;
+}
+
+}  // namespace congos::partition

@@ -1,0 +1,53 @@
+// Randomized collusion-tolerant partitions (Section 6.2, Lemma 13).
+//
+// For collusion tolerance tau we need c*tau*log(n) partitions of tau+1 groups
+// such that:
+//   Partition-Property 1: every group of every partition is non-empty;
+//   Partition-Property 2: for every set S of >= 2c'*tau*log(n) processes,
+//     some partition has a member of S in every group.
+//
+// Lemma 13 proves such a family exists (probabilistic method) for
+// tau < n/log^2 n; the paper leaves a deterministic polynomial-time
+// construction open. We implement exactly the probabilistic object: sample
+// uniform group assignments, verify Property 1 exactly and Property 2 on a
+// battery of random subsets, and resample on failure. Construction statistics
+// (resample counts) are exposed for experiment E10.
+#pragma once
+
+#include "common/rng.h"
+#include "partition/partition.h"
+
+namespace congos::partition {
+
+struct RandomPartitionOptions {
+  /// Collusion tolerance tau (number of groups = tau + 1).
+  std::uint32_t tau = 2;
+  /// Partition count multiplier: we build ceil(c * tau * log2(n)) partitions.
+  double c = 2.0;
+  /// Property-2 subset size multiplier: subsets of ceil(2 * c_prime * tau *
+  /// log2(n)) processes must be covered by some partition.
+  double c_prime = 1.0;
+  /// Number of random subsets sampled when verifying Property 2.
+  std::size_t property2_trials = 200;
+  /// Give up after this many resamples (construction failure is a test
+  /// failure; Lemma 13 predicts success within a few attempts).
+  std::size_t max_attempts = 64;
+};
+
+struct RandomPartitionResult {
+  PartitionSet partitions;
+  std::size_t attempts = 0;              // construction attempts used
+  std::size_t property2_subset_size = 0; // the subset size that was verified
+};
+
+/// Builds a verified random partition family. Aborts (assert) if
+/// max_attempts is exceeded - for tau < n/log^2 n this indicates a bug.
+RandomPartitionResult make_random_partitions(std::size_t n,
+                                             const RandomPartitionOptions& opt,
+                                             Rng& rng);
+
+/// Convenience dispatch used by CONGOS: tau <= 1 -> bit partitions (2 groups,
+/// log n partitions), tau >= 2 -> verified random partitions.
+PartitionSet make_congos_partitions(std::size_t n, std::uint32_t tau, Rng& rng);
+
+}  // namespace congos::partition

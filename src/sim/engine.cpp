@@ -1,0 +1,168 @@
+#include "sim/engine.h"
+
+#include "common/assert.h"
+
+namespace congos::sim {
+
+class Engine::NetworkSender final : public Sender {
+ public:
+  NetworkSender(Network& net, ProcessId from) : net_(net), from_(from) {}
+  void send(Envelope e) override {
+    CONGOS_ASSERT_MSG(e.from == from_, "process spoofed sender id");
+    net_.submit(std::move(e));
+  }
+
+ private:
+  Network& net_;
+  ProcessId from_;
+};
+
+Engine::Engine(std::vector<std::unique_ptr<Process>> processes, std::uint64_t seed)
+    : processes_(std::move(processes)),
+      rng_(seed),
+      network_(processes_.size(), &stats_),
+      alive_(processes_.size(), true),
+      alive_since_(processes_.size(), 0),
+      lifecycle_event_this_round_(processes_.size(), false),
+      injected_this_round_(processes_.size(), false),
+      out_policy_(processes_.size(), PartialDelivery::kDeliverAll),
+      out_filtered_(processes_.size(), false),
+      in_policy_(processes_.size(), PartialDelivery::kDeliverAll),
+      in_filtered_(processes_.size(), false),
+      sent_this_round_(processes_.size(), false) {
+  for (std::size_t p = 0; p < processes_.size(); ++p) {
+    CONGOS_ASSERT_MSG(processes_[p] != nullptr, "null process");
+    CONGOS_ASSERT_MSG(processes_[p]->id() == p, "process ids must be dense 0..n-1");
+  }
+}
+
+std::size_t Engine::alive_count() const {
+  std::size_t c = 0;
+  for (bool a : alive_)
+    if (a) ++c;
+  return c;
+}
+
+void Engine::crash(ProcessId p, PartialDelivery policy) {
+  CONGOS_ASSERT(p < n());
+  CONGOS_ASSERT_MSG(alive_[p], "crash of an already-crashed process");
+  CONGOS_ASSERT_MSG(!lifecycle_event_this_round_[p],
+                    "at most one crash/restart per process per round");
+  lifecycle_event_this_round_[p] = true;
+  alive_[p] = false;
+  if (phase_ == Phase::kAfterSends && sent_this_round_[p]) {
+    // Crash after sending: the adversary controls which in-flight messages
+    // survive.
+    out_filtered_[p] = true;
+    out_policy_[p] = policy;
+  }
+  // In any phase: the process no longer receives this round.
+  in_filtered_[p] = true;
+  in_policy_[p] = PartialDelivery::kDropAll;
+  notify_crash(p);
+}
+
+void Engine::restart(ProcessId p, PartialDelivery policy) {
+  CONGOS_ASSERT(p < n());
+  CONGOS_ASSERT_MSG(!alive_[p], "restart of an alive process");
+  CONGOS_ASSERT_MSG(!lifecycle_event_this_round_[p],
+                    "at most one crash/restart per process per round");
+  lifecycle_event_this_round_[p] = true;
+  alive_[p] = true;
+  alive_since_[p] = now_;
+  // Some of the messages sent to p this round may be lost (Section 2).
+  in_filtered_[p] = true;
+  in_policy_[p] = policy;
+  processes_[p]->on_restart(now_);
+  notify_restart(p);
+}
+
+void Engine::inject(ProcessId p, Rumor rumor) {
+  CONGOS_ASSERT(p < n());
+  CONGOS_ASSERT_MSG(alive_[p], "injection at a crashed process");
+  CONGOS_ASSERT_MSG(!injected_this_round_[p],
+                    "at most one rumor injected per process per round");
+  CONGOS_ASSERT_MSG(rumor.uid.source == p, "rumor source must match inject target");
+  injected_this_round_[p] = true;
+  rumor.injected_at = now_;
+  for (auto* obs : observers_) obs->on_inject(rumor, now_);
+  processes_[p]->inject(rumor);
+}
+
+void Engine::notify_crash(ProcessId p) {
+  for (auto* obs : observers_) obs->on_crash(p, now_);
+}
+
+void Engine::notify_restart(ProcessId p) {
+  for (auto* obs : observers_) obs->on_restart(p, now_);
+}
+
+void Engine::begin_round() {
+  std::fill(lifecycle_event_this_round_.begin(), lifecycle_event_this_round_.end(), false);
+  std::fill(injected_this_round_.begin(), injected_this_round_.end(), false);
+  std::fill(out_filtered_.begin(), out_filtered_.end(), false);
+  std::fill(in_filtered_.begin(), in_filtered_.end(), false);
+  std::fill(sent_this_round_.begin(), sent_this_round_.end(), false);
+  // Dead processes never receive.
+  for (std::size_t p = 0; p < n(); ++p) {
+    if (!alive_[p]) {
+      in_filtered_[p] = true;
+      in_policy_[p] = PartialDelivery::kDropAll;
+    }
+  }
+}
+
+void Engine::step() {
+  if (!started_) {
+    started_ = true;
+    for (auto& p : processes_) p->on_start(now_);
+  }
+
+  begin_round();
+
+  phase_ = Phase::kRoundStart;
+  if (adversary_ != nullptr) adversary_->at_round_start(*this);
+
+  // Processes crashed in at_round_start must not receive; refresh the filter
+  // (crash() already set it, but a process dead before this round is covered
+  // by begin_round()).
+
+  phase_ = Phase::kSending;
+  for (std::size_t p = 0; p < n(); ++p) {
+    if (!alive_[p]) continue;
+    sent_this_round_[p] = true;
+    NetworkSender sender(network_, static_cast<ProcessId>(p));
+    processes_[p]->send_phase(now_, sender);
+  }
+
+  phase_ = Phase::kAfterSends;
+  if (adversary_ != nullptr) adversary_->after_sends(*this);
+
+  phase_ = Phase::kDelivering;
+  network_.deliver(out_policy_, out_filtered_, in_policy_, in_filtered_, rng_,
+                   [&](const Envelope& e) {
+                     for (auto* obs : observers_) obs->on_envelope_delivered(e, now_);
+                   });
+
+  phase_ = Phase::kReceiving;
+  for (std::size_t p = 0; p < n(); ++p) {
+    if (!alive_[p]) continue;
+    processes_[p]->receive_phase(now_, network_.inbox(static_cast<ProcessId>(p)));
+  }
+
+  phase_ = Phase::kRoundEnd;
+  if (adversary_ != nullptr) adversary_->at_round_end(*this);
+
+  network_.end_round();
+  stats_.end_round(now_);
+  for (auto* obs : observers_) obs->on_round_end(now_);
+
+  phase_ = Phase::kIdle;
+  ++now_;
+}
+
+void Engine::run(Round rounds) {
+  for (Round i = 0; i < rounds; ++i) step();
+}
+
+}  // namespace congos::sim

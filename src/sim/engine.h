@@ -1,0 +1,155 @@
+// The synchronous round engine.
+//
+// Drives the computation described in Section 2: globally numbered rounds,
+// each consisting of a send phase, an adversary phase (the CRRI adversary is
+// adaptive and may crash processes *after* seeing this round's sends and
+// random choices), a delivery phase, and a receive/compute phase.
+//
+// The engine owns lifecycle state (alive/crashed), enforces the "at most one
+// crash or restart per process per round" rule, and fans events out to
+// registered observers (auditors, statistics).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/network.h"
+#include "sim/process.h"
+#include "sim/stats.h"
+
+namespace congos::sim {
+
+class Engine;
+
+/// The CRRI adversary hook points. Implementations live in src/adversary.
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  /// Before the send phase: inject rumors, crash (process will not send),
+  /// restart processes.
+  virtual void at_round_start(Engine& /*engine*/) {}
+
+  /// After the send phase, before delivery: the adaptive adversary may
+  /// inspect Engine::pending() (the messages and hence the random choices of
+  /// this round) and crash processes; their outgoing messages are then
+  /// subject to the chosen PartialDelivery policy and they receive nothing.
+  virtual void after_sends(Engine& /*engine*/) {}
+
+  /// After the receive phase.
+  virtual void at_round_end(Engine& /*engine*/) {}
+};
+
+/// Passive observers of the execution (auditors, tracing).
+class ExecutionObserver {
+ public:
+  virtual ~ExecutionObserver() = default;
+  virtual void on_envelope_delivered(const Envelope& /*e*/, Round /*now*/) {}
+  virtual void on_crash(ProcessId /*p*/, Round /*now*/) {}
+  virtual void on_restart(ProcessId /*p*/, Round /*now*/) {}
+  virtual void on_inject(const Rumor& /*rumor*/, Round /*now*/) {}
+  virtual void on_round_end(Round /*now*/) {}
+};
+
+class Engine {
+ public:
+  /// `seed` determines every random choice in the execution (network tie
+  /// breaking, adversary randomness drawn from Engine::rng()).
+  Engine(std::vector<std::unique_ptr<Process>> processes, std::uint64_t seed);
+
+  std::size_t n() const { return processes_.size(); }
+  Round now() const { return now_; }
+  Rng& rng() { return rng_; }
+  MessageStats& stats() { return stats_; }
+  const MessageStats& stats() const { return stats_; }
+  Network& network() { return network_; }
+
+  Process& process(ProcessId p) { return *processes_[p]; }
+  const Process& process(ProcessId p) const { return *processes_[p]; }
+
+  bool alive(ProcessId p) const { return alive_[p]; }
+  std::size_t alive_count() const;
+
+  /// Rounds the process has been continuously alive, as of the current round
+  /// (the Proxy / GroupDistribution activation checks use this through the
+  /// process's own bookkeeping; exposed here for adversaries and tests).
+  Round alive_since(ProcessId p) const { return alive_since_[p]; }
+
+  // -- adversary actions ---------------------------------------------------
+
+  /// Crash p. If called after the send phase, p's outgoing messages of this
+  /// round are resolved per `policy`. At most one lifecycle event per
+  /// process per round.
+  void crash(ProcessId p, PartialDelivery policy = PartialDelivery::kDropAll);
+
+  /// Restart p with default-initial state. `policy` governs the in-flight
+  /// messages addressed to p this round.
+  void restart(ProcessId p, PartialDelivery policy = PartialDelivery::kDeliverAll);
+
+  /// Inject a rumor at alive process p (at most one injection per process per
+  /// round). Stamps rumor.injected_at.
+  void inject(ProcessId p, Rumor rumor);
+
+  /// True iff p already received an injection this round (composite
+  /// workloads use this to respect the one-injection-per-round rule).
+  bool injected_this_round(ProcessId p) const { return injected_this_round_[p]; }
+
+  /// True iff p already crashed or restarted this round (composite
+  /// adversaries use this to respect the one-lifecycle-event rule).
+  bool lifecycle_event_this_round(ProcessId p) const {
+    return lifecycle_event_this_round_[p];
+  }
+
+  /// Messages submitted this round so far (valid inside Adversary hooks).
+  const std::vector<Envelope>& pending() const { return network_.pending(); }
+
+  // -- wiring ----------------------------------------------------------------
+
+  void set_adversary(Adversary* adversary) { adversary_ = adversary; }
+  void add_observer(ExecutionObserver* obs) { observers_.push_back(obs); }
+
+  // -- execution ---------------------------------------------------------
+
+  /// Run `rounds` additional rounds.
+  void run(Round rounds);
+
+  /// Run a single round.
+  void step();
+
+ private:
+  enum class Phase { kIdle, kRoundStart, kSending, kAfterSends, kDelivering, kReceiving, kRoundEnd };
+
+  std::vector<std::unique_ptr<Process>> processes_;
+  Rng rng_;
+  MessageStats stats_;
+  Network network_;
+
+  Adversary* adversary_ = nullptr;
+  std::vector<ExecutionObserver*> observers_;
+
+  Round now_ = 0;
+  Phase phase_ = Phase::kIdle;
+  bool started_ = false;
+
+  std::vector<bool> alive_;
+  std::vector<Round> alive_since_;  // round the current "alive" run began
+  std::vector<bool> lifecycle_event_this_round_;
+  std::vector<bool> injected_this_round_;
+
+  // crash/restart bookkeeping for the delivery filters of the current round
+  std::vector<PartialDelivery> out_policy_;
+  std::vector<bool> out_filtered_;
+  std::vector<PartialDelivery> in_policy_;
+  std::vector<bool> in_filtered_;
+  std::vector<bool> sent_this_round_;  // participated in the send phase
+
+  class NetworkSender;
+
+  void begin_round();
+  void notify_crash(ProcessId p);
+  void notify_restart(ProcessId p);
+};
+
+}  // namespace congos::sim

@@ -1,0 +1,61 @@
+// Typed message envelopes.
+//
+// Every point-to-point message is an Envelope tagged with the service that
+// produced it (Fig. 1 of the paper: ConfidentialGossip / Proxy[l] /
+// GroupDistribution[l] / GroupGossip[l] / AllGossip all multiplex over one
+// Network). The tag is what lets the statistics collector attribute each
+// message to a service (needed to verify Lemma 7 separately from the
+// black-box gossip traffic) and lets the confidentiality auditor inspect
+// payloads without any protocol cooperating.
+#pragma once
+
+#include <memory>
+
+#include "common/types.h"
+
+namespace congos::sim {
+
+/// Which service sent a message. `kBaseline` covers the comparison protocols.
+enum class ServiceKind : std::uint8_t {
+  kGroupGossip,        // filtered continuous gossip instance (per partition)
+  kAllGossip,          // unfiltered continuous gossip instance
+  kProxy,              // Proxy[l] requests / acks
+  kGroupDistribution,  // GroupDistribution[l] "partials" messages
+  kFallback,           // ConfidentialGossip direct "shoot" at deadline
+  kBaseline,           // baseline protocols (direct send, strong confidential...)
+  kOther,
+};
+
+const char* to_string(ServiceKind k);
+
+struct ServiceTag {
+  ServiceKind kind = ServiceKind::kOther;
+  PartitionIndex partition = 0;
+
+  friend bool operator==(const ServiceTag&, const ServiceTag&) = default;
+};
+
+/// Base class for all message payloads. Payloads are immutable once sent and
+/// shared between the network queue, the inboxes and the auditors.
+///
+/// wire_size() estimates the serialized byte size of the payload, enabling
+/// the *communication* complexity accounting the paper discusses in Section 7
+/// (bits per round, as opposed to Definition 3's messages per round).
+struct Payload {
+  virtual ~Payload() = default;
+  virtual std::size_t wire_size() const { return 8; }
+};
+
+/// Serialized size of an envelope: addressing/tag header plus body.
+constexpr std::size_t kEnvelopeHeaderBytes = 12;
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+struct Envelope {
+  ProcessId from = kNoProcess;
+  ProcessId to = kNoProcess;
+  ServiceTag tag;
+  PayloadPtr body;
+};
+
+}  // namespace congos::sim

@@ -1,0 +1,62 @@
+#include "sim/network.h"
+
+#include "common/assert.h"
+
+namespace congos::sim {
+
+const char* to_string(ServiceKind k) {
+  switch (k) {
+    case ServiceKind::kGroupGossip: return "group-gossip";
+    case ServiceKind::kAllGossip: return "all-gossip";
+    case ServiceKind::kProxy: return "proxy";
+    case ServiceKind::kGroupDistribution: return "group-dist";
+    case ServiceKind::kFallback: return "fallback";
+    case ServiceKind::kBaseline: return "baseline";
+    case ServiceKind::kOther: return "other";
+  }
+  return "?";
+}
+
+void Network::submit(Envelope e) {
+  CONGOS_ASSERT_MSG(e.from < n_ && e.to < n_, "envelope endpoints out of range");
+  if (stats_ != nullptr) {
+    const std::size_t body = e.body ? e.body->wire_size() : 0;
+    stats_->note_sent(e.tag.kind, kEnvelopeHeaderBytes + body);
+  }
+  ++sent_total_;
+  pending_.push_back(std::move(e));
+}
+
+void Network::deliver(const std::vector<PartialDelivery>& out_policy,
+                      const std::vector<bool>& out_filtered,
+                      const std::vector<PartialDelivery>& in_policy,
+                      const std::vector<bool>& in_filtered, Rng& rng,
+                      const std::function<void(const Envelope&)>& observer) {
+  for (auto& e : pending_) {
+    bool keep = true;
+    if (out_filtered[e.from]) {
+      switch (out_policy[e.from]) {
+        case PartialDelivery::kDeliverAll: break;
+        case PartialDelivery::kDropAll: keep = false; break;
+        case PartialDelivery::kRandom: keep = rng.chance(0.5); break;
+      }
+    }
+    if (keep && in_filtered[e.to]) {
+      switch (in_policy[e.to]) {
+        case PartialDelivery::kDeliverAll: break;
+        case PartialDelivery::kDropAll: keep = false; break;
+        case PartialDelivery::kRandom: keep = rng.chance(0.5); break;
+      }
+    }
+    if (!keep) continue;
+    if (observer) observer(e);
+    inboxes_[e.to].push_back(std::move(e));
+  }
+  pending_.clear();
+}
+
+void Network::end_round() {
+  for (auto& box : inboxes_) box.clear();
+}
+
+}  // namespace congos::sim

@@ -1,0 +1,71 @@
+// Synchronous reliable point-to-point network (Section 2).
+//
+// Messages sent in round t are received in round t. Messages between two
+// processes that are alive for the whole round are never lost. When a process
+// crashes mid-round, an adversary-chosen subset of its outgoing messages is
+// delivered; symmetrically for the inbound messages of a process that
+// restarts mid-round.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/message.h"
+#include "sim/stats.h"
+
+namespace congos::sim {
+
+/// How the adversary resolves the in-flight messages of a process that
+/// crashes (outgoing) or restarts (incoming) in the current round.
+enum class PartialDelivery : std::uint8_t {
+  kDeliverAll,  // every in-flight message goes through
+  kDropAll,     // every in-flight message is lost
+  kRandom,      // each in-flight message delivered with probability 1/2
+};
+
+class Network {
+ public:
+  explicit Network(std::size_t n, MessageStats* stats) : n_(n), stats_(stats) {}
+
+  std::size_t n() const { return n_; }
+
+  /// Queue a message for same-round delivery. Counted as "sent" immediately
+  /// (Definition 3 counts sent messages).
+  void submit(Envelope e);
+
+  const std::vector<Envelope>& pending() const { return pending_; }
+
+  /// Resolve the round: move each pending envelope into its target inbox,
+  /// applying the crash/restart delivery filters.
+  ///
+  /// drop_from[p]  - p crashed this round; policy applies to p's sends.
+  /// drop_to[p]    - p is unable to receive this round (crashed, or was dead
+  ///                 at send time); restart partial delivery uses the policy.
+  /// observer      - called for every *delivered* envelope (auditing).
+  void deliver(const std::vector<PartialDelivery>& out_policy,
+               const std::vector<bool>& out_filtered,
+               const std::vector<PartialDelivery>& in_policy,
+               const std::vector<bool>& in_filtered, Rng& rng,
+               const std::function<void(const Envelope&)>& observer);
+
+  /// Inbox of process p for the current round; cleared by end_round().
+  std::span<const Envelope> inbox(ProcessId p) const {
+    return {inboxes_[p].data(), inboxes_[p].size()};
+  }
+
+  void end_round();
+
+  std::uint64_t messages_sent_total() const { return sent_total_; }
+
+ private:
+  std::size_t n_;
+  MessageStats* stats_;
+  std::vector<Envelope> pending_;
+  std::vector<std::vector<Envelope>> inboxes_ = std::vector<std::vector<Envelope>>(n_);
+  std::uint64_t sent_total_ = 0;
+};
+
+}  // namespace congos::sim

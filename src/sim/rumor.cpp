@@ -1,0 +1,15 @@
+#include "sim/rumor.h"
+
+namespace congos::sim {
+
+Rumor make_rumor(ProcessId source, std::uint64_t seq, std::vector<std::uint8_t> data,
+                 Round deadline, DynamicBitset dest) {
+  Rumor r;
+  r.uid = RumorUid{source, seq};
+  r.data = std::move(data);
+  r.deadline = deadline;
+  r.dest = std::move(dest);
+  return r;
+}
+
+}  // namespace congos::sim

@@ -1,0 +1,88 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace congos::sim {
+
+void MessageStats::end_round(Round t) {
+  std::uint64_t round_total = 0;
+  per_round_by_kind_.push_back(current_);
+  for (std::size_t k = 0; k < kNumServiceKinds; ++k) {
+    totals_[k] += current_[k];
+    max_[k] = std::max(max_[k], current_[k]);
+    round_total += current_[k];
+    current_[k] = 0;
+  }
+  total_all_ += round_total;
+  if (round_total > max_all_) {
+    max_all_ = round_total;
+    max_round_ = t;
+  }
+  per_round_.push_back(round_total);
+  total_bytes_ += current_bytes_;
+  max_bytes_ = std::max(max_bytes_, current_bytes_);
+  per_round_bytes_.push_back(current_bytes_);
+  current_bytes_ = 0;
+  ++rounds_;
+}
+
+std::uint64_t MessageStats::max_bytes_from(Round start) const {
+  std::uint64_t m = 0;
+  for (std::size_t r = static_cast<std::size_t>(std::max<Round>(start, 0));
+       r < per_round_bytes_.size(); ++r) {
+    m = std::max(m, per_round_bytes_[r]);
+  }
+  return m;
+}
+
+std::uint64_t MessageStats::percentile(double p) const {
+  if (per_round_.empty()) return 0;
+  std::vector<std::uint64_t> sorted = per_round_;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  const auto idx = static_cast<std::size_t>(std::llround(rank));
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+std::uint64_t MessageStats::max_from(Round start) const {
+  std::uint64_t m = 0;
+  for (std::size_t r = static_cast<std::size_t>(std::max<Round>(start, 0));
+       r < per_round_.size(); ++r) {
+    m = std::max(m, per_round_[r]);
+  }
+  return m;
+}
+
+std::uint64_t MessageStats::max_from(Round start, ServiceKind kind) const {
+  std::uint64_t m = 0;
+  for (std::size_t r = static_cast<std::size_t>(std::max<Round>(start, 0));
+       r < per_round_by_kind_.size(); ++r) {
+    m = std::max(m, per_round_by_kind_[r][static_cast<std::size_t>(kind)]);
+  }
+  return m;
+}
+
+double MessageStats::mean_from(Round start) const {
+  std::uint64_t sum = 0;
+  std::size_t count = 0;
+  for (std::size_t r = static_cast<std::size_t>(std::max<Round>(start, 0));
+       r < per_round_.size(); ++r) {
+    sum += per_round_[r];
+    ++count;
+  }
+  return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+}
+
+std::uint64_t MessageStats::total_from(Round start, ServiceKind kind) const {
+  std::uint64_t sum = 0;
+  for (std::size_t r = static_cast<std::size_t>(std::max<Round>(start, 0));
+       r < per_round_by_kind_.size(); ++r) {
+    sum += per_round_by_kind_[r][static_cast<std::size_t>(kind)];
+  }
+  return sum;
+}
+
+void MessageStats::reset() { *this = MessageStats{}; }
+
+}  // namespace congos::sim

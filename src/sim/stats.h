@@ -1,0 +1,97 @@
+// Per-round, per-service message accounting.
+//
+// The paper's efficiency metric (Definition 3) is the maximum number of
+// point-to-point messages sent in any single round. MessageStats tracks that
+// maximum, per service and overall, plus totals, so experiments can report
+// both the headline metric and the per-service breakdown of Lemma 7.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/message.h"
+
+namespace congos::sim {
+
+constexpr std::size_t kNumServiceKinds = 7;
+
+class MessageStats {
+ public:
+  /// Record one sent message of `bytes` serialized size (counted even if
+  /// later lost to a crash: Definition 3 counts messages *sent*).
+  void note_sent(ServiceKind kind, std::uint64_t bytes = 0) {
+    current_[static_cast<std::size_t>(kind)] += 1;
+    current_bytes_ += bytes;
+  }
+
+  /// Close the accounting for round `t`.
+  void end_round(Round t);
+
+  // -- queries ------------------------------------------------------------
+
+  std::uint64_t total_sent() const { return total_all_; }
+  std::uint64_t total_sent(ServiceKind kind) const {
+    return totals_[static_cast<std::size_t>(kind)];
+  }
+
+  /// Maximum messages sent in any single round, across all services.
+  std::uint64_t max_per_round() const { return max_all_; }
+  std::uint64_t max_per_round(ServiceKind kind) const {
+    return max_[static_cast<std::size_t>(kind)];
+  }
+
+  Round max_round() const { return max_round_; }
+  std::uint64_t rounds_recorded() const { return rounds_; }
+
+  double mean_per_round() const {
+    return rounds_ == 0 ? 0.0 : static_cast<double>(total_all_) / static_cast<double>(rounds_);
+  }
+
+  /// Per-round totals, in round order (for percentile computations).
+  const std::vector<std::uint64_t>& per_round_totals() const { return per_round_; }
+
+  /// p-th percentile (0..100) of per-round totals.
+  std::uint64_t percentile(double p) const;
+
+  /// Maximum per-round total over rounds >= start (warm-up exclusion).
+  std::uint64_t max_from(Round start) const;
+  /// Same, restricted to one service kind.
+  std::uint64_t max_from(Round start, ServiceKind kind) const;
+  /// Mean per-round total over rounds >= start.
+  double mean_from(Round start) const;
+  /// Total messages of one kind over rounds >= start.
+  std::uint64_t total_from(Round start, ServiceKind kind) const;
+
+  // -- communication complexity (bytes) --------------------------------------
+
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::uint64_t max_bytes_per_round() const { return max_bytes_; }
+  /// Maximum bytes in a round over rounds >= start.
+  std::uint64_t max_bytes_from(Round start) const;
+  double mean_bytes_per_round() const {
+    return rounds_ == 0 ? 0.0
+                        : static_cast<double>(total_bytes_) /
+                              static_cast<double>(rounds_);
+  }
+
+  void reset();
+
+ private:
+  std::array<std::uint64_t, kNumServiceKinds> current_{};
+  std::array<std::uint64_t, kNumServiceKinds> totals_{};
+  std::array<std::uint64_t, kNumServiceKinds> max_{};
+  std::uint64_t max_all_ = 0;
+  std::uint64_t total_all_ = 0;
+  Round max_round_ = kNoRound;
+  std::uint64_t rounds_ = 0;
+  std::vector<std::uint64_t> per_round_;
+  std::vector<std::array<std::uint64_t, kNumServiceKinds>> per_round_by_kind_;
+  std::uint64_t current_bytes_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t max_bytes_ = 0;
+  std::vector<std::uint64_t> per_round_bytes_;
+};
+
+}  // namespace congos::sim

@@ -1,0 +1,61 @@
+// TraceLog: a bounded execution event log for debugging and post-mortems.
+//
+// Registered as an ExecutionObserver, it keeps the most recent lifecycle
+// events (crashes, restarts, injections) in a ring buffer plus a per-round
+// delivery counter, and renders a human-readable tail on demand. Used by the
+// CLI (--trace) and available to tests; overhead is O(1) per event.
+#pragma once
+
+#include <deque>
+#include <iosfwd>
+#include <string>
+
+#include "sim/engine.h"
+
+namespace congos::sim {
+
+class TraceLog final : public ExecutionObserver {
+ public:
+  struct Options {
+    /// Maximum retained events (older ones are evicted).
+    std::size_t capacity = 4096;
+  };
+
+  TraceLog() = default;
+  explicit TraceLog(Options opt) : opt_(opt) {}
+
+  // -- ExecutionObserver ------------------------------------------------------
+  void on_crash(ProcessId p, Round now) override;
+  void on_restart(ProcessId p, Round now) override;
+  void on_inject(const Rumor& rumor, Round now) override;
+  void on_envelope_delivered(const Envelope& e, Round now) override;
+  void on_round_end(Round now) override;
+
+  /// Renders the last `last_n` retained events plus the per-round delivery
+  /// counts of the most recent rounds.
+  void dump(std::ostream& os, std::size_t last_n = 100) const;
+
+  std::size_t event_count() const { return events_.size(); }
+  std::uint64_t total_events_seen() const { return seen_; }
+
+ private:
+  enum class Kind : std::uint8_t { kCrash, kRestart, kInject };
+  struct Event {
+    Round when = 0;
+    Kind kind = Kind::kCrash;
+    ProcessId process = kNoProcess;
+    RumorUid rumor;       // kInject only
+    std::size_t dest = 0; // kInject only: |D|
+  };
+
+  void push(Event e);
+
+  Options opt_{};
+  std::deque<Event> events_;
+  std::uint64_t seen_ = 0;
+  // most recent rounds' delivered-message counts (bounded window)
+  std::deque<std::pair<Round, std::uint64_t>> round_deliveries_;
+  std::uint64_t current_round_deliveries_ = 0;
+};
+
+}  // namespace congos::sim

@@ -1,0 +1,284 @@
+#include "adversary/adversary.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/patterns.h"
+#include "adversary/workload.h"
+#include "test_util.h"
+
+namespace congos::adversary {
+namespace {
+
+using sim::Engine;
+using testutil::make_system;
+
+TEST(Composite, RunsAllPartsInOrder) {
+  auto sys = make_system(4, 1);
+  std::vector<int> order;
+  struct Tagger final : sim::Adversary {
+    std::vector<int>* order;
+    int tag;
+    Tagger(std::vector<int>* o, int t) : order(o), tag(t) {}
+    void at_round_start(Engine&) override { order->push_back(tag); }
+  };
+  Composite comp;
+  comp.add(std::make_unique<Tagger>(&order, 1));
+  comp.add(std::make_unique<Tagger>(&order, 2));
+  sys.engine->set_adversary(&comp);
+  sys.engine->run(2);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2}));
+}
+
+TEST(RandomChurn, RespectsMinAlive) {
+  auto sys = make_system(8, 2);
+  RandomChurn::Options opt;
+  opt.crash_prob = 1.0;  // crash aggressively
+  opt.restart_prob = 0.0;
+  opt.min_alive = 3;
+  RandomChurn churn(opt);
+  Composite comp;
+  comp.add(std::make_unique<RandomChurn>(opt));
+  sys.engine->set_adversary(&comp);
+  sys.engine->run(10);
+  EXPECT_EQ(sys.engine->alive_count(), 3u);
+}
+
+TEST(RandomChurn, ProtectedProcessesSurvive) {
+  auto sys = make_system(8, 3);
+  RandomChurn::Options opt;
+  opt.crash_prob = 1.0;
+  opt.restart_prob = 0.0;
+  opt.min_alive = 0;
+  opt.protected_ids = {2, 5};
+  Composite comp;
+  comp.add(std::make_unique<RandomChurn>(opt));
+  sys.engine->set_adversary(&comp);
+  sys.engine->run(5);
+  EXPECT_TRUE(sys.engine->alive(2));
+  EXPECT_TRUE(sys.engine->alive(5));
+  EXPECT_EQ(sys.engine->alive_count(), 2u);
+}
+
+TEST(RandomChurn, RestartsBringProcessesBack) {
+  auto sys = make_system(8, 4);
+  RandomChurn::Options opt;
+  opt.crash_prob = 0.3;
+  opt.restart_prob = 1.0;  // immediate resurrection next round
+  opt.min_alive = 2;
+  Composite comp;
+  comp.add(std::make_unique<RandomChurn>(opt));
+  sys.engine->set_adversary(&comp);
+  sys.engine->run(30);
+  // With p_restart = 1, at most one round's worth of crashes are dead.
+  EXPECT_GE(sys.engine->alive_count(), 2u);
+  int restarts = 0;
+  for (auto* p : sys.procs) restarts += p->restarts;
+  EXPECT_GT(restarts, 0);
+}
+
+TEST(CrashOnService, CrashesReceiversOfTargetedService) {
+  // p0 sends a kProxy message to p1 and a kOther message to p2 each round.
+  auto sys = make_system(4, 5,
+                         [](Round, sim::Sender& out, testutil::ScriptedProcess& self) {
+                           if (self.id() == 0) {
+                             out.send(testutil::make_msg(0, 1, 1, sim::ServiceKind::kProxy));
+                             out.send(testutil::make_msg(0, 2, 2, sim::ServiceKind::kOther));
+                           }
+                         });
+  CrashOnService::Options opt;
+  opt.target = sim::ServiceKind::kProxy;
+  opt.per_round_budget = 1;
+  opt.total_budget = 1;
+  Composite comp;
+  auto pattern = std::make_unique<CrashOnService>(opt);
+  auto* raw = pattern.get();
+  comp.add(std::move(pattern));
+  sys.engine->set_adversary(&comp);
+  sys.engine->run(3);
+  EXPECT_EQ(raw->crashes_caused(), 1u);
+  EXPECT_FALSE(sys.engine->alive(1));  // proxy receiver killed
+  EXPECT_TRUE(sys.engine->alive(2));   // kOther receiver spared
+  // The round-0 proxy message was dropped with the crash.
+  EXPECT_EQ(sys.procs[1]->received.size(), 0u);
+}
+
+TEST(CrashOnService, RestartAfterBringsVictimBack) {
+  auto sys = make_system(3, 6,
+                         [](Round now, sim::Sender& out, testutil::ScriptedProcess& self) {
+                           if (self.id() == 0 && now == 0) {
+                             out.send(testutil::make_msg(0, 1, 1, sim::ServiceKind::kProxy));
+                           }
+                         });
+  CrashOnService::Options opt;
+  opt.target = sim::ServiceKind::kProxy;
+  opt.total_budget = 1;
+  opt.restart_after = 2;
+  Composite comp;
+  comp.add(std::make_unique<CrashOnService>(opt));
+  sys.engine->set_adversary(&comp);
+  sys.engine->run(4);
+  EXPECT_TRUE(sys.engine->alive(1));
+  EXPECT_EQ(sys.procs[1]->restarts, 1);
+}
+
+TEST(CrashSenders, CrashesSenderOfTargetedService) {
+  auto sys = make_system(3, 7,
+                         [](Round, sim::Sender& out, testutil::ScriptedProcess& self) {
+                           if (self.id() == 0) {
+                             out.send(testutil::make_msg(
+                                 0, 1, 1, sim::ServiceKind::kGroupDistribution));
+                           }
+                         });
+  CrashSenders::Options opt;
+  opt.target = sim::ServiceKind::kGroupDistribution;
+  opt.total_budget = 1;
+  opt.delivery = sim::PartialDelivery::kDropAll;
+  Composite comp;
+  comp.add(std::make_unique<CrashSenders>(opt));
+  sys.engine->set_adversary(&comp);
+  sys.engine->run(2);
+  EXPECT_FALSE(sys.engine->alive(0));
+  EXPECT_EQ(sys.procs[1]->received.size(), 0u);  // message died with sender
+}
+
+TEST(Scripted, EventsFireAtTheirRounds) {
+  auto sys = make_system(3, 8);
+  std::vector<Scripted::Event> events{
+      {2, Scripted::Event::Kind::kCrash, 1, sim::PartialDelivery::kDropAll},
+      {4, Scripted::Event::Kind::kRestart, 1, sim::PartialDelivery::kDeliverAll},
+      {5, Scripted::Event::Kind::kCrash, 2, sim::PartialDelivery::kDropAll},
+  };
+  Composite comp;
+  comp.add(std::make_unique<Scripted>(events));
+  sys.engine->set_adversary(&comp);
+  sys.engine->run(3);
+  EXPECT_FALSE(sys.engine->alive(1));
+  sys.engine->run(2);
+  EXPECT_TRUE(sys.engine->alive(1));
+  sys.engine->run(1);
+  EXPECT_FALSE(sys.engine->alive(2));
+}
+
+TEST(MassCrash, OnlySurvivorsRemain) {
+  auto sys = make_system(6, 9);
+  DynamicBitset survivors(6);
+  survivors.set(0);
+  survivors.set(4);
+  Composite comp;
+  comp.add(std::make_unique<MassCrash>(3, survivors));
+  sys.engine->set_adversary(&comp);
+  sys.engine->run(3);
+  EXPECT_EQ(sys.engine->alive_count(), 6u);
+  sys.engine->run(1);
+  EXPECT_EQ(sys.engine->alive_count(), 2u);
+  EXPECT_TRUE(sys.engine->alive(0));
+  EXPECT_TRUE(sys.engine->alive(4));
+}
+
+TEST(CanonicalPayload, DeterministicAndDistinct) {
+  const auto a1 = canonical_payload(RumorUid{1, 7}, 32);
+  const auto a2 = canonical_payload(RumorUid{1, 7}, 32);
+  const auto b = canonical_payload(RumorUid{1, 8}, 32);
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_EQ(a1.size(), 32u);
+  EXPECT_EQ(canonical_payload(RumorUid{2, 2}, 0).size(), 0u);
+  EXPECT_EQ(canonical_payload(RumorUid{2, 2}, 5).size(), 5u);
+}
+
+TEST(OneShot, InjectsAtScheduledRounds) {
+  auto sys = make_system(3, 10);
+  std::vector<OneShot::Item> items;
+  items.push_back({2, sim::make_rumor(1, 1, {9}, 8, DynamicBitset(3))});
+  items.push_back({0, sim::make_rumor(0, 1, {8}, 8, DynamicBitset(3))});
+  Composite comp;
+  comp.add(std::make_unique<OneShot>(std::move(items)));
+  sys.engine->set_adversary(&comp);
+  sys.engine->run(3);
+  ASSERT_EQ(sys.procs[0]->injected.size(), 1u);
+  EXPECT_EQ(sys.procs[0]->injected[0].injected_at, 0);
+  ASSERT_EQ(sys.procs[1]->injected.size(), 1u);
+  EXPECT_EQ(sys.procs[1]->injected[0].injected_at, 2);
+}
+
+TEST(OneShot, SkipsCrashedTargets) {
+  auto sys = make_system(2, 11);
+  std::vector<OneShot::Item> items;
+  items.push_back({1, sim::make_rumor(0, 1, {1}, 8, DynamicBitset(2))});
+  Composite comp;
+  std::vector<Scripted::Event> ev{{0, Scripted::Event::Kind::kCrash, 0,
+                                   sim::PartialDelivery::kDropAll}};
+  comp.add(std::make_unique<Scripted>(ev));
+  comp.add(std::make_unique<OneShot>(std::move(items)));
+  sys.engine->set_adversary(&comp);
+  sys.engine->run(2);
+  EXPECT_TRUE(sys.procs[0]->injected.empty());
+}
+
+TEST(Continuous, InjectsAtExpectedRate) {
+  auto sys = make_system(16, 12);
+  Continuous::Options opt;
+  opt.inject_prob = 0.25;
+  opt.dest_min = 1;
+  opt.dest_max = 4;
+  opt.deadlines = {32, 64};
+  Composite comp;
+  auto w = std::make_unique<Continuous>(opt);
+  auto* raw = w.get();
+  comp.add(std::move(w));
+  sys.engine->set_adversary(&comp);
+  sys.engine->run(100);
+  // Expected ~16*0.25*100 = 400 injections.
+  EXPECT_GT(raw->injected_count(), 300u);
+  EXPECT_LT(raw->injected_count(), 500u);
+  // Every injected rumor has valid parameters.
+  for (auto* p : sys.procs) {
+    for (const auto& r : p->injected) {
+      EXPECT_GE(r.dest.count(), 1u);
+      EXPECT_LE(r.dest.count(), 4u);
+      EXPECT_TRUE(r.deadline == 32 || r.deadline == 64);
+      EXPECT_EQ(r.data, canonical_payload(r.uid, opt.payload_len));
+    }
+  }
+}
+
+TEST(Continuous, StopsAfterLastInjectionRound) {
+  auto sys = make_system(8, 13);
+  Continuous::Options opt;
+  opt.inject_prob = 1.0;
+  opt.dest_min = 1;
+  opt.dest_max = 1;
+  opt.last_injection_round = 4;
+  Composite comp;
+  auto w = std::make_unique<Continuous>(opt);
+  auto* raw = w.get();
+  comp.add(std::move(w));
+  sys.engine->set_adversary(&comp);
+  sys.engine->run(20);
+  EXPECT_EQ(raw->injected_count(), 8u * 5u);
+}
+
+TEST(Theorem1, InjectsOneRumorPerProcessAtRoundZero) {
+  auto sys = make_system(32, 14);
+  Theorem1::Options opt;
+  opt.x = 8.0;
+  opt.dmax = 64;
+  Composite comp;
+  auto w = std::make_unique<Theorem1>(opt);
+  auto* raw = w.get();
+  comp.add(std::move(w));
+  sys.engine->set_adversary(&comp);
+  sys.engine->run(3);
+  EXPECT_EQ(raw->injected_count(), 32u);
+  // Expected destination pairs ~ n*x = 256; allow generous slack.
+  EXPECT_GT(raw->dest_pairs(), 120u);
+  EXPECT_LT(raw->dest_pairs(), 450u);
+  for (auto* p : sys.procs) {
+    ASSERT_EQ(p->injected.size(), 1u);
+    EXPECT_EQ(p->injected[0].injected_at, 0);
+    EXPECT_EQ(p->injected[0].deadline, 64);
+  }
+}
+
+}  // namespace
+}  // namespace congos::adversary

@@ -1,0 +1,160 @@
+// Deterministic Reed-Solomon-style partitions - the paper's open problem
+// ("we leave the polynomial time construction of partitions satisfying the
+// required conditions as future work", Section 6.2).
+#include "partition/algebraic_partition.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "adversary/adversary.h"
+#include "adversary/workload.h"
+#include "audit/confidentiality.h"
+#include "audit/qod.h"
+#include "congos/congos_process.h"
+#include "sim/engine.h"
+
+namespace congos::partition {
+namespace {
+
+TEST(NextPrime, SmallValues) {
+  EXPECT_EQ(next_prime(0), 2u);
+  EXPECT_EQ(next_prime(2), 2u);
+  EXPECT_EQ(next_prime(3), 3u);
+  EXPECT_EQ(next_prime(4), 5u);
+  EXPECT_EQ(next_prime(14), 17u);
+  EXPECT_EQ(next_prime(24), 29u);
+  EXPECT_EQ(next_prime(90), 97u);
+}
+
+class AlgebraicSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint32_t>> {};
+
+TEST_P(AlgebraicSweep, DeterministicFamilyPassesBothProperties) {
+  const auto [n, tau] = GetParam();
+  RandomPartitionOptions opt;
+  opt.tau = tau;
+  Rng rng(1234);
+  const auto result = make_algebraic_partitions(n, opt, rng);
+
+  EXPECT_TRUE(result.property1) << "empty group";
+  EXPECT_GE(result.property2_pass, 0.999);
+  EXPECT_GE(result.partitions.count(), 1u);
+  for (PartitionIndex l = 0; l < result.partitions.count(); ++l) {
+    EXPECT_EQ(result.partitions[l].num_groups(), tau + 1);
+  }
+}
+
+TEST_P(AlgebraicSweep, IsDeterministic) {
+  const auto [n, tau] = GetParam();
+  RandomPartitionOptions opt;
+  opt.tau = tau;
+  Rng r1(1), r2(2);  // verification rng must not influence the family
+  const auto a = make_algebraic_partitions(n, opt, r1);
+  const auto b = make_algebraic_partitions(n, opt, r2);
+  ASSERT_EQ(a.partitions.count(), b.partitions.count());
+  for (PartitionIndex l = 0; l < a.partitions.count(); ++l) {
+    for (ProcessId p = 0; p < n; ++p) {
+      ASSERT_EQ(a.partitions[l].group_of(p), b.partitions[l].group_of(p));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, AlgebraicSweep,
+                         ::testing::Values(std::make_tuple(64, 2),
+                                           std::make_tuple(64, 3),
+                                           std::make_tuple(128, 2),
+                                           std::make_tuple(128, 4),
+                                           std::make_tuple(256, 3),
+                                           std::make_tuple(256, 5)));
+
+TEST(Algebraic, EveryPairIsSeparatedManyTimes) {
+  // Before group folding, two distinct ids agree on at most deg < k of the
+  // L evaluation points (Reed-Solomon distance); the non-linear fold then
+  // merges values pseudo-randomly, so each pair should still be separated
+  // in a large fraction of the partitions. We verify the CONGOS requirement
+  // (every pair separated somewhere - Lemma 5's role) exactly, and that the
+  // typical separation is far above the minimum.
+  const std::size_t n = 128;
+  RandomPartitionOptions opt;
+  opt.tau = 2;
+  Rng rng(7);
+  const auto result = make_algebraic_partitions(n, opt, rng);
+  const auto& set = result.partitions;
+  std::size_t min_separated = SIZE_MAX;
+  for (ProcessId p = 0; p < n; ++p) {
+    for (ProcessId w = p + 1; w < n; ++w) {
+      std::size_t separated = 0;
+      for (PartitionIndex l = 0; l < set.count(); ++l) {
+        if (set[l].group_of(p) != set[l].group_of(w)) ++separated;
+      }
+      min_separated = std::min(min_separated, separated);
+    }
+  }
+  EXPECT_GE(min_separated, 1u);  // every pair separable somewhere
+  // The family is far better than the bare minimum in practice.
+  EXPECT_GE(min_separated, set.count() / 4);
+}
+
+TEST(Algebraic, GroupSizesAreBalanced) {
+  // RS evaluations are equidistributed enough that no group hogs the space.
+  const std::size_t n = 256;
+  RandomPartitionOptions opt;
+  opt.tau = 3;
+  Rng rng(9);
+  const auto result = make_algebraic_partitions(n, opt, rng);
+  for (PartitionIndex l = 0; l < result.partitions.count(); ++l) {
+    for (GroupIndex g = 0; g < 4; ++g) {
+      const auto size = result.partitions[l].group_size(g);
+      EXPECT_GT(size, n / 16) << "partition " << l << " group " << g;
+      EXPECT_LT(size, n / 2) << "partition " << l << " group " << g;
+    }
+  }
+}
+
+TEST(Algebraic, WorksInsideCongosEndToEnd) {
+  // Swap the verified deterministic family into a full CONGOS run.
+  const std::size_t n = 48;
+  const std::uint32_t tau = 2;
+  RandomPartitionOptions opt;
+  opt.tau = tau;
+  Rng rng(11);
+  auto result = make_algebraic_partitions(n, opt, rng);
+  ASSERT_TRUE(result.property1);
+  ASSERT_GE(result.property2_pass, 0.999);
+  auto partitions =
+      std::make_shared<const PartitionSet>(std::move(result.partitions));
+
+  core::CongosConfig ccfg;
+  ccfg.tau = tau;
+  ccfg.allow_degenerate = false;
+  auto cfg = std::make_shared<const core::CongosConfig>(ccfg);
+  audit::DeliveryAuditor qod(n);
+  audit::ConfidentialityAuditor conf(n, partitions.get());
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  Rng seeder(12);
+  for (ProcessId p = 0; p < n; ++p) {
+    procs.push_back(std::make_unique<core::CongosProcess>(p, cfg, partitions,
+                                                          seeder.next(), &qod));
+  }
+  sim::Engine engine(std::move(procs), seeder.next());
+  engine.add_observer(&qod);
+  engine.add_observer(&conf);
+  adversary::Composite adv;
+  adversary::Continuous::Options w;
+  w.inject_prob = 0.01;
+  w.deadlines = {64};
+  w.last_injection_round = 200;
+  adv.add(std::make_unique<adversary::Continuous>(w));
+  engine.set_adversary(&adv);
+  engine.run(270);
+
+  const auto report = qod.finalize(engine.now());
+  EXPECT_GT(qod.injected_count(), 0u);
+  EXPECT_TRUE(report.ok()) << "late=" << report.late << " missing=" << report.missing;
+  EXPECT_EQ(conf.leaks(), 0u);
+  EXPECT_GT(conf.weakest_rumor_coalition(), tau);
+}
+
+}  // namespace
+}  // namespace congos::partition

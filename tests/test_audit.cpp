@@ -1,0 +1,265 @@
+// The auditors audit the protocols; these tests audit the auditors, by
+// feeding them synthetic events with planted violations.
+#include <gtest/gtest.h>
+
+#include "audit/confidentiality.h"
+#include "audit/qod.h"
+#include "baseline/baseline_payload.h"
+#include "partition/bit_partition.h"
+
+namespace congos::audit {
+namespace {
+
+sim::Rumor test_rumor(ProcessId src, std::uint64_t seq, std::size_t n,
+                      std::vector<std::uint32_t> dest, Round deadline = 64) {
+  auto r = sim::make_rumor(src, seq, {1, 2, 3, 4}, deadline,
+                           DynamicBitset::from_indices(n, dest));
+  r.injected_at = 0;
+  return r;
+}
+
+core::Fragment frag_for(const sim::Rumor& r, PartitionIndex l, GroupIndex g,
+                        GroupIndex groups) {
+  core::Fragment f;
+  f.meta.key = core::FragmentKey{r.uid, l, g};
+  f.meta.dest = r.dest;
+  f.meta.expires_at = r.expires_at();
+  f.meta.dline = 64;
+  f.meta.num_groups = groups;
+  f.data = {9, 9, 9, 9};
+  return f;
+}
+
+sim::Envelope partials_env(ProcessId from, ProcessId to,
+                           std::vector<core::Fragment> frags) {
+  auto p = std::make_shared<core::PartialsPayload>();
+  p->fragments = std::move(frags);
+  return sim::Envelope{from, to,
+                       sim::ServiceTag{sim::ServiceKind::kGroupDistribution, 0}, p};
+}
+
+sim::Envelope direct_env(ProcessId from, ProcessId to, const sim::Rumor& r) {
+  auto p = std::make_shared<core::DirectRumorPayload>();
+  p->rumor = r;
+  return sim::Envelope{from, to, sim::ServiceTag{sim::ServiceKind::kFallback, 0}, p};
+}
+
+class ConfAuditorTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kN = 8;
+  partition::PartitionSet parts = partition::make_bit_partitions(kN);
+  ConfidentialityAuditor auditor{kN, &parts};
+};
+
+TEST_F(ConfAuditorTest, CleanDeliveryNoViolations) {
+  auto r = test_rumor(0, 1, kN, {2, 3});
+  auditor.on_inject(r, 0);
+  auditor.on_envelope_delivered(direct_env(0, 2, r), 1);
+  auditor.on_envelope_delivered(direct_env(0, 3, r), 1);
+  EXPECT_EQ(auditor.leaks(), 0u);
+  EXPECT_TRUE(auditor.knowledge().knows_full(2, r.uid));
+}
+
+TEST_F(ConfAuditorTest, FullLeakDetected) {
+  auto r = test_rumor(0, 1, kN, {2});
+  auditor.on_inject(r, 0);
+  auditor.on_envelope_delivered(direct_env(0, 5, r), 3);  // 5 not in D!
+  EXPECT_EQ(auditor.count(ViolationKind::kFullLeak), 1u);
+  ASSERT_EQ(auditor.violations().size(), 1u);
+  EXPECT_EQ(auditor.violations()[0].process, 5u);
+  EXPECT_EQ(auditor.violations()[0].when, 3);
+}
+
+TEST_F(ConfAuditorTest, FullLeakCountedOncePerProcess) {
+  auto r = test_rumor(0, 1, kN, {2});
+  auditor.on_inject(r, 0);
+  auditor.on_envelope_delivered(direct_env(0, 5, r), 3);
+  auditor.on_envelope_delivered(direct_env(0, 5, r), 4);
+  EXPECT_EQ(auditor.count(ViolationKind::kFullLeak), 1u);
+}
+
+TEST_F(ConfAuditorTest, FragmentSetLeakDetected) {
+  // A curious process receiving both groups' fragments of partition 0 can
+  // XOR them together: that is a Definition-2 violation.
+  auto r = test_rumor(0, 1, kN, {2});
+  auditor.on_inject(r, 0);
+  const ProcessId curious = 6;
+  auditor.on_envelope_delivered(
+      partials_env(0, curious, {frag_for(r, 0, 0, 2)}), 1);
+  EXPECT_EQ(auditor.leaks(), 0u);  // one fragment alone is harmless
+  auditor.on_envelope_delivered(
+      partials_env(1, curious, {frag_for(r, 0, 1, 2)}), 2);
+  EXPECT_EQ(auditor.count(ViolationKind::kFragmentSetLeak), 1u);
+  EXPECT_TRUE(auditor.knowledge().can_reconstruct(curious, r.uid));
+}
+
+TEST_F(ConfAuditorTest, FragmentsAcrossPartitionsDoNotReconstruct) {
+  // Fragments of *different* partitions never combine.
+  auto r = test_rumor(0, 1, kN, {2});
+  auditor.on_inject(r, 0);
+  const ProcessId curious = 6;
+  auditor.on_envelope_delivered(partials_env(0, curious, {frag_for(r, 0, 0, 2)}), 1);
+  auditor.on_envelope_delivered(partials_env(0, curious, {frag_for(r, 1, 1, 2)}), 1);
+  auditor.on_envelope_delivered(partials_env(0, curious, {frag_for(r, 2, 0, 2)}), 1);
+  EXPECT_EQ(auditor.leaks(), 0u);
+  EXPECT_FALSE(auditor.knowledge().can_reconstruct(curious, r.uid));
+}
+
+TEST_F(ConfAuditorTest, ForeignFragmentDetected) {
+  // Process 6 is in group (6>>0)&1 = 0 of partition 0; handing it a group-1
+  // fragment breaks the structural invariant even if it cannot reconstruct.
+  auto r = test_rumor(0, 1, kN, {2});
+  auditor.on_inject(r, 0);
+  auditor.on_envelope_delivered(partials_env(0, 6, {frag_for(r, 0, 1, 2)}), 1);
+  EXPECT_EQ(auditor.count(ViolationKind::kForeignFragment), 1u);
+  EXPECT_EQ(auditor.leaks(), 0u);
+}
+
+TEST_F(ConfAuditorTest, DestinationsMayKnowEverything) {
+  auto r = test_rumor(0, 1, kN, {2});
+  auditor.on_inject(r, 0);
+  auditor.on_envelope_delivered(partials_env(0, 2, {frag_for(r, 0, 0, 2)}), 1);
+  auditor.on_envelope_delivered(partials_env(1, 2, {frag_for(r, 0, 1, 2)}), 1);
+  auditor.on_envelope_delivered(direct_env(0, 2, r), 2);
+  EXPECT_EQ(auditor.leaks(), 0u);
+  EXPECT_EQ(auditor.count(ViolationKind::kForeignFragment), 0u);
+}
+
+TEST_F(ConfAuditorTest, CoalitionAnalysis) {
+  auto r = test_rumor(0, 1, kN, {2});
+  auditor.on_inject(r, 0);
+  // Give curious 4 the group-0 fragment and curious 5 the group-1 fragment
+  // of partition 0 (process 4 is in group 0, 5 in group 1: structural ok).
+  auditor.on_envelope_delivered(partials_env(0, 4, {frag_for(r, 0, 0, 2)}), 1);
+  EXPECT_EQ(auditor.min_breaking_coalition(r.uid), SIZE_MAX);
+  auditor.on_envelope_delivered(partials_env(0, 5, {frag_for(r, 0, 1, 2)}), 1);
+  EXPECT_EQ(auditor.min_breaking_coalition(r.uid), 2u);
+  EXPECT_FALSE(auditor.breakable_by_coalition(r.uid, 1));
+  EXPECT_TRUE(auditor.breakable_by_coalition(r.uid, 2));
+  EXPECT_TRUE(
+      auditor.knowledge().coalition_can_reconstruct({4, 5}, r.uid));
+  EXPECT_FALSE(auditor.knowledge().coalition_can_reconstruct({4}, r.uid));
+}
+
+TEST_F(ConfAuditorTest, BaselineWholePayloadsTracked) {
+  auto r = test_rumor(0, 1, kN, {2});
+  auditor.on_inject(r, 0);
+  auto whole = std::make_shared<baseline::BaselineRumorPayload>();
+  whole->rumor = r;
+  auditor.on_envelope_delivered(
+      sim::Envelope{0, 7, sim::ServiceTag{sim::ServiceKind::kBaseline, 0}, whole}, 1);
+  EXPECT_EQ(auditor.count(ViolationKind::kFullLeak), 1u);
+}
+
+// ---------------------------------------------------------------------------
+
+class QodAuditorTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kN = 4;
+  DeliveryAuditor auditor{kN};
+};
+
+TEST_F(QodAuditorTest, OnTimeDeliveryIsOk) {
+  auto r = test_rumor(0, 1, kN, {1, 2}, 10);
+  auditor.on_inject(r, 0);
+  auditor.on_rumor_delivered(1, r.uid, 4, r.data);
+  auditor.on_rumor_delivered(2, r.uid, 10, r.data);  // exactly at deadline
+  auto rep = auditor.finalize(100);
+  EXPECT_EQ(rep.admissible_pairs, 2u);
+  EXPECT_EQ(rep.delivered_on_time, 2u);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_NEAR(rep.mean_latency, 7.0, 1e-9);
+}
+
+TEST_F(QodAuditorTest, LateAndMissingDetected) {
+  auto r = test_rumor(0, 1, kN, {1, 2}, 10);
+  auditor.on_inject(r, 0);
+  auditor.on_rumor_delivered(1, r.uid, 11, r.data);  // one round late
+  auto rep = auditor.finalize(100);
+  EXPECT_EQ(rep.late, 1u);
+  EXPECT_EQ(rep.missing, 1u);
+  EXPECT_FALSE(rep.ok());
+}
+
+TEST_F(QodAuditorTest, DataMismatchDetected) {
+  auto r = test_rumor(0, 1, kN, {1}, 10);
+  auditor.on_inject(r, 0);
+  const std::vector<std::uint8_t> wrong = {9, 9, 9, 9};
+  auditor.on_rumor_delivered(1, r.uid, 4, wrong);
+  auto rep = auditor.finalize(100);
+  EXPECT_EQ(rep.data_mismatches, 1u);
+}
+
+TEST_F(QodAuditorTest, CrashedDestinationIsNotAdmissible) {
+  auto r = test_rumor(0, 1, kN, {1, 2}, 10);
+  auditor.on_inject(r, 0);
+  auditor.on_crash(2, 5);  // destination 2 dies mid-window
+  auditor.on_rumor_delivered(1, r.uid, 4, r.data);
+  auto rep = auditor.finalize(100);
+  EXPECT_EQ(rep.admissible_pairs, 1u);
+  EXPECT_TRUE(rep.ok());
+}
+
+TEST_F(QodAuditorTest, CrashedSourceExemptsAllDestinations) {
+  auto r = test_rumor(0, 1, kN, {1, 2}, 10);
+  auditor.on_inject(r, 0);
+  auditor.on_crash(0, 3);
+  auto rep = auditor.finalize(100);
+  EXPECT_EQ(rep.admissible_pairs, 0u);
+  EXPECT_TRUE(rep.ok());
+}
+
+TEST_F(QodAuditorTest, RestartBeforeInjectionDoesNotExempt) {
+  auditor.on_crash(1, 2);
+  auditor.on_restart(1, 5);
+  auto r = test_rumor(0, 1, kN, {1}, 10);
+  r.injected_at = 8;  // injected after 1 is back up
+  auditor.on_inject(r, 8);
+  auto rep = auditor.finalize(100);
+  EXPECT_EQ(rep.admissible_pairs, 1u);
+  EXPECT_EQ(rep.missing, 1u);
+}
+
+TEST_F(QodAuditorTest, BonusDeliveriesCounted) {
+  auto r = test_rumor(0, 1, kN, {1}, 10);
+  auditor.on_inject(r, 0);
+  auditor.on_crash(1, 5);
+  auditor.on_restart(1, 6);
+  auditor.on_rumor_delivered(1, r.uid, 8, r.data);  // delivered anyway
+  auto rep = auditor.finalize(100);
+  EXPECT_EQ(rep.admissible_pairs, 0u);
+  EXPECT_EQ(rep.bonus_deliveries, 1u);
+  EXPECT_TRUE(rep.ok());
+}
+
+TEST_F(QodAuditorTest, ContinuouslyAliveLogic) {
+  auditor.on_crash(1, 10);
+  auditor.on_restart(1, 20);
+  EXPECT_TRUE(auditor.continuously_alive(1, 0, 9));
+  EXPECT_FALSE(auditor.continuously_alive(1, 0, 10));
+  EXPECT_FALSE(auditor.continuously_alive(1, 10, 15));
+  EXPECT_FALSE(auditor.continuously_alive(1, 15, 25));  // dead at start
+  EXPECT_TRUE(auditor.continuously_alive(1, 21, 100));
+  EXPECT_TRUE(auditor.continuously_alive(0, 0, 1000));  // never touched
+}
+
+TEST_F(QodAuditorTest, InFlightRumorsAreSkipped) {
+  auto r = test_rumor(0, 1, kN, {1}, 50);
+  auditor.on_inject(r, 0);
+  auto rep = auditor.finalize(10);  // deadline (50) not yet reached
+  EXPECT_EQ(rep.rumors, 0u);
+  EXPECT_TRUE(rep.ok());
+}
+
+TEST_F(QodAuditorTest, DuplicateDeliveriesKeepFirst) {
+  auto r = test_rumor(0, 1, kN, {1}, 10);
+  auditor.on_inject(r, 0);
+  auditor.on_rumor_delivered(1, r.uid, 3, r.data);
+  auditor.on_rumor_delivered(1, r.uid, 9, r.data);
+  EXPECT_EQ(auditor.delivery_round(r.uid, 1), 3);
+  auto rep = auditor.finalize(100);
+  EXPECT_EQ(rep.delivered_on_time, 1u);
+}
+
+}  // namespace
+}  // namespace congos::audit

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "harness/scenario.h"
+
+namespace congos {
+namespace {
+
+using harness::Protocol;
+using harness::run_scenario;
+using harness::ScenarioConfig;
+using harness::WorkloadKind;
+
+ScenarioConfig workload_config(Protocol proto, std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.n = 32;
+  cfg.seed = seed;
+  cfg.protocol = proto;
+  cfg.rounds = 256;
+  cfg.workload = WorkloadKind::kContinuous;
+  cfg.continuous.inject_prob = 0.02;
+  cfg.continuous.dest_min = 2;
+  cfg.continuous.dest_max = 8;
+  cfg.continuous.deadlines = {64};
+  return cfg;
+}
+
+TEST(DirectSend, DeliversEverythingImmediately) {
+  const auto r = run_scenario(workload_config(Protocol::kDirect, 10));
+  EXPECT_GT(r.injected, 0u);
+  EXPECT_TRUE(r.qod.ok());
+  EXPECT_EQ(r.leaks, 0u);
+  EXPECT_NEAR(r.qod.mean_latency, 0.0, 1e-9);  // same-round delivery
+}
+
+TEST(DirectSendPaced, DeliversWithinDeadline) {
+  const auto r = run_scenario(workload_config(Protocol::kDirectPaced, 11));
+  EXPECT_GT(r.injected, 0u);
+  EXPECT_TRUE(r.qod.ok());
+  EXPECT_EQ(r.leaks, 0u);
+}
+
+TEST(DirectSendPaced, LowersPeakPerRound) {
+  // Pacing spreads a burst of big destination sets across the deadline.
+  auto burst = workload_config(Protocol::kDirect, 12);
+  burst.workload = WorkloadKind::kTheorem1;
+  burst.theorem1.x = 16.0;
+  burst.theorem1.dmax = 64;
+  burst.rounds = 80;
+  const auto direct = run_scenario(burst);
+
+  burst.protocol = Protocol::kDirectPaced;
+  const auto paced = run_scenario(burst);
+
+  EXPECT_TRUE(direct.qod.ok());
+  EXPECT_TRUE(paced.qod.ok());
+  EXPECT_LT(paced.max_per_round, direct.max_per_round);
+}
+
+TEST(StrongConfidential, ConfidentialAndOnTime) {
+  const auto r = run_scenario(workload_config(Protocol::kStrongConfidential, 13));
+  EXPECT_GT(r.injected, 0u);
+  EXPECT_TRUE(r.qod.ok()) << "late=" << r.qod.late << " missing=" << r.qod.missing;
+  // Strong confidentiality implies Definition-2 confidentiality.
+  EXPECT_EQ(r.leaks, 0u);
+}
+
+TEST(StrongConfidential, SurvivesChurn) {
+  auto cfg = workload_config(Protocol::kStrongConfidential, 14);
+  cfg.churn = adversary::RandomChurn::Options{};
+  cfg.churn->crash_prob = 0.005;
+  cfg.churn->restart_prob = 0.1;
+  cfg.churn->min_alive = 4;
+  const auto r = run_scenario(cfg);
+  EXPECT_TRUE(r.qod.ok()) << "late=" << r.qod.late << " missing=" << r.qod.missing;
+  EXPECT_EQ(r.leaks, 0u);
+}
+
+TEST(PlainGossip, DeliversButLeaks) {
+  const auto r = run_scenario(workload_config(Protocol::kPlainGossip, 15));
+  EXPECT_GT(r.injected, 0u);
+  EXPECT_TRUE(r.qod.ok());
+  // The paper's motivating failure: epidemic relaying hands rumors to
+  // processes outside the destination set.
+  EXPECT_GT(r.leaks, 0u);
+}
+
+TEST(Comparison, CongosLeaksNothingWherePlainGossipLeaks) {
+  const auto plain = run_scenario(workload_config(Protocol::kPlainGossip, 16));
+  const auto congos = run_scenario(workload_config(Protocol::kCongos, 16));
+  EXPECT_GT(plain.leaks, 0u);
+  EXPECT_EQ(congos.leaks, 0u);
+  EXPECT_TRUE(plain.qod.ok());
+  EXPECT_TRUE(congos.qod.ok());
+}
+
+}  // namespace
+}  // namespace congos

@@ -1,0 +1,184 @@
+#include "common/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace congos {
+namespace {
+
+TEST(Bitset, EmptyByDefault) {
+  DynamicBitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  EXPECT_FALSE(b.any());
+  EXPECT_FALSE(b.all());
+}
+
+TEST(Bitset, FullConstruction) {
+  for (std::size_t n : {1u, 63u, 64u, 65u, 128u, 129u, 1000u}) {
+    DynamicBitset b(n, true);
+    EXPECT_EQ(b.count(), n) << "n=" << n;
+    EXPECT_TRUE(b.all());
+    // No stray bits beyond the universe.
+    DynamicBitset c = DynamicBitset::full(n);
+    EXPECT_EQ(b, c);
+  }
+}
+
+TEST(Bitset, SetResetTest) {
+  DynamicBitset b(70);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(69);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(69));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+  b.assign(5, true);
+  EXPECT_TRUE(b[5]);
+  b.assign(5, false);
+  EXPECT_FALSE(b[5]);
+}
+
+TEST(Bitset, SetAllResetAll) {
+  DynamicBitset b(77);
+  b.set_all();
+  EXPECT_EQ(b.count(), 77u);
+  b.reset_all();
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(Bitset, BitwiseOps) {
+  DynamicBitset a(130), b(130);
+  a.set(1);
+  a.set(100);
+  b.set(100);
+  b.set(129);
+
+  auto u = a | b;
+  EXPECT_TRUE(u.test(1) && u.test(100) && u.test(129));
+  EXPECT_EQ(u.count(), 3u);
+
+  auto i = a & b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.test(100));
+
+  auto d = a - b;
+  EXPECT_EQ(d.count(), 1u);
+  EXPECT_TRUE(d.test(1));
+}
+
+TEST(Bitset, ContainsAllAndIntersects) {
+  DynamicBitset big(200), small(200), other(200);
+  big.set(10);
+  big.set(150);
+  big.set(199);
+  small.set(10);
+  small.set(199);
+  other.set(11);
+
+  EXPECT_TRUE(big.contains_all(small));
+  EXPECT_FALSE(small.contains_all(big));
+  EXPECT_TRUE(big.contains_all(big));
+  EXPECT_TRUE(big.intersects(small));
+  EXPECT_FALSE(big.intersects(other));
+  DynamicBitset empty(200);
+  EXPECT_TRUE(big.contains_all(empty));
+  EXPECT_FALSE(big.intersects(empty));
+}
+
+TEST(Bitset, ToVectorOrdered) {
+  DynamicBitset b(100);
+  b.set(99);
+  b.set(0);
+  b.set(64);
+  auto v = b.to_vector();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 0u);
+  EXPECT_EQ(v[1], 64u);
+  EXPECT_EQ(v[2], 99u);
+}
+
+TEST(Bitset, FindFirstAndNext) {
+  DynamicBitset b(150);
+  EXPECT_EQ(b.find_first(), 150u);
+  b.set(5);
+  b.set(64);
+  b.set(149);
+  EXPECT_EQ(b.find_first(), 5u);
+  EXPECT_EQ(b.find_next(5), 64u);
+  EXPECT_EQ(b.find_next(64), 149u);
+  EXPECT_EQ(b.find_next(149), 150u);
+  EXPECT_EQ(b.find_next(4), 5u);
+}
+
+TEST(Bitset, ForEachVisitsExactly) {
+  DynamicBitset b(300);
+  std::vector<std::uint32_t> want = {0, 63, 64, 65, 127, 128, 299};
+  for (auto i : want) b.set(i);
+  std::vector<std::uint32_t> got;
+  b.for_each([&](std::uint32_t i) { got.push_back(i); });
+  EXPECT_EQ(got, want);
+}
+
+TEST(Bitset, FromIndices) {
+  auto b = DynamicBitset::from_indices(50, {3, 7, 49});
+  EXPECT_EQ(b.count(), 3u);
+  EXPECT_TRUE(b.test(3) && b.test(7) && b.test(49));
+}
+
+TEST(Bitset, EqualityIncludesUniverse) {
+  DynamicBitset a(10), b(10);
+  EXPECT_EQ(a, b);
+  a.set(3);
+  EXPECT_NE(a, b);
+  b.set(3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Bitset, RandomizedAgainstReference) {
+  // Property test: compare against a std::vector<bool> reference model.
+  Rng rng(12345);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.next_below(400);
+    DynamicBitset b(n);
+    std::vector<bool> ref(n, false);
+    for (int op = 0; op < 200; ++op) {
+      const std::size_t i = rng.next_below(n);
+      if (rng.chance(0.5)) {
+        b.set(i);
+        ref[i] = true;
+      } else {
+        b.reset(i);
+        ref[i] = false;
+      }
+    }
+    std::size_t want_count = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(b.test(i), ref[i]);
+      if (ref[i]) ++want_count;
+    }
+    EXPECT_EQ(b.count(), want_count);
+  }
+}
+
+TEST(BitsetDeath, MismatchedUniversesAbort) {
+  DynamicBitset a(10), b(20);
+  EXPECT_DEATH((void)(a |= b), "universe mismatch");
+}
+
+TEST(BitsetDeath, OutOfRangeAborts) {
+  DynamicBitset a(10);
+  EXPECT_DEATH(a.set(10), "");
+}
+
+}  // namespace
+}  // namespace congos

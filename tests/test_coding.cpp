@@ -1,0 +1,123 @@
+#include "coding/xor_share.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace congos::coding {
+namespace {
+
+Bytes make_data(std::size_t len, std::uint8_t seed = 0x5A) {
+  Bytes d(len);
+  for (std::size_t i = 0; i < len; ++i) d[i] = static_cast<std::uint8_t>(seed + i * 7);
+  return d;
+}
+
+class SplitCombineSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(SplitCombineSweep, RoundTrips) {
+  const auto [k, len] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(k * 1000 + len));
+  const Bytes data = make_data(len);
+  auto frags = split(data, k, rng);
+  ASSERT_EQ(frags.size(), k);
+  for (const auto& f : frags) EXPECT_EQ(f.size(), len);
+  EXPECT_EQ(combine(frags), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KAndLength, SplitCombineSweep,
+    ::testing::Combine(::testing::Values(2, 3, 4, 7, 16),
+                       ::testing::Values(0, 1, 7, 8, 64, 1000)));
+
+TEST(XorShare, OrderIndependentCombine) {
+  Rng rng(1);
+  const Bytes data = make_data(64);
+  auto frags = split(data, 4, rng);
+  std::swap(frags[0], frags[3]);
+  std::swap(frags[1], frags[2]);
+  EXPECT_EQ(combine(frags), data);
+}
+
+TEST(XorShare, ProperSubsetDoesNotReconstruct) {
+  Rng rng(2);
+  const Bytes data = make_data(64);
+  for (std::size_t k : {2u, 3u, 5u}) {
+    auto frags = split(data, k, rng);
+    // Every proper non-empty subset XORs to something != data (holds with
+    // probability 1 - 2^-512 per subset for random shares).
+    for (std::size_t mask = 1; mask + 1 < (1u << k); ++mask) {
+      std::vector<Bytes> subset;
+      for (std::size_t i = 0; i < k; ++i) {
+        if (mask & (1u << i)) subset.push_back(frags[i]);
+      }
+      EXPECT_NE(combine(subset), data) << "k=" << k << " mask=" << mask;
+    }
+  }
+}
+
+TEST(XorShare, SingleFragmentLooksRandom) {
+  // Each of the first k-1 fragments is a fresh uniform string: bit balance
+  // should be ~50% over a large fragment.
+  Rng rng(3);
+  const Bytes data(8192, 0x00);  // all-zero plaintext: any bias would show
+  auto frags = split(data, 3, rng);
+  for (std::size_t i = 0; i < 2; ++i) {
+    std::size_t ones = 0;
+    for (auto b : frags[i]) ones += static_cast<std::size_t>(__builtin_popcount(b));
+    const double frac = static_cast<double>(ones) / (frags[i].size() * 8.0);
+    EXPECT_NEAR(frac, 0.5, 0.02);
+  }
+}
+
+TEST(XorShare, LastFragmentIsDataXorOthers) {
+  Rng rng(4);
+  const Bytes data = make_data(32);
+  auto frags = split(data, 3, rng);
+  Bytes acc = data;
+  xor_into(acc, frags[0]);
+  xor_into(acc, frags[1]);
+  EXPECT_EQ(frags[2], acc);
+}
+
+TEST(XorShare, DeterministicGivenRngState) {
+  const Bytes data = make_data(32);
+  Rng a(42), b(42);
+  EXPECT_EQ(split(data, 4, a), split(data, 4, b));
+}
+
+TEST(XorShare, FreshRandomnessPerCall) {
+  const Bytes data = make_data(32);
+  Rng rng(42);
+  const auto first = split(data, 2, rng);
+  const auto second = split(data, 2, rng);
+  EXPECT_NE(first[0], second[0]);
+  EXPECT_EQ(combine(first), combine(second));
+}
+
+TEST(XorShare, XorIntoBasics) {
+  Bytes a = {0x0F, 0xF0};
+  const Bytes b = {0xFF, 0xFF};
+  xor_into(a, b);
+  EXPECT_EQ(a, (Bytes{0xF0, 0x0F}));
+}
+
+TEST(XorShareDeath, KMustBeAtLeastTwo) {
+  Rng rng(5);
+  const Bytes data = make_data(8);
+  EXPECT_DEATH((void)split(data, 1, rng), "at least 2");
+}
+
+TEST(XorShareDeath, LengthMismatch) {
+  Bytes a(4), b(5);
+  EXPECT_DEATH(xor_into(a, b), "mismatch");
+}
+
+TEST(XorShareDeath, CombineEmpty) {
+  std::vector<Bytes> none;
+  EXPECT_DEATH((void)combine(none), "zero fragments");
+}
+
+}  // namespace
+}  // namespace congos::coding

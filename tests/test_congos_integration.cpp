@@ -1,0 +1,236 @@
+// End-to-end tests of algorithm CONGOS (tau = 1): Theorem 2's two halves -
+// confidentiality (Lemma 3) and Quality of Delivery (Lemma 4) - checked by
+// the independent auditors on full executions, under benign and adversarial
+// (adaptive CRRI) conditions.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "harness/scenario.h"
+
+namespace congos {
+namespace {
+
+using harness::Protocol;
+using harness::run_scenario;
+using harness::ScenarioConfig;
+using harness::WorkloadKind;
+
+ScenarioConfig base_config(std::size_t n, Round deadline, std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  cfg.protocol = Protocol::kCongos;
+  cfg.rounds = deadline * 5;
+  cfg.workload = WorkloadKind::kContinuous;
+  cfg.continuous.inject_prob = 0.02;
+  cfg.continuous.dest_min = 2;
+  cfg.continuous.dest_max = 6;
+  cfg.continuous.deadlines = {deadline};
+  cfg.measure_from = deadline * 2;
+  return cfg;
+}
+
+TEST(CongosIntegration, FailureFreeDeliversAndStaysConfidential) {
+  auto cfg = base_config(32, 64, 1001);
+  const auto r = run_scenario(cfg);
+  EXPECT_GT(r.injected, 20u);
+  EXPECT_EQ(r.qod.late, 0u);
+  EXPECT_EQ(r.qod.missing, 0u);
+  EXPECT_EQ(r.qod.data_mismatches, 0u);
+  EXPECT_EQ(r.leaks, 0u);
+  EXPECT_EQ(r.foreign_fragments, 0u);
+  EXPECT_EQ(r.filter_drops, 0u);
+  EXPECT_EQ(r.unknown_payloads, 0u);
+}
+
+TEST(CongosIntegration, FailureFreeConfirmsWithoutFallback) {
+  // In a benign, warmed-up run the confirmation pipeline should handle
+  // everything: the deadline fallback stays unused.
+  auto cfg = base_config(32, 64, 1002);
+  const auto r = run_scenario(cfg);
+  EXPECT_EQ(r.cg_shoots, 0u);
+  EXPECT_EQ(r.cg_confirmed, r.injected);
+  EXPECT_GT(r.cg_reassembled, 0u);
+}
+
+class CongosSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, Round, std::uint64_t>> {};
+
+TEST_P(CongosSweep, QoDAndConfidentialityHold) {
+  const auto [n, deadline, seed] = GetParam();
+  auto cfg = base_config(n, deadline, seed);
+  const auto r = run_scenario(cfg);
+  EXPECT_GT(r.injected, 0u);
+  EXPECT_TRUE(r.qod.ok()) << "late=" << r.qod.late << " missing=" << r.qod.missing;
+  EXPECT_EQ(r.leaks, 0u);
+  EXPECT_EQ(r.foreign_fragments, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CongosSweep,
+    ::testing::Values(std::make_tuple(8, 64, 1), std::make_tuple(16, 32, 2),
+                      std::make_tuple(16, 128, 3), std::make_tuple(33, 64, 4),
+                      std::make_tuple(48, 64, 5), std::make_tuple(64, 128, 6),
+                      std::make_tuple(20, 256, 7)));
+
+TEST(CongosIntegration, ShortDeadlinesUseDirectPath) {
+  auto cfg = base_config(24, 64, 1003);
+  cfg.continuous.deadlines = {8};  // below direct_threshold = 32
+  cfg.rounds = 200;
+  cfg.measure_from = 0;
+  const auto r = run_scenario(cfg);
+  EXPECT_GT(r.injected, 0u);
+  EXPECT_EQ(r.cg_injected_direct, r.injected);
+  EXPECT_TRUE(r.qod.ok());
+  EXPECT_EQ(r.leaks, 0u);
+}
+
+TEST(CongosIntegration, MixedDeadlineClassesCoexist) {
+  auto cfg = base_config(32, 128, 1004);
+  cfg.continuous.deadlines = {16, 48, 64, 128, 300};
+  cfg.rounds = 640;
+  const auto r = run_scenario(cfg);
+  EXPECT_TRUE(r.qod.ok());
+  EXPECT_EQ(r.leaks, 0u);
+  EXPECT_GT(r.cg_injected_direct, 0u);            // the 16s
+  EXPECT_GT(r.injected, r.cg_injected_direct);    // the others pipelined
+}
+
+TEST(CongosIntegration, SurvivesRandomChurn) {
+  auto cfg = base_config(32, 64, 1005);
+  cfg.churn = adversary::RandomChurn::Options{};
+  cfg.churn->crash_prob = 0.005;
+  cfg.churn->restart_prob = 0.05;
+  cfg.churn->min_alive = 4;
+  const auto r = run_scenario(cfg);
+  EXPECT_GT(r.injected, 0u);
+  // Only admissible pairs are required; the auditor computes admissibility.
+  EXPECT_TRUE(r.qod.ok()) << "late=" << r.qod.late << " missing=" << r.qod.missing;
+  EXPECT_EQ(r.leaks, 0u);
+  EXPECT_EQ(r.foreign_fragments, 0u);
+}
+
+TEST(CongosIntegration, SurvivesAdaptiveProxyKiller) {
+  // The Section-1 attack: crash every process the moment it receives a proxy
+  // request (bounded budget). Confidentiality and QoD must still hold.
+  auto cfg = base_config(32, 64, 1006);
+  cfg.crash_on_service = adversary::CrashOnService::Options{};
+  cfg.crash_on_service->target = sim::ServiceKind::kProxy;
+  cfg.crash_on_service->per_round_budget = 2;
+  cfg.crash_on_service->total_budget = 40;
+  cfg.crash_on_service->restart_after = 24;
+  cfg.crash_on_service->min_alive = 4;
+  const auto r = run_scenario(cfg);
+  EXPECT_GT(r.injected, 0u);
+  EXPECT_TRUE(r.qod.ok()) << "late=" << r.qod.late << " missing=" << r.qod.missing;
+  EXPECT_EQ(r.leaks, 0u);
+}
+
+TEST(CongosIntegration, SurvivesGroupDistributionSenderCrashes) {
+  // Crash GroupDistribution senders right after they send, dropping a random
+  // half of their partials: the hitSet logic must not produce false
+  // confirmations ([GD:CONFIRM]), so nothing may be lost.
+  auto cfg = base_config(32, 64, 1007);
+  cfg.crash_senders = adversary::CrashSenders::Options{};
+  cfg.crash_senders->target = sim::ServiceKind::kGroupDistribution;
+  cfg.crash_senders->per_round_budget = 1;
+  cfg.crash_senders->total_budget = 25;
+  cfg.crash_senders->min_alive = 4;
+  cfg.crash_senders->delivery = sim::PartialDelivery::kRandom;
+  const auto r = run_scenario(cfg);
+  EXPECT_GT(r.injected, 0u);
+  EXPECT_TRUE(r.qod.ok()) << "late=" << r.qod.late << " missing=" << r.qod.missing;
+  EXPECT_EQ(r.leaks, 0u);
+}
+
+TEST(CongosIntegration, FallbackCoversColdStart) {
+  // Rumors injected immediately after start: GroupDistribution is not yet
+  // active (needs ~2/3*dline uptime), so early rumors ride the deadline
+  // fallback - and must still arrive on time.
+  ScenarioConfig cfg;
+  cfg.n = 16;
+  cfg.seed = 1008;
+  cfg.protocol = Protocol::kCongos;
+  cfg.rounds = 40;
+  cfg.workload = WorkloadKind::kContinuous;
+  cfg.continuous.inject_prob = 0.2;
+  cfg.continuous.deadlines = {64};
+  cfg.continuous.last_injection_round = 5;
+  const auto r = run_scenario(cfg);
+  EXPECT_GT(r.injected, 0u);
+  EXPECT_TRUE(r.qod.ok());
+  EXPECT_EQ(r.leaks, 0u);
+}
+
+TEST(CongosIntegration, ExpanderStrategyWorksEndToEnd) {
+  // The deterministic expander realization of the gossip black box (closer
+  // in spirit to [13]'s derandomization) must satisfy the same guarantees.
+  auto cfg = base_config(32, 64, 1013);
+  cfg.congos.gossip_strategy = gossip::GossipStrategy::kExpander;
+  const auto r = run_scenario(cfg);
+  EXPECT_GT(r.injected, 0u);
+  EXPECT_TRUE(r.qod.ok()) << "late=" << r.qod.late << " missing=" << r.qod.missing;
+  EXPECT_EQ(r.leaks, 0u);
+  EXPECT_EQ(r.foreign_fragments, 0u);
+}
+
+TEST(CongosIntegration, ExpanderStrategyUnderChurn) {
+  auto cfg = base_config(32, 64, 1014);
+  cfg.congos.gossip_strategy = gossip::GossipStrategy::kExpander;
+  cfg.churn = adversary::RandomChurn::Options{};
+  cfg.churn->crash_prob = 0.004;
+  cfg.churn->restart_prob = 0.05;
+  cfg.churn->min_alive = 6;
+  const auto r = run_scenario(cfg);
+  EXPECT_TRUE(r.qod.ok()) << "late=" << r.qod.late << " missing=" << r.qod.missing;
+  EXPECT_EQ(r.leaks, 0u);
+}
+
+TEST(CongosIntegration, DeterministicAcrossRuns) {
+  auto cfg = base_config(24, 64, 1009);
+  const auto a = run_scenario(cfg);
+  const auto b = run_scenario(cfg);
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.qod.delivered_on_time, b.qod.delivered_on_time);
+  EXPECT_EQ(a.cg_confirmed, b.cg_confirmed);
+}
+
+TEST(CongosIntegration, SeedChangesExecution) {
+  auto cfg = base_config(24, 64, 1010);
+  const auto a = run_scenario(cfg);
+  cfg.seed = 1011;
+  const auto b = run_scenario(cfg);
+  EXPECT_NE(a.total_messages, b.total_messages);
+}
+
+TEST(CongosIntegration, CheaperPerRoundThanStrongConfidentialOnThm1Load) {
+  // The whole point of the paper: collaborating through fragments beats
+  // keeping everything inside the destination sets. Under the Theorem 1
+  // workload (every process one rumor, random destinations), compare the
+  // peak per-round message complexity... of the *strongly confidential*
+  // baseline against CONGOS's *steady-state* complexity measured per rumor.
+  // Here we simply check both run correctly; the quantitative comparison is
+  // experiment E1/E3 (bench/exp_lower_bound_strong, exp_msg_vs_n).
+  ScenarioConfig cfg;
+  cfg.n = 32;
+  cfg.seed = 1012;
+  cfg.workload = WorkloadKind::kTheorem1;
+  cfg.theorem1.x = 5.0;
+  cfg.theorem1.dmax = 64;
+  cfg.rounds = 80;
+
+  cfg.protocol = Protocol::kCongos;
+  const auto congos = run_scenario(cfg);
+  EXPECT_TRUE(congos.qod.ok());
+  EXPECT_EQ(congos.leaks, 0u);
+
+  cfg.protocol = Protocol::kStrongConfidential;
+  const auto strong = run_scenario(cfg);
+  EXPECT_TRUE(strong.qod.ok());
+  EXPECT_EQ(strong.leaks, 0u);
+}
+
+}  // namespace
+}  // namespace congos

@@ -1,0 +1,209 @@
+// Section-7 metadata-hiding extensions: destination-set hiding and cover
+// traffic.
+#include "congos/extensions.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "adversary/adversary.h"
+#include "adversary/workload.h"
+#include "congos/congos_process.h"
+#include "harness/scenario.h"
+#include "test_util.h"
+
+namespace congos::core {
+namespace {
+
+TEST(HideDestinationSet, ProducesOneSingletonPerProcess) {
+  Rng rng(1);
+  const std::size_t n = 16;
+  auto r = sim::make_rumor(3, 5, adversary::canonical_payload({3, 5}, 32), 64,
+                           DynamicBitset::from_indices(n, {1, 7, 12}));
+  auto exploded = hide_destination_set(r, n, 100, rng);
+  ASSERT_EQ(exploded.size(), n);
+  for (ProcessId q = 0; q < n; ++q) {
+    const auto& s = exploded[q];
+    EXPECT_EQ(s.uid.source, r.uid.source);
+    EXPECT_EQ(s.uid.seq, 100u + q);
+    EXPECT_EQ(s.deadline, r.deadline);
+    EXPECT_EQ(s.dest.count(), 1u);
+    EXPECT_TRUE(s.dest.test(q));
+    EXPECT_EQ(s.data.size(), r.data.size());
+    if (r.dest.test(q)) {
+      EXPECT_EQ(s.data, r.data) << "destination " << q << " must get content";
+    } else {
+      EXPECT_NE(s.data, r.data) << "chaff for " << q << " must differ";
+    }
+  }
+}
+
+TEST(HideDestinationSet, ChaffIsFreshPerProcess) {
+  Rng rng(2);
+  const std::size_t n = 8;
+  auto r = sim::make_rumor(0, 1, coding::Bytes(32, 0x11), 64, DynamicBitset(n));
+  auto exploded = hide_destination_set(r, n, 1, rng);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      EXPECT_NE(exploded[a].data, exploded[b].data);
+    }
+  }
+}
+
+TEST(HideDestinationSet, UniformSizesHideMembership) {
+  // The observable shape (count, sizes, deadlines) is identical no matter
+  // what the real destination set was.
+  Rng rng(3);
+  const std::size_t n = 12;
+  auto r1 = sim::make_rumor(0, 1, coding::Bytes(16, 0x22), 64,
+                            DynamicBitset::from_indices(n, {1}));
+  auto r2 = sim::make_rumor(0, 1, coding::Bytes(16, 0x33), 64,
+                            DynamicBitset::from_indices(n, {2, 3, 4, 5, 6, 7}));
+  auto e1 = hide_destination_set(r1, n, 1, rng);
+  auto e2 = hide_destination_set(r2, n, 1, rng);
+  ASSERT_EQ(e1.size(), e2.size());
+  for (std::size_t i = 0; i < e1.size(); ++i) {
+    EXPECT_EQ(e1[i].data.size(), e2[i].data.size());
+    EXPECT_EQ(e1[i].dest.count(), e2[i].dest.count());
+    EXPECT_EQ(e1[i].deadline, e2[i].deadline);
+  }
+}
+
+TEST(HideDestinationSet, ExplodedRumorsFlowThroughCongos) {
+  // Inject the exploded singletons through the full stack: real destinations
+  // get the real content; confidentiality holds.
+  const std::size_t n = 16;
+  harness::ScenarioConfig cfg;
+  cfg.n = n;
+  cfg.seed = 4;
+  cfg.rounds = 160;
+  cfg.protocol = harness::Protocol::kCongos;
+  cfg.congos.allow_degenerate = false;
+  cfg.workload = harness::WorkloadKind::kNone;
+  // run_scenario has no hook for custom adversaries beyond its options, so
+  // exercise the path via a dest_gen continuous load of singletons, which is
+  // what hide_destination_set reduces the system to.
+  cfg.workload = harness::WorkloadKind::kContinuous;
+  cfg.continuous.inject_prob = 0.05;
+  cfg.continuous.dest_min = 1;
+  cfg.continuous.dest_max = 1;
+  cfg.continuous.deadlines = {64};
+  const auto r = harness::run_scenario(cfg);
+  EXPECT_GT(r.injected, 0u);
+  EXPECT_TRUE(r.qod.ok());
+  EXPECT_EQ(r.leaks, 0u);
+}
+
+TEST(OpaqueIds, SequenceNumbersAreScrambledButUnique) {
+  // Section 7: "the sequence number can be replaced with a pseudorandom
+  // identifier".
+  auto sys = testutil::make_system(8, 77);
+  adversary::Composite comp;
+  adversary::Continuous::Options w;
+  w.inject_prob = 0.5;
+  w.dest_min = 1;
+  w.dest_max = 2;
+  w.opaque_ids = true;
+  comp.add(std::make_unique<adversary::Continuous>(w));
+  sys.engine->set_adversary(&comp);
+  sys.engine->run(60);
+  for (auto* p : sys.procs) {
+    std::set<std::uint64_t> seqs;
+    bool sequential_prefix = true;
+    std::uint64_t i = 1;
+    for (const auto& r : p->injected) {
+      EXPECT_TRUE(seqs.insert(r.uid.seq).second) << "duplicate uid";
+      sequential_prefix = sequential_prefix && (r.uid.seq == i++);
+      EXPECT_LT(r.uid.seq, 1ull << 40);  // fits the packed uid field
+    }
+    if (p->injected.size() >= 3) {
+      EXPECT_FALSE(sequential_prefix) << "ids look sequential, not opaque";
+    }
+  }
+}
+
+TEST(OpaqueIds, EndToEndThroughCongos) {
+  harness::ScenarioConfig cfg;
+  cfg.n = 16;
+  cfg.seed = 78;
+  cfg.rounds = 160;
+  cfg.protocol = harness::Protocol::kCongos;
+  cfg.continuous.inject_prob = 0.05;
+  cfg.continuous.deadlines = {64};
+  cfg.continuous.opaque_ids = true;
+  const auto r = harness::run_scenario(cfg);
+  EXPECT_GT(r.injected, 0u);
+  EXPECT_TRUE(r.qod.ok());
+  EXPECT_EQ(r.leaks, 0u);
+}
+
+TEST(CoverTraffic, InjectsDecoysAtConfiguredRate) {
+  auto sys = testutil::make_system(16, 5);
+  CoverTraffic::Options opt;
+  opt.rate = 0.25;
+  adversary::Composite comp;
+  auto ct = std::make_unique<CoverTraffic>(opt);
+  auto* raw = ct.get();
+  comp.add(std::move(ct));
+  sys.engine->set_adversary(&comp);
+  sys.engine->run(100);
+  EXPECT_GT(raw->decoys_injected(), 250u);
+  EXPECT_LT(raw->decoys_injected(), 550u);
+  for (auto* p : sys.procs) {
+    for (const auto& r : p->injected) {
+      EXPECT_EQ(r.dest.count(), 1u);
+      EXPECT_GE(r.uid.seq, opt.seq_base);
+    }
+  }
+}
+
+TEST(CoverTraffic, CoexistsWithRealWorkload) {
+  // One-injection-per-round rule must hold when decoys and real rumors mix.
+  auto sys = testutil::make_system(8, 6);
+  adversary::Composite comp;
+  adversary::Continuous::Options w;
+  w.inject_prob = 0.5;
+  w.dest_min = 1;
+  w.dest_max = 2;
+  comp.add(std::make_unique<adversary::Continuous>(w));
+  CoverTraffic::Options opt;
+  opt.rate = 0.5;
+  comp.add(std::make_unique<CoverTraffic>(opt));
+  sys.engine->set_adversary(&comp);
+  sys.engine->run(50);  // would abort on a double injection
+  std::size_t total = 0;
+  for (auto* p : sys.procs) total += p->injected.size();
+  EXPECT_GT(total, 100u);
+}
+
+TEST(CoverTraffic, DecoysAreDeliveredLikeRealRumors) {
+  // Run decoy-only traffic through full CONGOS: decoys are real rumors as
+  // far as the protocol is concerned, so QoD must hold for them too.
+  const std::size_t n = 16;
+  core::CongosConfig ccfg;
+  ccfg.allow_degenerate = false;
+  auto cfg = std::make_shared<const core::CongosConfig>(ccfg);
+  auto partitions = CongosProcess::build_partitions(n, ccfg);
+  audit::DeliveryAuditor qod(n);
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  Rng seeder(7);
+  for (ProcessId p = 0; p < n; ++p) {
+    procs.push_back(
+        std::make_unique<CongosProcess>(p, cfg, partitions, seeder.next(), &qod));
+  }
+  sim::Engine engine(std::move(procs), seeder.next());
+  engine.add_observer(&qod);
+  adversary::Composite comp;
+  CoverTraffic::Options opt;
+  opt.rate = 0.02;
+  opt.deadline = 64;
+  comp.add(std::make_unique<CoverTraffic>(opt));
+  engine.set_adversary(&comp);
+  engine.run(256);
+  const auto report = qod.finalize(engine.now());
+  EXPECT_GT(qod.injected_count(), 0u);
+  EXPECT_TRUE(report.ok());
+}
+
+}  // namespace
+}  // namespace congos::core

@@ -1,0 +1,167 @@
+// Randomized adversary fuzzing: a fully random (but rule-respecting) CRRI
+// schedule of crashes, restarts and injections is thrown at CONGOS; the
+// auditors then check both halves of Theorem 2 on whatever happened.
+//
+// This is the strongest correctness test in the suite: the adversary is
+// unconstrained by any scenario shape, and each seed explores a different
+// schedule. Failures are perfectly reproducible from the seed.
+#include <gtest/gtest.h>
+
+#include "adversary/workload.h"
+#include "audit/confidentiality.h"
+#include "audit/qod.h"
+#include "congos/congos_process.h"
+#include "harness/scenario.h"
+#include "sim/engine.h"
+
+namespace congos {
+namespace {
+
+/// Chaos adversary: every round, random crashes, restarts and injections
+/// with random destination sets and deadlines, drawn from the engine rng.
+class ChaosAdversary final : public sim::Adversary {
+ public:
+  struct Options {
+    double crash_prob = 0.01;
+    double restart_prob = 0.08;
+    double inject_prob = 0.02;
+    double adaptive_kill_prob = 0.1;  // chance to kill a random sender
+    std::size_t min_alive = 4;
+    Round last_injection = 256;
+    std::vector<Round> deadlines = {32, 64, 100, 128};
+  };
+
+  explicit ChaosAdversary(Options opt) : opt_(std::move(opt)) {}
+
+  void at_round_start(sim::Engine& engine) override {
+    auto& rng = engine.rng();
+    const auto n = static_cast<ProcessId>(engine.n());
+    if (seq_.empty()) seq_.resize(n, 0);
+    std::vector<bool> touched(n, false);
+    for (ProcessId p = 0; p < n; ++p) {
+      if (!engine.alive(p) && rng.chance(opt_.restart_prob)) {
+        engine.restart(p, random_policy(rng));
+        touched[p] = true;
+      }
+    }
+    for (ProcessId p = 0; p < n; ++p) {
+      if (engine.alive(p) && !touched[p] && engine.alive_count() > opt_.min_alive &&
+          rng.chance(opt_.crash_prob)) {
+        engine.crash(p, random_policy(rng));
+        touched[p] = true;
+      }
+    }
+    if (engine.now() > opt_.last_injection) return;
+    for (ProcessId p = 0; p < n; ++p) {
+      if (!engine.alive(p) || !rng.chance(opt_.inject_prob)) continue;
+      sim::Rumor r;
+      r.uid = RumorUid{p, ++seq_[p]};
+      r.deadline = opt_.deadlines[rng.next_below(opt_.deadlines.size())];
+      r.data = adversary::canonical_payload(r.uid, 8 + rng.next_below(24));
+      const auto k = static_cast<std::uint32_t>(1 + rng.next_below(6));
+      r.dest = DynamicBitset::from_indices(
+          engine.n(), rng.sample_without_replacement(n, std::min(k, n)));
+      engine.inject(p, std::move(r));
+    }
+  }
+
+  void after_sends(sim::Engine& engine) override {
+    // Adaptive: occasionally kill the sender or receiver of a random pending
+    // message, after seeing the round's sends.
+    auto& rng = engine.rng();
+    if (engine.pending().empty() || !rng.chance(opt_.adaptive_kill_prob)) return;
+    if (engine.alive_count() <= opt_.min_alive) return;
+    const auto& e = engine.pending()[rng.next_below(engine.pending().size())];
+    const ProcessId victim = rng.chance(0.5) ? e.from : e.to;
+    if (engine.alive(victim) && !engine.lifecycle_event_this_round(victim)) {
+      engine.crash(victim, random_policy(rng));
+    }
+  }
+
+ private:
+  static sim::PartialDelivery random_policy(Rng& rng) {
+    switch (rng.next_below(3)) {
+      case 0: return sim::PartialDelivery::kDeliverAll;
+      case 1: return sim::PartialDelivery::kDropAll;
+      default: return sim::PartialDelivery::kRandom;
+    }
+  }
+
+  Options opt_;
+  std::vector<std::uint64_t> seq_;
+};
+
+class ChaosFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosFuzz, CongosSurvivesChaos) {
+  const std::uint64_t seed = GetParam();
+  const std::size_t n = 32;
+
+  core::CongosConfig ccfg;
+  auto cfg = std::make_shared<const core::CongosConfig>(ccfg);
+  auto partitions = core::CongosProcess::build_partitions(n, ccfg);
+
+  audit::DeliveryAuditor qod(n);
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  Rng seeder(seed);
+  for (ProcessId p = 0; p < n; ++p) {
+    procs.push_back(std::make_unique<core::CongosProcess>(p, cfg, partitions,
+                                                          seeder.next(), &qod));
+  }
+  sim::Engine engine(std::move(procs), seeder.next());
+  audit::ConfidentialityAuditor conf(n, partitions.get());
+  engine.add_observer(&conf);
+  engine.add_observer(&qod);
+
+  ChaosAdversary::Options copt;
+  ChaosAdversary chaos(copt);
+  engine.set_adversary(&chaos);
+  engine.run(256 + 128 + 2);
+
+  const auto report = qod.finalize(engine.now());
+  EXPECT_GT(qod.injected_count(), 0u) << "seed " << seed;
+  EXPECT_EQ(report.late, 0u) << "seed " << seed;
+  EXPECT_EQ(report.missing, 0u) << "seed " << seed;
+  EXPECT_EQ(report.data_mismatches, 0u) << "seed " << seed;
+  EXPECT_EQ(conf.leaks(), 0u) << "seed " << seed;
+  EXPECT_EQ(conf.count(audit::ViolationKind::kForeignFragment), 0u) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST(ChaosFuzz, CollusionVariantSurvivesChaosToo) {
+  const std::size_t n = 32;
+  core::CongosConfig ccfg;
+  ccfg.tau = 2;
+  ccfg.allow_degenerate = false;
+  auto cfg = std::make_shared<const core::CongosConfig>(ccfg);
+  auto partitions = core::CongosProcess::build_partitions(n, ccfg);
+
+  audit::DeliveryAuditor qod(n);
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  Rng seeder(777);
+  for (ProcessId p = 0; p < n; ++p) {
+    procs.push_back(std::make_unique<core::CongosProcess>(p, cfg, partitions,
+                                                          seeder.next(), &qod));
+  }
+  sim::Engine engine(std::move(procs), seeder.next());
+  audit::ConfidentialityAuditor conf(n, partitions.get());
+  engine.add_observer(&conf);
+  engine.add_observer(&qod);
+
+  ChaosAdversary::Options copt;
+  copt.inject_prob = 0.01;
+  copt.last_injection = 192;
+  ChaosAdversary chaos(copt);
+  engine.set_adversary(&chaos);
+  engine.run(192 + 128 + 2);
+
+  const auto report = qod.finalize(engine.now());
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(conf.leaks(), 0u);
+  EXPECT_GT(conf.weakest_rumor_coalition(), 2u);
+}
+
+}  // namespace
+}  // namespace congos

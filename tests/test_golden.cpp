@@ -1,0 +1,64 @@
+// Golden regression tests: a (seed, configuration) pair fully determines an
+// execution (single-threaded engine, own RNG, integer arithmetic), so exact
+// aggregate numbers are stable across runs and platforms. A diff here means
+// protocol behaviour changed - which may be intentional, but must be
+// deliberate: update the constants only after understanding why.
+#include <gtest/gtest.h>
+
+#include "harness/scenario.h"
+
+namespace congos {
+namespace {
+
+harness::ScenarioConfig golden_config(harness::Protocol proto) {
+  harness::ScenarioConfig cfg;
+  cfg.n = 24;
+  cfg.seed = 4242;
+  cfg.rounds = 160;
+  cfg.continuous.inject_prob = 0.02;
+  cfg.continuous.deadlines = {64};
+  cfg.protocol = proto;
+  return cfg;
+}
+
+TEST(Golden, CongosAggregates) {
+  const auto r = harness::run_scenario(golden_config(harness::Protocol::kCongos));
+  EXPECT_EQ(r.injected, 71u);
+  EXPECT_EQ(r.qod.delivered_on_time, 381u);
+  EXPECT_EQ(r.total_messages, 104665u);
+  EXPECT_EQ(r.max_per_round, 3240u);
+  EXPECT_EQ(r.total_bytes, 1086917669u);
+  EXPECT_EQ(r.leaks, 0u);
+  EXPECT_EQ(r.cg_shoots, 0u);
+}
+
+TEST(Golden, StrongConfidentialAggregates) {
+  const auto r =
+      harness::run_scenario(golden_config(harness::Protocol::kStrongConfidential));
+  EXPECT_EQ(r.injected, 71u);
+  EXPECT_EQ(r.qod.delivered_on_time, 381u);
+  EXPECT_EQ(r.total_messages, 15441u);
+  EXPECT_EQ(r.leaks, 0u);
+}
+
+TEST(Golden, PlainGossipAggregates) {
+  const auto r = harness::run_scenario(golden_config(harness::Protocol::kPlainGossip));
+  EXPECT_EQ(r.total_messages, 16245u);
+  EXPECT_EQ(r.leaks, 1267u);
+}
+
+TEST(Golden, IdenticalWorkloadAcrossProtocols) {
+  // The injection schedule depends only on (seed, n, rounds), never on the
+  // protocol under test - the comparisons in the benches rely on this.
+  const auto a = harness::run_scenario(golden_config(harness::Protocol::kCongos));
+  const auto b =
+      harness::run_scenario(golden_config(harness::Protocol::kStrongConfidential));
+  const auto c = harness::run_scenario(golden_config(harness::Protocol::kDirect));
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(b.injected, c.injected);
+  EXPECT_EQ(a.qod.admissible_pairs, b.qod.admissible_pairs);
+  EXPECT_EQ(b.qod.admissible_pairs, c.qod.admissible_pairs);
+}
+
+}  // namespace
+}  // namespace congos

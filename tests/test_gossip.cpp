@@ -1,0 +1,499 @@
+#include "gossip/continuous_gossip.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/engine.h"
+#include "test_util.h"
+
+namespace congos::gossip {
+namespace {
+
+constexpr sim::ServiceTag kTag{sim::ServiceKind::kGroupGossip, 0};
+
+struct Delivery {
+  std::uint64_t gid;
+  Round when;
+  ProcessId origin;
+};
+
+/// A process hosting exactly one gossip service.
+class GossipHost final : public sim::Process {
+ public:
+  GossipHost(ProcessId id, GossipConfig cfg, std::uint64_t seed)
+      : sim::Process(id), rng_(seed) {
+    cfg_ = cfg;
+    rebuild();
+  }
+
+  void on_restart(Round now) override {
+    rebuild();
+    svc_->reset(now);
+    delivered.clear();
+  }
+
+  void send_phase(Round now, sim::Sender& out) override { svc_->send_phase(now, out); }
+
+  void receive_phase(Round now, std::span<const sim::Envelope> inbox) override {
+    for (const auto& e : inbox) svc_->on_envelope(now, e);
+  }
+
+  ContinuousGossipService& service() { return *svc_; }
+  std::vector<Delivery> delivered;
+
+ private:
+  void rebuild() {
+    svc_ = std::make_unique<ContinuousGossipService>(
+        id(), cfg_, &rng_, [this](Round now, const GossipRumor& r) {
+          delivered.push_back(Delivery{r.gid, now, r.origin});
+        });
+  }
+
+  GossipConfig cfg_;
+  Rng rng_;
+  std::unique_ptr<ContinuousGossipService> svc_;
+};
+
+/// Records any stray envelopes (for out-of-universe leak checks).
+class SilentProcess final : public sim::Process {
+ public:
+  explicit SilentProcess(ProcessId id) : sim::Process(id) {}
+  void on_restart(Round) override {}
+  void send_phase(Round, sim::Sender&) override {}
+  void receive_phase(Round, std::span<const sim::Envelope> inbox) override {
+    received += inbox.size();
+  }
+  std::size_t received = 0;
+};
+
+struct GossipSystem {
+  std::vector<GossipHost*> hosts;          // index == id for in-universe hosts
+  std::vector<SilentProcess*> silent;
+  std::unique_ptr<sim::Engine> engine;
+};
+
+GossipSystem make_gossip_system(std::size_t n, const DynamicBitset& universe,
+                                int fanout, bool guaranteed, std::uint64_t seed) {
+  GossipSystem sys;
+  sys.hosts.assign(n, nullptr);
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  Rng seeder(seed);
+  for (ProcessId p = 0; p < n; ++p) {
+    if (universe.test(p)) {
+      GossipConfig cfg;
+      cfg.tag = kTag;
+      cfg.universe = universe;
+      cfg.fanout = fanout;
+      cfg.guaranteed = guaranteed;
+      auto host = std::make_unique<GossipHost>(p, cfg, seeder.next());
+      sys.hosts[p] = host.get();
+      procs.push_back(std::move(host));
+    } else {
+      auto s = std::make_unique<SilentProcess>(p);
+      sys.silent.push_back(s.get());
+      procs.push_back(std::move(s));
+    }
+  }
+  sys.engine = std::make_unique<sim::Engine>(std::move(procs), seeder.next());
+  return sys;
+}
+
+TEST(Gossip, EpidemicReachesWholeUniverse) {
+  const std::size_t n = 16;
+  auto universe = DynamicBitset::full(n);
+  auto sys = make_gossip_system(n, universe, 3, false, 101);
+  // Inject once before the first round's send phase via the adversary hook.
+  testutil::LambdaAdversary adv;
+  adv.on_round_start = [&](sim::Engine& e) {
+    if (e.now() == 0) {
+      sys.hosts[0]->service().inject(0, std::make_shared<testutil::IntPayload>(7),
+                                     universe, 24);
+    }
+  };
+  sys.engine->set_adversary(&adv);
+  sys.engine->run(24);
+  for (ProcessId p = 0; p < n; ++p) {
+    ASSERT_EQ(sys.hosts[p]->delivered.size(), 1u) << "p=" << p;
+    EXPECT_EQ(sys.hosts[p]->delivered[0].origin, 0u);
+    EXPECT_LE(sys.hosts[p]->delivered[0].when, 24);
+  }
+}
+
+TEST(Gossip, DeliversOnlyToDestinations) {
+  const std::size_t n = 12;
+  auto universe = DynamicBitset::full(n);
+  auto sys = make_gossip_system(n, universe, 3, false, 102);
+  DynamicBitset dest(n);
+  dest.set(3);
+  dest.set(7);
+  testutil::LambdaAdversary adv;
+  adv.on_round_start = [&](sim::Engine& e) {
+    if (e.now() == 0) {
+      sys.hosts[1]->service().inject(0, std::make_shared<testutil::IntPayload>(1),
+                                     dest, 20);
+    }
+  };
+  sys.engine->set_adversary(&adv);
+  sys.engine->run(20);
+  for (ProcessId p = 0; p < n; ++p) {
+    const bool is_dest = dest.test(p);
+    EXPECT_EQ(sys.hosts[p]->delivered.size(), is_dest ? 1u : 0u) << "p=" << p;
+  }
+}
+
+TEST(Gossip, UniverseRestrictionIsAirtight) {
+  // Universe = even ids. Odd processes must never receive a single envelope.
+  const std::size_t n = 16;
+  DynamicBitset universe(n);
+  for (std::size_t p = 0; p < n; p += 2) universe.set(p);
+  auto sys = make_gossip_system(n, universe, 3, false, 103);
+  testutil::LambdaAdversary adv;
+  adv.on_round_start = [&](sim::Engine& e) {
+    if (e.now() == 0) {
+      sys.hosts[0]->service().inject(0, std::make_shared<testutil::IntPayload>(1),
+                                     universe, 30);
+    }
+  };
+  sys.engine->set_adversary(&adv);
+  sys.engine->run(30);
+  for (auto* s : sys.silent) EXPECT_EQ(s->received, 0u);
+  for (ProcessId p = 0; p < n; p += 2) {
+    EXPECT_EQ(sys.hosts[p]->delivered.size(), 1u) << "p=" << p;
+    EXPECT_EQ(sys.hosts[p]->service().filter_drops(), 0u);
+  }
+}
+
+TEST(Gossip, GuaranteedModeBeatsImpossibleEpidemicWindow) {
+  // fanout 1 and a 3-round deadline cannot reach 32 processes epidemically;
+  // the origin's deterministic fallback must cover the rest.
+  const std::size_t n = 32;
+  auto universe = DynamicBitset::full(n);
+  auto sys = make_gossip_system(n, universe, 1, true, 104);
+  testutil::LambdaAdversary adv;
+  adv.on_round_start = [&](sim::Engine& e) {
+    if (e.now() == 0) {
+      sys.hosts[5]->service().inject(0, std::make_shared<testutil::IntPayload>(9),
+                                     universe, 3);
+    }
+  };
+  sys.engine->set_adversary(&adv);
+  sys.engine->run(4);
+  for (ProcessId p = 0; p < n; ++p) {
+    ASSERT_EQ(sys.hosts[p]->delivered.size(), 1u) << "p=" << p;
+    EXPECT_LE(sys.hosts[p]->delivered[0].when, 3);
+  }
+}
+
+TEST(Gossip, GuaranteedModeAcksSuppressDuplicateFallback) {
+  // With a long deadline the epidemic finishes early; the fallback then has
+  // nobody left to cover, so per-round traffic near the deadline stays flat.
+  const std::size_t n = 16;
+  auto universe = DynamicBitset::full(n);
+  auto sys = make_gossip_system(n, universe, 3, true, 105);
+  testutil::LambdaAdversary adv;
+  adv.on_round_start = [&](sim::Engine& e) {
+    if (e.now() == 0) {
+      sys.hosts[0]->service().inject(0, std::make_shared<testutil::IntPayload>(2),
+                                     universe, 40);
+    }
+  };
+  sys.engine->set_adversary(&adv);
+  sys.engine->run(41);
+  // Every host delivered exactly once (dedup works).
+  for (ProcessId p = 0; p < n; ++p) {
+    ASSERT_EQ(sys.hosts[p]->delivered.size(), 1u);
+  }
+  // The fallback round (39) must not spike above the steady epidemic
+  // traffic: every destination acked, so there is nobody left to cover.
+  const auto& per_round = sys.engine->stats().per_round_totals();
+  EXPECT_LE(per_round[39], per_round[38]);
+}
+
+TEST(Gossip, ExpiredRumorsArePurged) {
+  const std::size_t n = 8;
+  auto universe = DynamicBitset::full(n);
+  auto sys = make_gossip_system(n, universe, 2, false, 106);
+  testutil::LambdaAdversary adv;
+  adv.on_round_start = [&](sim::Engine& e) {
+    if (e.now() == 0) {
+      sys.hosts[0]->service().inject(0, std::make_shared<testutil::IntPayload>(3),
+                                     universe, 5);
+    }
+  };
+  sys.engine->set_adversary(&adv);
+  sys.engine->run(10);
+  for (ProcessId p = 0; p < n; ++p) {
+    EXPECT_EQ(sys.hosts[p]->service().known_active(10), 0u);
+  }
+  // No gossip traffic after expiry (rounds 7+ silent).
+  const auto& per_round = sys.engine->stats().per_round_totals();
+  for (std::size_t r = 7; r < per_round.size(); ++r) {
+    EXPECT_EQ(per_round[r], 0u) << "round " << r;
+  }
+}
+
+TEST(Gossip, RestartWipesStateAndGidsStayUnique) {
+  const std::size_t n = 8;
+  auto universe = DynamicBitset::full(n);
+  auto sys = make_gossip_system(n, universe, 2, false, 107);
+  std::uint64_t gid_before = 0, gid_after = 0;
+  testutil::LambdaAdversary adv;
+  adv.on_round_start = [&](sim::Engine& e) {
+    if (e.now() == 0) {
+      gid_before = sys.hosts[2]->service().inject(
+          0, std::make_shared<testutil::IntPayload>(1), universe, 30);
+    }
+    if (e.now() == 2) e.crash(2);
+    if (e.now() == 4) e.restart(2);
+    if (e.now() == 5) {
+      gid_after = sys.hosts[2]->service().inject(
+          5, std::make_shared<testutil::IntPayload>(2), universe, 30);
+    }
+  };
+  sys.engine->set_adversary(&adv);
+  sys.engine->run(30);
+  EXPECT_NE(gid_before, gid_after);
+  // Host 2 redelivers the first rumor after restart (relearned from peers)
+  // and its own second rumor.
+  EXPECT_EQ(sys.hosts[2]->delivered.size(), 2u);
+  // Everyone else got both rumors.
+  for (ProcessId p = 0; p < n; ++p) {
+    if (p == 2) continue;
+    EXPECT_EQ(sys.hosts[p]->delivered.size(), 2u) << "p=" << p;
+  }
+}
+
+TEST(Gossip, SurvivesSourceCrashOnceSeeded) {
+  // After the rumor has spread a bit, killing the source must not stop the
+  // epidemic (the collaboration benefit the paper builds on).
+  const std::size_t n = 24;
+  auto universe = DynamicBitset::full(n);
+  auto sys = make_gossip_system(n, universe, 3, false, 108);
+  testutil::LambdaAdversary adv;
+  adv.on_round_start = [&](sim::Engine& e) {
+    if (e.now() == 0) {
+      sys.hosts[0]->service().inject(0, std::make_shared<testutil::IntPayload>(4),
+                                     universe, 30);
+    }
+    if (e.now() == 3) e.crash(0);
+  };
+  sys.engine->set_adversary(&adv);
+  sys.engine->run(30);
+  for (ProcessId p = 1; p < n; ++p) {
+    EXPECT_EQ(sys.hosts[p]->delivered.size(), 1u) << "p=" << p;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic expander strategy (the [13]-style derandomized black box)
+// ---------------------------------------------------------------------------
+
+TEST(Expander, NeighborsAreDistinctMembersAndExcludeSelf) {
+  DynamicBitset universe(64);
+  for (std::size_t p = 0; p < 64; p += 2) universe.set(p);  // even ids
+  for (ProcessId self = 0; self < 64; self += 2) {
+    auto nb = expander_neighbors(self, universe, 5, 42);
+    ASSERT_EQ(nb.size(), 5u);
+    std::set<ProcessId> uniq(nb.begin(), nb.end());
+    EXPECT_EQ(uniq.size(), nb.size());
+    for (auto q : nb) {
+      EXPECT_NE(q, self);
+      EXPECT_TRUE(universe.test(q));
+    }
+  }
+}
+
+TEST(Expander, SameSeedSameGraphEverywhere) {
+  // Every member derives the same skips, so the graph is consistent: if i's
+  // k-th neighbor at rank r, then the member at rank r-skip has i... we just
+  // check two independent computations agree.
+  DynamicBitset universe = DynamicBitset::full(33);
+  for (ProcessId self : {0u, 7u, 32u}) {
+    EXPECT_EQ(expander_neighbors(self, universe, 4, 7),
+              expander_neighbors(self, universe, 4, 7));
+  }
+  EXPECT_NE(expander_neighbors(0, universe, 4, 7),
+            expander_neighbors(0, universe, 4, 8));
+}
+
+TEST(Expander, GraphHasLogarithmicDiameter) {
+  // BFS from node 0 over the directed circulant; with degree ~log2 m the
+  // eccentricity should be small.
+  const std::size_t m = 200;
+  DynamicBitset universe = DynamicBitset::full(m);
+  const int degree = 8;
+  std::vector<int> dist(m, -1);
+  std::vector<ProcessId> frontier = {0};
+  dist[0] = 0;
+  int depth = 0;
+  while (!frontier.empty()) {
+    ++depth;
+    std::vector<ProcessId> next;
+    for (auto u : frontier) {
+      for (auto v : expander_neighbors(u, universe, degree, 99)) {
+        if (dist[v] < 0) {
+          dist[v] = depth;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  int ecc = 0;
+  for (std::size_t v = 0; v < m; ++v) {
+    ASSERT_GE(dist[v], 0) << "node " << v << " unreachable";
+    ecc = std::max(ecc, dist[v]);
+  }
+  EXPECT_LE(ecc, 10) << "diameter should be ~log m";
+}
+
+TEST(Expander, TinyUniverses) {
+  DynamicBitset lone(4);
+  lone.set(2);
+  EXPECT_TRUE(expander_neighbors(2, lone, 3, 1).empty());
+  DynamicBitset pair(4);
+  pair.set(1);
+  pair.set(3);
+  auto nb = expander_neighbors(1, pair, 3, 1);
+  ASSERT_EQ(nb.size(), 1u);
+  EXPECT_EQ(nb[0], 3u);
+}
+
+TEST(Expander, DeliversDeterministically) {
+  const std::size_t n = 24;
+  auto universe = DynamicBitset::full(n);
+  auto run_once = [&] {
+    GossipSystem sys;
+    sys.hosts.assign(n, nullptr);
+    std::vector<std::unique_ptr<sim::Process>> procs;
+    Rng seeder(200);
+    for (ProcessId p = 0; p < n; ++p) {
+      GossipConfig cfg;
+      cfg.tag = kTag;
+      cfg.universe = universe;
+      cfg.strategy = GossipStrategy::kExpander;
+      cfg.fanout = 3;
+      auto host = std::make_unique<GossipHost>(p, cfg, seeder.next());
+      sys.hosts[p] = host.get();
+      procs.push_back(std::move(host));
+    }
+    sys.engine = std::make_unique<sim::Engine>(std::move(procs), seeder.next());
+    testutil::LambdaAdversary adv;
+    adv.on_round_start = [&](sim::Engine& e) {
+      if (e.now() == 0) {
+        sys.hosts[3]->service().inject(0, std::make_shared<testutil::IntPayload>(1),
+                                       universe, 20);
+      }
+    };
+    sys.engine->set_adversary(&adv);
+    sys.engine->run(20);
+    std::size_t delivered = 0;
+    for (auto* h : sys.hosts) delivered += h->delivered.size();
+    return std::make_pair(delivered, sys.engine->stats().total_sent());
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, n);  // everyone delivered
+  EXPECT_EQ(a, b);        // deterministic traffic
+}
+
+// ---------------------------------------------------------------------------
+// Push-pull strategy (Karp et al. [19])
+// ---------------------------------------------------------------------------
+
+GossipSystem make_pushpull_system(std::size_t n, std::uint64_t seed) {
+  GossipSystem sys;
+  sys.hosts.assign(n, nullptr);
+  auto universe = DynamicBitset::full(n);
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  Rng seeder(seed);
+  for (ProcessId p = 0; p < n; ++p) {
+    GossipConfig cfg;
+    cfg.tag = kTag;
+    cfg.universe = universe;
+    cfg.fanout = 2;
+    cfg.strategy = GossipStrategy::kPushPull;
+    auto host = std::make_unique<GossipHost>(p, cfg, seeder.next());
+    sys.hosts[p] = host.get();
+    procs.push_back(std::move(host));
+  }
+  sys.engine = std::make_unique<sim::Engine>(std::move(procs), seeder.next());
+  return sys;
+}
+
+TEST(PushPull, ReachesWholeUniverse) {
+  const std::size_t n = 24;
+  auto sys = make_pushpull_system(n, 300);
+  auto universe = DynamicBitset::full(n);
+  testutil::LambdaAdversary adv;
+  adv.on_round_start = [&](sim::Engine& e) {
+    if (e.now() == 0) {
+      sys.hosts[0]->service().inject(0, std::make_shared<testutil::IntPayload>(1),
+                                     universe, 24);
+    }
+  };
+  sys.engine->set_adversary(&adv);
+  sys.engine->run(24);
+  for (ProcessId p = 0; p < n; ++p) {
+    EXPECT_EQ(sys.hosts[p]->delivered.size(), 1u) << "p=" << p;
+  }
+}
+
+TEST(PushPull, IdleUniverseStillSendsPullRequests) {
+  // Pull requests are the anti-entropy heartbeat: one per member per round
+  // even with no rumors in flight.
+  const std::size_t n = 8;
+  auto sys = make_pushpull_system(n, 301);
+  sys.engine->run(5);
+  const auto& per_round = sys.engine->stats().per_round_totals();
+  for (auto count : per_round) EXPECT_EQ(count, n);
+}
+
+TEST(PushPull, RestartedProcessCatchesUpByPulling) {
+  const std::size_t n = 12;
+  auto sys = make_pushpull_system(n, 302);
+  auto universe = DynamicBitset::full(n);
+  testutil::LambdaAdversary adv;
+  adv.on_round_start = [&](sim::Engine& e) {
+    if (e.now() == 0) {
+      sys.hosts[4]->service().inject(0, std::make_shared<testutil::IntPayload>(1),
+                                     universe, 40);
+    }
+    if (e.now() == 10) e.crash(7);
+    if (e.now() == 20) e.restart(7);  // wipes its state (delivered cleared)
+  };
+  sys.engine->set_adversary(&adv);
+  sys.engine->run(40);
+  // Host 7 re-learned the still-active rumor after its restart.
+  ASSERT_EQ(sys.hosts[7]->delivered.size(), 1u);
+  EXPECT_GE(sys.hosts[7]->delivered[0].when, 20);
+}
+
+TEST(GossipDeath, InjectOutsideUniverse) {
+  const std::size_t n = 8;
+  DynamicBitset universe(n);
+  universe.set(0);
+  universe.set(1);
+  GossipConfig cfg;
+  cfg.tag = kTag;
+  cfg.universe = universe;
+  Rng rng(1);
+  ContinuousGossipService svc(0, cfg, &rng, nullptr);
+  DynamicBitset bad(n);
+  bad.set(5);  // not in universe
+  EXPECT_DEATH(svc.inject(0, nullptr, bad, 10), "within the service universe");
+}
+
+TEST(GossipDeath, HostMustBeInUniverse) {
+  DynamicBitset universe(8);
+  universe.set(1);
+  GossipConfig cfg;
+  cfg.tag = kTag;
+  cfg.universe = universe;
+  Rng rng(1);
+  EXPECT_DEATH(ContinuousGossipService(0, cfg, &rng, nullptr), "belong");
+}
+
+}  // namespace
+}  // namespace congos::gossip

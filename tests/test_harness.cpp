@@ -1,0 +1,97 @@
+#include "harness/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/table.h"
+
+namespace congos::harness {
+namespace {
+
+TEST(Harness, ProtocolNames) {
+  EXPECT_STREQ(to_string(Protocol::kCongos), "congos");
+  EXPECT_STREQ(to_string(Protocol::kDirect), "direct");
+  EXPECT_STREQ(to_string(Protocol::kDirectPaced), "direct-paced");
+  EXPECT_STREQ(to_string(Protocol::kStrongConfidential), "strong-conf");
+  EXPECT_STREQ(to_string(Protocol::kPlainGossip), "plain-gossip");
+}
+
+TEST(Harness, EveryProtocolRunsTheDefaultScenario) {
+  for (Protocol p : {Protocol::kCongos, Protocol::kDirect, Protocol::kDirectPaced,
+                     Protocol::kStrongConfidential, Protocol::kPlainGossip}) {
+    ScenarioConfig cfg;
+    cfg.n = 16;
+    cfg.seed = 5;
+    cfg.rounds = 128;
+    cfg.protocol = p;
+    cfg.continuous.inject_prob = 0.02;
+    cfg.continuous.deadlines = {64};
+    const auto r = run_scenario(cfg);
+    EXPECT_GT(r.injected, 0u) << to_string(p);
+    EXPECT_TRUE(r.qod.ok()) << to_string(p) << " late=" << r.qod.late
+                            << " missing=" << r.qod.missing;
+    EXPECT_GT(r.total_messages, 0u) << to_string(p);
+  }
+}
+
+TEST(Harness, NoWorkloadMeansNoTrafficForCongos) {
+  ScenarioConfig cfg;
+  cfg.n = 16;
+  cfg.seed = 6;
+  cfg.rounds = 64;
+  cfg.workload = WorkloadKind::kNone;
+  const auto r = run_scenario(cfg);
+  EXPECT_EQ(r.injected, 0u);
+  EXPECT_EQ(r.total_messages, 0u);  // quiescent system stays silent
+}
+
+TEST(Harness, MeasureFromExcludesWarmup) {
+  ScenarioConfig cfg;
+  cfg.n = 16;
+  cfg.seed = 7;
+  cfg.rounds = 128;
+  cfg.continuous.inject_prob = 0.05;
+  cfg.continuous.deadlines = {64};
+  cfg.continuous.last_injection_round = 10;  // burst at the start only
+  cfg.measure_from = 0;
+  const auto full = run_scenario(cfg);
+  cfg.measure_from = 300;  // far past the burst and its drain
+  const auto tail = run_scenario(cfg);
+  EXPECT_GT(full.max_per_round, tail.max_per_round);
+  EXPECT_EQ(tail.max_per_round, 0u);
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"n", "messages"});
+  t.row({"8", "1,000"});
+  t.row({"128", "5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("n    messages"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_NE(out.find("128  5"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, CellHelpers) {
+  EXPECT_EQ(cell(static_cast<std::uint64_t>(1234567)), "1,234,567");
+  EXPECT_EQ(cell(3.14159, 3), "3.142");
+  EXPECT_EQ(cell(std::string("x")), "x");
+}
+
+TEST(TableDeath, RowWidthMismatch) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.row({"1"}), "width");
+}
+
+}  // namespace
+}  // namespace congos::harness

@@ -1,0 +1,88 @@
+#include "common/math.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace congos {
+namespace {
+
+TEST(Math, Ilog2Floor) {
+  EXPECT_EQ(ilog2_floor(1), 0);
+  EXPECT_EQ(ilog2_floor(2), 1);
+  EXPECT_EQ(ilog2_floor(3), 1);
+  EXPECT_EQ(ilog2_floor(4), 2);
+  EXPECT_EQ(ilog2_floor(1023), 9);
+  EXPECT_EQ(ilog2_floor(1024), 10);
+  EXPECT_EQ(ilog2_floor(1ull << 63), 63);
+}
+
+TEST(Math, Ilog2Ceil) {
+  EXPECT_EQ(ilog2_ceil(1), 0);
+  EXPECT_EQ(ilog2_ceil(2), 1);
+  EXPECT_EQ(ilog2_ceil(3), 2);
+  EXPECT_EQ(ilog2_ceil(4), 2);
+  EXPECT_EQ(ilog2_ceil(5), 3);
+  EXPECT_EQ(ilog2_ceil(1025), 11);
+}
+
+TEST(Math, FloorPow2) {
+  EXPECT_EQ(floor_pow2(1), 1u);
+  EXPECT_EQ(floor_pow2(2), 2u);
+  EXPECT_EQ(floor_pow2(3), 2u);
+  EXPECT_EQ(floor_pow2(100), 64u);
+  EXPECT_EQ(floor_pow2(128), 128u);
+}
+
+TEST(Math, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ull << 40));
+  EXPECT_FALSE(is_pow2((1ull << 40) + 1));
+}
+
+TEST(Math, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 5), 0u);
+  EXPECT_EQ(ceil_div(1, 5), 1u);
+  EXPECT_EQ(ceil_div(5, 5), 1u);
+  EXPECT_EQ(ceil_div(6, 5), 2u);
+  EXPECT_EQ(ceil_div(10, 1), 10u);
+}
+
+TEST(Math, PowRealCeil) {
+  EXPECT_EQ(pow_real_ceil(10, 0.0, 1000), 1u);
+  EXPECT_EQ(pow_real_ceil(10, 1.0, 1000), 10u);
+  EXPECT_EQ(pow_real_ceil(10, 2.0, 1000), 100u);
+  EXPECT_EQ(pow_real_ceil(10, 3.0, 500), 500u);  // capped
+  EXPECT_EQ(pow_real_ceil(0, 2.0, 100), 0u);
+  // fractional exponent: 16^0.5 = 4
+  EXPECT_EQ(pow_real_ceil(16, 0.5, 1000), 4u);
+  // ceil behaviour: 10^0.5 = 3.16 -> 4
+  EXPECT_EQ(pow_real_ceil(10, 0.5, 1000), 4u);
+}
+
+TEST(Math, LogFactorFloorsAtOne) {
+  EXPECT_DOUBLE_EQ(log_factor(0), 1.0);
+  EXPECT_DOUBLE_EQ(log_factor(1), 1.0);
+  EXPECT_DOUBLE_EQ(log_factor(2), 1.0);
+  EXPECT_NEAR(log_factor(100), std::log(100.0), 1e-12);
+}
+
+TEST(Math, IsqrtExactSweep) {
+  for (std::uint64_t x = 0; x <= 5000; ++x) {
+    const std::uint64_t r = isqrt(x);
+    EXPECT_LE(r * r, x) << x;
+    EXPECT_GT((r + 1) * (r + 1), x) << x;
+  }
+}
+
+TEST(Math, IsqrtPerfectSquares) {
+  for (std::uint64_t r : {0ull, 1ull, 2ull, 100ull, 65536ull, 1ull << 20}) {
+    EXPECT_EQ(isqrt(r * r), r);
+  }
+}
+
+}  // namespace
+}  // namespace congos

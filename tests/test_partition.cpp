@@ -1,0 +1,160 @@
+#include "partition/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "partition/bit_partition.h"
+#include "partition/random_partition.h"
+
+namespace congos::partition {
+namespace {
+
+TEST(Partition, GroupMembershipConsistent) {
+  Partition p(6, 3, {0, 1, 2, 0, 1, 2});
+  EXPECT_EQ(p.n(), 6u);
+  EXPECT_EQ(p.num_groups(), 3u);
+  for (ProcessId q = 0; q < 6; ++q) {
+    EXPECT_TRUE(p.members(p.group_of(q)).test(q));
+    for (GroupIndex g = 0; g < 3; ++g) {
+      if (g != p.group_of(q)) {
+        EXPECT_FALSE(p.members(g).test(q));
+      }
+    }
+  }
+  EXPECT_EQ(p.group_size(0), 2u);
+  EXPECT_TRUE(p.well_formed());
+}
+
+TEST(Partition, EmptyGroupDetected) {
+  Partition p(4, 3, {0, 1, 0, 1});  // group 2 empty
+  EXPECT_FALSE(p.well_formed());
+}
+
+TEST(Partition, CoversRequiresAllGroups) {
+  Partition p(6, 2, {0, 0, 0, 1, 1, 1});
+  DynamicBitset both(6), left(6);
+  both.set(0);
+  both.set(5);
+  left.set(0);
+  left.set(1);
+  EXPECT_TRUE(p.covers(both));
+  EXPECT_FALSE(p.covers(left));
+}
+
+TEST(BitPartition, CountMatchesCeilLog2) {
+  EXPECT_EQ(bit_partition_count(2), 1);
+  EXPECT_EQ(bit_partition_count(3), 2);
+  EXPECT_EQ(bit_partition_count(4), 2);
+  EXPECT_EQ(bit_partition_count(5), 3);
+  EXPECT_EQ(bit_partition_count(64), 6);
+  EXPECT_EQ(bit_partition_count(65), 7);
+}
+
+class BitPartitionSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitPartitionSweep, WellFormedTwoGroups) {
+  const std::size_t n = GetParam();
+  auto set = make_bit_partitions(n);
+  EXPECT_EQ(set.count(), static_cast<std::size_t>(bit_partition_count(n)));
+  for (PartitionIndex l = 0; l < set.count(); ++l) {
+    EXPECT_EQ(set[l].num_groups(), 2u);
+    EXPECT_TRUE(set[l].well_formed());
+    EXPECT_EQ(set[l].group_size(0) + set[l].group_size(1), n);
+  }
+}
+
+TEST_P(BitPartitionSweep, Lemma5SeparatesEveryPair) {
+  // Lemma 5: any two distinct ids differ in some bit, so some partition
+  // separates them.
+  const std::size_t n = GetParam();
+  auto set = make_bit_partitions(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    for (ProcessId q = p + 1; q < n; ++q) {
+      const auto l = set.separating(p, q);
+      ASSERT_LT(l, set.count()) << p << "," << q;
+      EXPECT_NE(set[l].group_of(p), set[l].group_of(q));
+    }
+  }
+}
+
+TEST_P(BitPartitionSweep, GroupIsBitOfId) {
+  const std::size_t n = GetParam();
+  auto set = make_bit_partitions(n);
+  for (PartitionIndex l = 0; l < set.count(); ++l) {
+    for (ProcessId p = 0; p < n; ++p) {
+      EXPECT_EQ(set[l].group_of(p), (p >> l) & 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitPartitionSweep,
+                         ::testing::Values(2, 3, 5, 8, 17, 64, 100, 128));
+
+TEST(PartitionSet, SeparatingReturnsCountWhenInseparable) {
+  // A single partition putting everyone in group 0 vs 1 by parity cannot
+  // separate two even ids.
+  Partition p(4, 2, {0, 1, 0, 1});
+  PartitionSet set({p});
+  EXPECT_EQ(set.separating(0, 2), set.count());
+  EXPECT_EQ(set.separating(0, 1), 0u);
+}
+
+class RandomPartitionSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint32_t>> {};
+
+TEST_P(RandomPartitionSweep, PropertiesHold) {
+  const auto [n, tau] = GetParam();
+  Rng rng(n * 31 + tau);
+  RandomPartitionOptions opt;
+  opt.tau = tau;
+  auto result = make_random_partitions(n, opt, rng);
+  const auto& set = result.partitions;
+  EXPECT_GE(set.count(), 1u);
+  // Partition-Property 1, checked exactly:
+  for (PartitionIndex l = 0; l < set.count(); ++l) {
+    EXPECT_EQ(set[l].num_groups(), tau + 1);
+    EXPECT_TRUE(set[l].well_formed());
+  }
+  // Partition-Property 2 on fresh random subsets (not the construction's own
+  // verification samples):
+  Rng check(999 + n);
+  const std::size_t subset = std::min<std::size_t>(result.property2_subset_size, n);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto idx = check.sample_without_replacement(static_cast<std::uint32_t>(n),
+                                                static_cast<std::uint32_t>(subset));
+    auto s = DynamicBitset::from_indices(n, idx);
+    bool covered = false;
+    for (PartitionIndex l = 0; l < set.count() && !covered; ++l) {
+      covered = set[l].covers(s);
+    }
+    EXPECT_TRUE(covered) << "n=" << n << " tau=" << tau << " trial=" << trial;
+  }
+  EXPECT_LE(result.attempts, 8u);  // Lemma 13: succeeds quickly
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, RandomPartitionSweep,
+                         ::testing::Values(std::make_tuple(64, 2),
+                                           std::make_tuple(64, 3),
+                                           std::make_tuple(128, 2),
+                                           std::make_tuple(128, 4),
+                                           std::make_tuple(256, 5)));
+
+TEST(MakeCongosPartitions, DispatchesOnTau) {
+  Rng rng(7);
+  auto bit = make_congos_partitions(64, 1, rng);
+  EXPECT_EQ(bit.count(), 6u);
+  EXPECT_EQ(bit[0].num_groups(), 2u);
+
+  auto rnd = make_congos_partitions(64, 3, rng);
+  EXPECT_GT(rnd.count(), 6u);
+  EXPECT_EQ(rnd[0].num_groups(), 4u);
+}
+
+TEST(RandomPartitionDeath, MoreGroupsThanProcesses) {
+  Rng rng(8);
+  RandomPartitionOptions opt;
+  opt.tau = 10;
+  EXPECT_DEATH((void)make_random_partitions(4, opt, rng), "");
+}
+
+}  // namespace
+}  // namespace congos::partition

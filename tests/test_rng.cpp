@@ -1,0 +1,198 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace congos {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr std::uint64_t kBuckets = 8;
+  constexpr int kDraws = 80000;
+  std::vector<int> hist(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++hist[rng.next_below(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (auto h : hist) {
+    EXPECT_NEAR(h, expected, expected * 0.1);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 50000.0, 0.3, 0.015);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng rng(29);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.poisson(2.5);
+  EXPECT_NEAR(sum / 20000.0, 2.5, 0.1);
+}
+
+TEST(Rng, PoissonZeroLambda) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(37);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto s = rng.sample_without_replacement(50, 20);
+    ASSERT_EQ(s.size(), 20u);
+    std::set<std::uint32_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 20u);
+    for (auto v : s) EXPECT_LT(v, 50u);
+  }
+}
+
+TEST(Rng, SampleWholeUniverse) {
+  Rng rng(41);
+  auto s = rng.sample_without_replacement(16, 16);
+  std::set<std::uint32_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 16u);
+}
+
+TEST(Rng, SampleZero) {
+  Rng rng(43);
+  EXPECT_TRUE(rng.sample_without_replacement(10, 0).empty());
+}
+
+TEST(Rng, SampleIsUnbiased) {
+  // Every element should be picked roughly k/n of the time.
+  Rng rng(47);
+  constexpr std::uint32_t kN = 20, kK = 5;
+  std::vector<int> hist(kN, 0);
+  constexpr int kTrials = 40000;
+  for (int t = 0; t < kTrials; ++t) {
+    for (auto v : rng.sample_without_replacement(kN, kK)) ++hist[v];
+  }
+  const double expected = kTrials * static_cast<double>(kK) / kN;
+  for (auto h : hist) EXPECT_NEAR(h, expected, expected * 0.08);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(53);
+  Rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next() == child.next()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, FillBytesCoversAllLengths) {
+  Rng rng(59);
+  for (std::size_t len : {0u, 1u, 7u, 8u, 9u, 16u, 33u}) {
+    std::vector<std::uint8_t> buf(len + 2, 0xAA);
+    rng.fill_bytes(buf.data(), len);
+    // Canary bytes untouched.
+    EXPECT_EQ(buf[len], 0xAA);
+    EXPECT_EQ(buf[len + 1], 0xAA);
+  }
+}
+
+TEST(Rng, FillBytesIsBalanced) {
+  Rng rng(61);
+  std::vector<std::uint8_t> buf(10000);
+  rng.fill_bytes(buf.data(), buf.size());
+  std::size_t ones = 0;
+  for (auto b : buf) ones += static_cast<std::size_t>(__builtin_popcount(b));
+  const double frac = static_cast<double>(ones) / (buf.size() * 8.0);
+  EXPECT_NEAR(frac, 0.5, 0.02);
+}
+
+TEST(Splitmix, KnownProgression) {
+  std::uint64_t s1 = 0, s2 = 0;
+  const auto a = splitmix64(s1);
+  const auto b = splitmix64(s2);
+  EXPECT_EQ(a, b);  // same state, same output
+  EXPECT_NE(splitmix64(s1), a);
+}
+
+class RngBoundSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBoundSweep, AllValuesReachable) {
+  const std::uint64_t bound = GetParam();
+  Rng rng(bound * 977 + 3);
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < bound * 64; ++i) seen.insert(rng.next_below(bound));
+  EXPECT_EQ(seen.size(), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallBounds, RngBoundSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+}  // namespace
+}  // namespace congos

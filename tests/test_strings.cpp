@@ -1,0 +1,32 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace congos {
+namespace {
+
+TEST(Strings, JoinEmpty) { EXPECT_EQ(join({}), ""); }
+
+TEST(Strings, JoinOne) { EXPECT_EQ(join({7}), "7"); }
+
+TEST(Strings, JoinMany) {
+  EXPECT_EQ(join({1, 2, 3}), "1, 2, 3");
+  EXPECT_EQ(join({1, 2, 3}, "-"), "1-2-3");
+}
+
+TEST(Strings, FmtDouble) {
+  EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_double(1.0, 0), "1");
+  EXPECT_EQ(fmt_double(-2.5, 1), "-2.5");
+}
+
+TEST(Strings, FmtCount) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+  EXPECT_EQ(fmt_count(100000), "100,000");
+}
+
+}  // namespace
+}  // namespace congos

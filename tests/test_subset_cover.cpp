@@ -1,0 +1,117 @@
+#include "baseline/subset_cover.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math.h"
+#include "common/rng.h"
+
+namespace congos::baseline {
+namespace {
+
+DynamicBitset materialize(std::size_t n,
+                          const std::vector<std::pair<std::uint32_t, std::uint32_t>>& cover) {
+  DynamicBitset out(n);
+  for (auto [lo, len] : cover) {
+    for (std::uint32_t i = lo; i < lo + len; ++i) out.set(i);
+  }
+  return out;
+}
+
+TEST(SubsetCover, EmptySet) {
+  SubsetCover sc(16);
+  EXPECT_EQ(sc.cover_size(DynamicBitset(16)), 0u);
+}
+
+TEST(SubsetCover, SingleLeaf) {
+  SubsetCover sc(16);
+  DynamicBitset d(16);
+  d.set(5);
+  auto c = sc.cover(d);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0], std::make_pair(5u, 1u));
+}
+
+TEST(SubsetCover, FullSetIsOneSubtree) {
+  SubsetCover sc(16);
+  EXPECT_EQ(sc.cover_size(DynamicBitset::full(16)), 1u);
+}
+
+TEST(SubsetCover, AlignedHalf) {
+  SubsetCover sc(16);
+  DynamicBitset d(16);
+  for (std::size_t i = 8; i < 16; ++i) d.set(i);
+  auto c = sc.cover(d);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0], std::make_pair(8u, 8u));
+}
+
+TEST(SubsetCover, WorstCaseAlternating) {
+  // Alternating leaves cannot be merged at all: n/2 singleton subtrees.
+  SubsetCover sc(32);
+  DynamicBitset d(32);
+  for (std::size_t i = 0; i < 32; i += 2) d.set(i);
+  EXPECT_EQ(sc.cover_size(d), 16u);
+}
+
+TEST(SubsetCover, NonPowerOfTwoUniverse) {
+  SubsetCover sc(11);
+  EXPECT_EQ(sc.cover_size(DynamicBitset::full(11)), 1u);
+  DynamicBitset d(11);
+  d.set(10);
+  EXPECT_EQ(sc.cover_size(d), 1u);
+}
+
+TEST(SubsetCover, CoverPropertyRandomized) {
+  // Property: the cover tiles exactly the destination set, every range is a
+  // power-of-two aligned subtree, and the cover is no larger than |D|.
+  Rng rng(321);
+  for (std::size_t n : {8u, 16u, 31u, 64u, 100u}) {
+    SubsetCover sc(n);
+    for (int trial = 0; trial < 30; ++trial) {
+      DynamicBitset d(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (rng.chance(0.3)) d.set(i);
+      }
+      auto cover = sc.cover(d);
+      EXPECT_EQ(materialize(n, cover), d) << "n=" << n;
+      EXPECT_LE(cover.size(), d.count());
+      for (auto [lo, len] : cover) {
+        if (d.count() == n) continue;  // full-universe special form
+        // Each range is an aligned subtree, possibly truncated at the real
+        // leaf boundary n (padding leaves are "don't care").
+        std::uint32_t subtree = 1;
+        while (subtree < len) subtree <<= 1;
+        EXPECT_EQ(lo % subtree, 0u) << "unaligned subtree";
+        EXPECT_TRUE(len == subtree || lo + len == n) << "non-subtree range";
+      }
+    }
+  }
+}
+
+TEST(SubsetCover, MergingBeatsSingletons) {
+  // A contiguous aligned block of 2^k leaves costs exactly 1.
+  SubsetCover sc(64);
+  for (std::uint32_t k = 0; k <= 6; ++k) {
+    DynamicBitset d(64);
+    for (std::uint32_t i = 0; i < (1u << k); ++i) d.set(i);
+    EXPECT_EQ(sc.cover_size(d), 1u) << "k=" << k;
+  }
+}
+
+TEST(Lkh, RekeyCostScalesWithChangesAndLogN) {
+  EXPECT_EQ(lkh_rekey_messages(256, 0, 0), 0u);
+  EXPECT_EQ(lkh_rekey_messages(256, 1, 0), 16u);   // 2*log2(256)
+  EXPECT_EQ(lkh_rekey_messages(256, 2, 3), 80u);   // 5 changes
+  EXPECT_GT(lkh_rekey_messages(1u << 16, 1, 0), lkh_rekey_messages(256, 1, 0));
+}
+
+TEST(PerDestination, CountsDestinations) {
+  DynamicBitset d(10);
+  d.set(1);
+  d.set(2);
+  d.set(9);
+  EXPECT_EQ(per_destination_messages(d), 3u);
+}
+
+}  // namespace
+}  // namespace congos::baseline

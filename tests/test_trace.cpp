@@ -1,0 +1,82 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_util.h"
+
+namespace congos::sim {
+namespace {
+
+TEST(TraceLog, RecordsLifecycleEvents) {
+  auto sys = testutil::make_system(4, 1,
+                                   [](Round, Sender& out, testutil::ScriptedProcess& s) {
+                                     if (s.id() == 0) out.send(testutil::make_msg(0, 1, 1));
+                                   });
+  TraceLog trace;
+  sys.engine->add_observer(&trace);
+  testutil::LambdaAdversary adv;
+  adv.on_round_start = [](Engine& e) {
+    if (e.now() == 1) e.crash(2);
+    if (e.now() == 2) e.restart(2);
+    if (e.now() == 3) {
+      e.inject(0, make_rumor(0, 1, {1, 2}, 16,
+                             DynamicBitset::from_indices(4, {1, 3})));
+    }
+  };
+  sys.engine->set_adversary(&adv);
+  sys.engine->run(5);
+
+  EXPECT_EQ(trace.total_events_seen(), 3u);
+  std::ostringstream os;
+  trace.dump(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("[1] crash   p2"), std::string::npos);
+  EXPECT_NE(out.find("[2] restart p2"), std::string::npos);
+  EXPECT_NE(out.find("[3] inject  p0 rumor (0,1) |D|=2"), std::string::npos);
+  EXPECT_NE(out.find("deliveries/round"), std::string::npos);
+}
+
+TEST(TraceLog, RingBufferEvicts) {
+  TraceLog trace(TraceLog::Options{.capacity = 3});
+  for (Round t = 0; t < 10; ++t) {
+    trace.on_crash(static_cast<ProcessId>(t % 4), t);
+  }
+  EXPECT_EQ(trace.event_count(), 3u);
+  EXPECT_EQ(trace.total_events_seen(), 10u);
+  std::ostringstream os;
+  trace.dump(os);
+  EXPECT_EQ(os.str().find("[6]"), std::string::npos);  // evicted
+  EXPECT_NE(os.str().find("[9]"), std::string::npos);  // retained
+}
+
+TEST(TraceLog, DumpLimitsToLastN) {
+  TraceLog trace;
+  for (Round t = 0; t < 50; ++t) trace.on_crash(0, t);
+  std::ostringstream os;
+  trace.dump(os, 2);
+  EXPECT_EQ(os.str().find("[47]"), std::string::npos);
+  EXPECT_NE(os.str().find("[48]"), std::string::npos);
+  EXPECT_NE(os.str().find("[49]"), std::string::npos);
+}
+
+TEST(TraceLog, CountsDeliveriesPerRound) {
+  auto sys = testutil::make_system(3, 2,
+                                   [](Round now, Sender& out,
+                                      testutil::ScriptedProcess& s) {
+                                     if (s.id() == 0 && now == 1) {
+                                       out.send(testutil::make_msg(0, 1, 1));
+                                       out.send(testutil::make_msg(0, 2, 2));
+                                     }
+                                   });
+  TraceLog trace;
+  sys.engine->add_observer(&trace);
+  sys.engine->run(3);
+  std::ostringstream os;
+  trace.dump(os);
+  EXPECT_NE(os.str().find("0:0 1:2 2:0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace congos::sim

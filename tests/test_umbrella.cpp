@@ -1,0 +1,40 @@
+// Compile check for the public umbrella header: one include must expose the
+// whole API surface, and representative symbols from each subsystem must be
+// usable together.
+#include "congos/congos.h"
+
+#include <gtest/gtest.h>
+
+namespace congos {
+namespace {
+
+TEST(Umbrella, WholeApiReachableFromOneInclude) {
+  // common
+  Rng rng(1);
+  DynamicBitset bits(8);
+  bits.set(3);
+  // coding
+  const auto shares = coding::split(std::vector<std::uint8_t>{1, 2, 3}, 2, rng);
+  EXPECT_EQ(coding::combine(shares), (coding::Bytes{1, 2, 3}));
+  // partition
+  auto parts = partition::make_bit_partitions(8);
+  EXPECT_EQ(parts.count(), 3u);
+  // congos config + behaviours + extensions
+  core::CongosConfig cfg;
+  EXPECT_EQ(cfg.tau, 1u);
+  EXPECT_EQ(static_cast<int>(core::ProcessBehavior::kHonest), 0);
+  // gossip strategy enum
+  EXPECT_NE(gossip::GossipStrategy::kEpidemicPush, gossip::GossipStrategy::kExpander);
+  // harness
+  harness::ScenarioConfig scenario;
+  scenario.n = 8;
+  scenario.rounds = 32;
+  scenario.continuous.inject_prob = 0.05;
+  scenario.continuous.deadlines = {32};
+  scenario.protocol = harness::Protocol::kDirect;
+  const auto r = harness::run_scenario(scenario);
+  EXPECT_TRUE(r.qod.ok());
+}
+
+}  // namespace
+}  // namespace congos

@@ -1,0 +1,126 @@
+// Communication-complexity accounting (Section 7 discussion): every payload
+// reports a serialized size; the stats collector aggregates bytes per round.
+#include <gtest/gtest.h>
+
+#include "baseline/baseline_payload.h"
+#include "congos/fragment.h"
+#include "gossip/continuous_gossip.h"
+#include "harness/scenario.h"
+#include "sim/stats.h"
+
+namespace congos {
+namespace {
+
+sim::Rumor small_rumor(std::size_t n, std::size_t payload) {
+  auto r = sim::make_rumor(0, 1, std::vector<std::uint8_t>(payload, 0xAB), 64,
+                           DynamicBitset(n));
+  return r;
+}
+
+core::Fragment small_fragment(std::size_t n, std::size_t payload) {
+  core::Fragment f;
+  f.meta.key = core::FragmentKey{{0, 1}, 0, 0};
+  f.meta.dest = DynamicBitset(n);
+  f.data.assign(payload, 0xCD);
+  return f;
+}
+
+TEST(WireSize, RumorScalesWithPayloadAndUniverse) {
+  EXPECT_GT(wire_size(small_rumor(64, 100)), wire_size(small_rumor(64, 10)));
+  EXPECT_GT(wire_size(small_rumor(6400, 10)), wire_size(small_rumor(64, 10)));
+  EXPECT_EQ(wire_size(small_rumor(64, 10)), 12u + 8u + 8u + 10u);
+}
+
+TEST(WireSize, FragmentScalesWithShare) {
+  EXPECT_GT(core::wire_size(small_fragment(64, 100)),
+            core::wire_size(small_fragment(64, 10)));
+}
+
+TEST(WireSize, GossipMsgSumsRumors) {
+  gossip::GossipMsg msg;
+  EXPECT_EQ(msg.wire_size(), 4u);
+  gossip::GossipRumor r;
+  r.dest = DynamicBitset(64);
+  r.body = std::make_shared<core::FragmentBody>();
+  const auto one = msg.wire_size();
+  msg.rumors.push_back(r);
+  const auto two = msg.wire_size();
+  msg.rumors.push_back(r);
+  EXPECT_EQ(msg.wire_size() - two, two - one);
+  EXPECT_GT(two, one);
+}
+
+TEST(WireSize, BatchAndDirectPayloads) {
+  baseline::BaselineRumorPayload single;
+  single.rumor = small_rumor(64, 16);
+  EXPECT_EQ(single.wire_size(), wire_size(single.rumor));
+
+  baseline::BaselineBatchPayload batch;
+  batch.rumors = {small_rumor(64, 16), small_rumor(64, 16)};
+  EXPECT_EQ(batch.wire_size(), 4u + 2 * wire_size(small_rumor(64, 16)));
+
+  core::DirectRumorPayload direct;
+  direct.rumor = small_rumor(64, 16);
+  EXPECT_EQ(direct.wire_size(), wire_size(direct.rumor));
+}
+
+TEST(WireSize, MetadataPayloadsAreDataFree) {
+  // Shares and reports carry identifiers only: size independent of any
+  // rumor payload length (that is what makes them safe to gossip widely).
+  core::HitSetShareBody share;
+  share.hits.resize(5);
+  EXPECT_EQ(share.wire_size(), 20u + 5 * 16u);
+  core::DistributionReportBody report;
+  report.hits.resize(3);
+  EXPECT_EQ(report.wire_size(), 20u + 3 * 16u);
+  core::ProxyAckPayload ack;
+  EXPECT_EQ(ack.wire_size(), 8u);
+}
+
+TEST(WireSize, StatsAccumulateBytes) {
+  sim::MessageStats s;
+  s.note_sent(sim::ServiceKind::kProxy, 100);
+  s.note_sent(sim::ServiceKind::kProxy, 50);
+  s.end_round(0);
+  s.note_sent(sim::ServiceKind::kFallback, 10);
+  s.end_round(1);
+  EXPECT_EQ(s.total_bytes(), 160u);
+  EXPECT_EQ(s.max_bytes_per_round(), 150u);
+  EXPECT_EQ(s.max_bytes_from(1), 10u);
+  EXPECT_NEAR(s.mean_bytes_per_round(), 80.0, 1e-9);
+}
+
+TEST(WireSize, ScenarioReportsBytes) {
+  harness::ScenarioConfig cfg;
+  cfg.n = 16;
+  cfg.seed = 9;
+  cfg.rounds = 96;
+  cfg.protocol = harness::Protocol::kDirect;
+  cfg.continuous.inject_prob = 0.05;
+  cfg.continuous.deadlines = {64};
+  const auto r = harness::run_scenario(cfg);
+  EXPECT_GT(r.total_bytes, 0u);
+  EXPECT_GT(r.max_bytes_per_round, 0u);
+  // Bytes strictly exceed message count (every envelope has a header).
+  EXPECT_GT(r.total_bytes, r.total_messages * sim::kEnvelopeHeaderBytes);
+}
+
+TEST(WireSize, CongosBytesDominatedByFragmentTraffic) {
+  harness::ScenarioConfig cfg;
+  cfg.n = 32;
+  cfg.seed = 10;
+  cfg.rounds = 192;
+  cfg.protocol = harness::Protocol::kCongos;
+  cfg.continuous.inject_prob = 0.02;
+  cfg.continuous.deadlines = {64};
+  cfg.continuous.payload_len = 64;
+  const auto small = harness::run_scenario(cfg);
+  cfg.continuous.payload_len = 1024;
+  const auto big = harness::run_scenario(cfg);
+  // Same message counts (payload length does not change the protocol), but
+  // much larger byte volume.
+  EXPECT_GT(big.total_bytes, small.total_bytes * 2);
+}
+
+}  // namespace
+}  // namespace congos

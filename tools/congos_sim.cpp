@@ -1,0 +1,170 @@
+// congos_sim: command-line driver for the simulator.
+//
+// Runs one fully-audited scenario and prints a summary (or CSV). Exit code 0
+// iff Quality of Delivery held and no confidentiality violation occurred.
+//
+// Examples:
+//   congos_sim --protocol=congos --n=64 --deadline=128 --rounds=512
+//   congos_sim --protocol=congos --tau=2 --no-degenerate --churn=0.005
+//   congos_sim --protocol=plain-gossip --n=32          # watch it leak
+//   congos_sim --protocol=congos --expander --csv
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/flags.h"
+#include "harness/scenario.h"
+#include "sim/trace.h"
+
+using namespace congos;
+
+namespace {
+
+const char kUsage[] = R"(congos_sim - confidential continuous gossip simulator
+
+  --protocol=P     congos | direct | direct-paced | strong-conf | plain-gossip
+  --n=N            number of processes                      (default 64)
+  --rounds=R       injection horizon in rounds              (default 512)
+  --seed=S         experiment seed                          (default 1)
+  --deadline=D     rumor deadline in rounds                 (default 128)
+  --inject-prob=P  per-process injection probability        (default 0.01)
+  --dest-min=K --dest-max=K  destination-set size range     (default 2..8)
+  --tau=T          collusion tolerance (congos only)        (default 1)
+  --no-degenerate  keep the fragment pipeline below the Thm 16 cutoff
+  --expander       deterministic expander gossip instead of epidemic push
+  --gossip-fanout=F  black-box gossip fan-out               (default 3)
+  --churn=P        per-round crash probability (restart 0.05)
+  --lazy=F         fraction of freeloading processes (congos only)
+  --measure-from=R exclude rounds < R from peak statistics  (default 2*D)
+  --no-audit       skip the confidentiality auditor (faster)
+  --csv            machine-readable one-line output
+  --trace=N        dump the last N lifecycle events after the run
+  --help           this text
+)";
+
+int fail_usage(const std::string& msg) {
+  std::fprintf(stderr, "error: %s\n\n%s", msg.c_str(), kUsage);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  if (flags.get_bool("help", false)) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  const auto unknown = flags.unknown_keys(
+      {"protocol", "n", "rounds", "seed", "deadline", "inject-prob", "dest-min",
+       "dest-max", "tau", "no-degenerate", "expander", "gossip-fanout", "churn",
+       "lazy", "measure-from", "no-audit", "csv", "trace", "help"});
+  if (!unknown.empty()) return fail_usage("unknown flag --" + unknown.front());
+
+  harness::ScenarioConfig cfg;
+  const std::string proto = flags.get("protocol", "congos");
+  if (proto == "congos") {
+    cfg.protocol = harness::Protocol::kCongos;
+  } else if (proto == "direct") {
+    cfg.protocol = harness::Protocol::kDirect;
+  } else if (proto == "direct-paced") {
+    cfg.protocol = harness::Protocol::kDirectPaced;
+  } else if (proto == "strong-conf") {
+    cfg.protocol = harness::Protocol::kStrongConfidential;
+  } else if (proto == "plain-gossip") {
+    cfg.protocol = harness::Protocol::kPlainGossip;
+  } else {
+    return fail_usage("unknown protocol '" + proto + "'");
+  }
+
+  cfg.n = static_cast<std::size_t>(flags.get_int("n", 64));
+  if (cfg.n < 2) return fail_usage("--n must be at least 2");
+  cfg.rounds = flags.get_int("rounds", 512);
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const Round deadline = flags.get_int("deadline", 128);
+  cfg.workload = harness::WorkloadKind::kContinuous;
+  cfg.continuous.inject_prob = flags.get_double("inject-prob", 0.01);
+  cfg.continuous.dest_min = static_cast<std::size_t>(flags.get_int("dest-min", 2));
+  cfg.continuous.dest_max = static_cast<std::size_t>(flags.get_int("dest-max", 8));
+  cfg.continuous.deadlines = {deadline};
+  cfg.congos.tau = static_cast<std::uint32_t>(flags.get_int("tau", 1));
+  cfg.congos.allow_degenerate = !flags.get_bool("no-degenerate", false);
+  cfg.congos.gossip_fanout = static_cast<int>(flags.get_int("gossip-fanout", 3));
+  if (flags.get_bool("expander", false)) {
+    cfg.congos.gossip_strategy = gossip::GossipStrategy::kExpander;
+  }
+  cfg.measure_from = flags.get_int("measure-from", 2 * deadline);
+  cfg.audit_confidentiality = !flags.get_bool("no-audit", false);
+  cfg.lazy_fraction = flags.get_double("lazy", 0.0);
+  const double churn = flags.get_double("churn", 0.0);
+  if (churn > 0) {
+    cfg.churn = adversary::RandomChurn::Options{};
+    cfg.churn->crash_prob = churn;
+    cfg.churn->restart_prob = 0.05;
+    cfg.churn->min_alive = std::max<std::size_t>(2, cfg.n / 8);
+  }
+
+  sim::TraceLog trace;
+  const auto trace_n = flags.get_int("trace", 0);
+  if (trace_n > 0) cfg.extra_observers.push_back(&trace);
+
+  const auto r = harness::run_scenario(cfg);
+  const bool ok = r.qod.ok() && r.leaks == 0;
+
+  if (trace_n > 0) trace.dump(std::cerr, static_cast<std::size_t>(trace_n));
+
+  if (flags.get_bool("csv", false)) {
+    std::printf(
+        "protocol,n,rounds,seed,deadline,injected,admissible,on_time,late,missing,"
+        "leaks,shoots,max_per_round,mean_per_round,max_bytes_per_round,ok\n");
+    std::printf("%s,%zu,%lld,%llu,%lld,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%.1f,%llu,%d\n",
+                proto.c_str(), cfg.n, static_cast<long long>(cfg.rounds),
+                static_cast<unsigned long long>(cfg.seed),
+                static_cast<long long>(deadline),
+                static_cast<unsigned long long>(r.injected),
+                static_cast<unsigned long long>(r.qod.admissible_pairs),
+                static_cast<unsigned long long>(r.qod.delivered_on_time),
+                static_cast<unsigned long long>(r.qod.late),
+                static_cast<unsigned long long>(r.qod.missing),
+                static_cast<unsigned long long>(r.leaks),
+                static_cast<unsigned long long>(r.cg_shoots),
+                static_cast<unsigned long long>(r.max_per_round), r.mean_per_round,
+                static_cast<unsigned long long>(r.max_bytes_per_round), ok ? 1 : 0);
+    return ok ? 0 : 1;
+  }
+
+  std::printf("protocol         : %s (n=%zu, seed=%llu)\n", proto.c_str(), cfg.n,
+              static_cast<unsigned long long>(cfg.seed));
+  std::printf("rumors           : %llu injected, deadline %lld\n",
+              static_cast<unsigned long long>(r.injected),
+              static_cast<long long>(deadline));
+  std::printf("delivery         : %llu/%llu admissible on time (late %llu, "
+              "missing %llu, corrupted %llu)\n",
+              static_cast<unsigned long long>(r.qod.delivered_on_time),
+              static_cast<unsigned long long>(r.qod.admissible_pairs),
+              static_cast<unsigned long long>(r.qod.late),
+              static_cast<unsigned long long>(r.qod.missing),
+              static_cast<unsigned long long>(r.qod.data_mismatches));
+  std::printf("latency (rounds) : mean %.1f, p50 %lld, p95 %lld, max %lld\n",
+              r.qod.mean_latency, static_cast<long long>(r.qod.latency_p50),
+              static_cast<long long>(r.qod.latency_p95),
+              static_cast<long long>(r.qod.latency_max));
+  std::printf("confidentiality  : %llu leaks, %llu structural violations%s\n",
+              static_cast<unsigned long long>(r.leaks),
+              static_cast<unsigned long long>(r.foreign_fragments),
+              cfg.audit_confidentiality ? "" : " (auditing disabled)");
+  std::printf("cost             : max %llu msgs/round, mean %.1f; peak %llu "
+              "bytes/round\n",
+              static_cast<unsigned long long>(r.max_per_round), r.mean_per_round,
+              static_cast<unsigned long long>(r.max_bytes_per_round));
+  if (cfg.protocol == harness::Protocol::kCongos) {
+    std::printf("pipeline         : %llu confirmed, %llu fallback shoots, %llu "
+                "direct (short deadline)\n",
+                static_cast<unsigned long long>(r.cg_confirmed),
+                static_cast<unsigned long long>(r.cg_shoots),
+                static_cast<unsigned long long>(r.cg_injected_direct));
+  }
+  std::printf("verdict          : %s\n", ok ? "OK" : "VIOLATIONS DETECTED");
+  return ok ? 0 : 1;
+}
