@@ -42,18 +42,21 @@ class BorderCounter final : public sim::ExecutionObserver {
           !it->second.test(e.to) && e.to != f.meta.key.rumor.source;
       if (from_inside && to_outside) border = true;
     };
-    if (const auto* msg = dynamic_cast<const gossip::GossipMsg*>(e.body.get())) {
-      for (const auto& r : msg->rumors) {
-        if (const auto* fb = dynamic_cast<const core::FragmentBody*>(r.body.get())) {
-          check(fb->fragment);
-        } else if (const auto* ps =
-                       dynamic_cast<const core::ProxyShareBody*>(r.body.get())) {
-          for (const auto& f : ps->proxied) check(f);
+    if (e.body == nullptr) return;
+    if (e.body->kind() == sim::PayloadKind::kGossipMsg) {
+      const auto& msg = static_cast<const gossip::GossipMsg&>(*e.body);
+      for (const auto& r : msg.rumors) {
+        if (r.body == nullptr) continue;
+        if (r.body->kind() == sim::PayloadKind::kFragment) {
+          check(static_cast<const core::FragmentBody&>(*r.body).fragment);
+        } else if (r.body->kind() == sim::PayloadKind::kProxyShare) {
+          const auto& ps = static_cast<const core::ProxyShareBody&>(*r.body);
+          for (const auto& f : ps.proxied) check(f);
         }
       }
-    } else if (const auto* req =
-                   dynamic_cast<const core::ProxyRequestPayload*>(e.body.get())) {
-      for (const auto& f : req->fragments) check(f);
+    } else if (e.body->kind() == sim::PayloadKind::kProxyRequest) {
+      const auto& req = static_cast<const core::ProxyRequestPayload&>(*e.body);
+      for (const auto& f : req.fragments) check(f);
     }
     if (border) ++count_;
   }

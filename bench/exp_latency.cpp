@@ -17,7 +17,7 @@ int main() {
                 "(p95/deadline well below 1.0; fallback near zero).");
 
   harness::Table table({"n", "deadline", "mean lat", "p50", "p95", "max",
-                        "p95/deadline", "shoots", "on-time %"});
+                        "p95/deadline", "p95 msg/rnd", "shoots", "on-time %"});
 
   std::vector<std::pair<std::size_t, Round>> params = {
       {32, 64}, {32, 128}, {64, 64}, {64, 256}};
@@ -51,6 +51,9 @@ int main() {
                harness::cell(static_cast<double>(r.qod.latency_p95) /
                                  static_cast<double>(d),
                              2),
+               // steady-state message percentile (warm-up excluded via
+               // percentile_from(measure_from, .)).
+               harness::cell(r.p95_per_round),
                harness::cell(r.cg_shoots), harness::cell(pct, 1)});
     if (!r.qod.ok()) {
       std::printf("UNEXPECTED: QoD violation at n=%zu d=%lld\n", n,

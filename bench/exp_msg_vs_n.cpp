@@ -26,8 +26,9 @@ int main() {
   if (bench::full_scale()) ns.push_back(256);
   const Round deadline = 64;
 
-  harness::Table table({"n", "congos max/rnd", "congos mean/rnd", "normalized",
-                        "direct max/rnd", "paced max/rnd", "plain max/rnd"});
+  harness::Table table({"n", "congos max/rnd", "congos mean/rnd", "congos p95/rnd",
+                        "normalized", "direct max/rnd", "paced max/rnd",
+                        "plain max/rnd"});
 
   for (std::size_t n : ns) {
     harness::ScenarioConfig cfg;
@@ -60,6 +61,9 @@ int main() {
     table.row({harness::cell(static_cast<std::uint64_t>(n)),
                harness::cell(congos.max_per_round),
                harness::cell(congos.mean_per_round, 1),
+               // steady-state percentile: excludes the warm-up rounds, like
+               // max/mean (percentile_from(measure_from, .)).
+               harness::cell(congos.p95_per_round),
                harness::cell(static_cast<double>(congos.max_per_round) / shape, 4),
                harness::cell(direct.max_per_round), harness::cell(paced.max_per_round),
                harness::cell(plain.max_per_round)});

@@ -38,6 +38,30 @@ void BM_PlainGossipRun(benchmark::State& state) {
 }
 BENCHMARK(BM_PlainGossipRun)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
 
+// The headline throughput number tracked in BENCH_engine.json
+// (tools/check_bench.sh): simulated rounds per second of the full message
+// hot path (gossip dispatch + delivery + confidentiality audit) at n=1024.
+// `rounds_per_sec` is the figure of merit; it must not regress across PRs.
+void BM_HotPathRounds(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  harness::ScenarioConfig cfg;
+  cfg.n = n;
+  cfg.rounds = 32;
+  cfg.protocol = harness::Protocol::kPlainGossip;
+  cfg.continuous.inject_prob = 0.02;
+  cfg.continuous.deadlines = {16};
+  const double rounds_per_iter =
+      static_cast<double>(cfg.rounds + 16 + 2);  // incl. drain window
+  for (auto _ : state) {
+    auto r = harness::run_scenario(cfg);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rounds_per_sec"] = benchmark::Counter(
+      rounds_per_iter * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_HotPathRounds)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
 void BM_CongosRun(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   harness::ScenarioConfig cfg;

@@ -9,6 +9,8 @@
 namespace congos::baseline {
 
 struct BaselineRumorPayload final : sim::Payload {
+  BaselineRumorPayload() : sim::Payload(sim::PayloadKind::kBaselineRumor) {}
+
   sim::Rumor rumor;
 
   std::size_t wire_size() const override { return sim::wire_size(rumor); }
@@ -17,6 +19,8 @@ struct BaselineRumorPayload final : sim::Payload {
 /// Batch of whole rumors (used by the strongly-confidential protocol, where
 /// one message may merge several rumors when allowed).
 struct BaselineBatchPayload final : sim::Payload {
+  BaselineBatchPayload() : sim::Payload(sim::PayloadKind::kBaselineBatch) {}
+
   std::vector<sim::Rumor> rumors;
 
   std::size_t wire_size() const override {

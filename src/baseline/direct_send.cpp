@@ -45,8 +45,10 @@ void DirectSendProcess::send_phase(Round /*now*/, sim::Sender& out) {
 
 void DirectSendProcess::receive_phase(Round now, std::span<const sim::Envelope> inbox) {
   for (const auto& e : inbox) {
-    const auto* body = dynamic_cast<const BaselineRumorPayload*>(e.body.get());
-    CONGOS_ASSERT_MSG(body != nullptr, "unexpected payload at DirectSendProcess");
+    CONGOS_ASSERT_MSG(e.body != nullptr &&
+                          e.body->kind() == sim::PayloadKind::kBaselineRumor,
+                      "unexpected payload at DirectSendProcess");
+    const auto* body = static_cast<const BaselineRumorPayload*>(e.body.get());
     CONGOS_ASSERT_MSG(body->rumor.dest.test(id()),
                       "direct send to a process outside the destination set");
     if (listener_ != nullptr) {

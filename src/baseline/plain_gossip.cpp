@@ -16,8 +16,9 @@ PlainGossipProcess::PlainGossipProcess(ProcessId id, Options opt, std::uint64_t 
   service_ = std::make_unique<gossip::ContinuousGossipService>(
       id, std::move(gcfg), &rng_,
       [this](Round now, const gossip::GossipRumor& r) {
-        const auto* body = dynamic_cast<const BaselineRumorPayload*>(r.body.get());
-        CONGOS_ASSERT(body != nullptr);
+        CONGOS_ASSERT(r.body != nullptr &&
+                      r.body->kind() == sim::PayloadKind::kBaselineRumor);
+        const auto* body = static_cast<const BaselineRumorPayload*>(r.body.get());
         if (listener_ != nullptr) {
           listener_->on_rumor_delivered(
               this->id(), body->rumor.uid, now,

@@ -9,6 +9,8 @@ namespace congos::baseline {
 namespace {
 /// Ack payload: rumor uids received.
 struct StrongAckPayload final : sim::Payload {
+  StrongAckPayload() : sim::Payload(sim::PayloadKind::kStrongAck) {}
+
   std::vector<RumorUid> uids;
 };
 }  // namespace
@@ -113,24 +115,30 @@ void StrongConfidentialProcess::send_phase(Round now, sim::Sender& out) {
 void StrongConfidentialProcess::receive_phase(Round now,
                                               std::span<const sim::Envelope> inbox) {
   for (const auto& e : inbox) {
-    if (const auto* batch = dynamic_cast<const BaselineBatchPayload*>(e.body.get())) {
-      for (const auto& r : batch->rumors) {
-        CONGOS_ASSERT_MSG(r.dest.test(id()),
-                          "strongly confidential rumor reached a non-destination");
-        if (r.expires_at() >= now) accept(now, r, /*as_source=*/false);
-      }
-      continue;
-    }
-    if (const auto* ack = dynamic_cast<const StrongAckPayload*>(e.body.get())) {
-      for (const auto& uid : ack->uids) {
-        auto it = known_.find(uid);
-        if (it != known_.end() && it->second.i_am_source) {
-          it->second.acked.set(e.from);
+    CONGOS_ASSERT(e.body != nullptr);
+    switch (e.body->kind()) {
+      case sim::PayloadKind::kBaselineBatch: {
+        const auto& batch = static_cast<const BaselineBatchPayload&>(*e.body);
+        for (const auto& r : batch.rumors) {
+          CONGOS_ASSERT_MSG(r.dest.test(id()),
+                            "strongly confidential rumor reached a non-destination");
+          if (r.expires_at() >= now) accept(now, r, /*as_source=*/false);
         }
+        break;
       }
-      continue;
+      case sim::PayloadKind::kStrongAck: {
+        const auto& ack = static_cast<const StrongAckPayload&>(*e.body);
+        for (const auto& uid : ack.uids) {
+          auto it = known_.find(uid);
+          if (it != known_.end() && it->second.i_am_source) {
+            it->second.acked.set(e.from);
+          }
+        }
+        break;
+      }
+      default:
+        CONGOS_ASSERT_MSG(false, "unexpected payload at StrongConfidentialProcess");
     }
-    CONGOS_ASSERT_MSG(false, "unexpected payload at StrongConfidentialProcess");
   }
 }
 

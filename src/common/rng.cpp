@@ -68,6 +68,21 @@ bool Rng::chance(double p) {
 
 unsigned Rng::poisson(double lambda) {
   if (lambda <= 0.0) return 0;
+  // Knuth's product method needs exp(-lambda) > 0; for lambda beyond ~745
+  // the limit underflows to zero and the loop only stops once the running
+  // product denormal-flushes, returning a bogus ~1100 regardless of lambda.
+  // Poisson is additive, so split large lambda into chunks that stay well
+  // inside the safe range and sum independent draws.
+  constexpr double kChunk = 500.0;
+  unsigned total = 0;
+  while (lambda > kChunk) {
+    total += poisson_knuth(kChunk);
+    lambda -= kChunk;
+  }
+  return total + poisson_knuth(lambda);
+}
+
+unsigned Rng::poisson_knuth(double lambda) {
   const double limit = std::exp(-lambda);
   unsigned k = 0;
   double prod = uniform01();

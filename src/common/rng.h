@@ -46,8 +46,9 @@ class Rng {
   /// Bernoulli trial.
   bool chance(double p);
 
-  /// Geometric-ish: number of arrivals of a Poisson(lambda) in one step,
-  /// via Knuth's method (lambda expected to be small).
+  /// Number of arrivals of a Poisson(lambda) in one step. Knuth's product
+  /// method, applied to chunks of lambda <= 500 and summed (Poisson is
+  /// additive), so large lambda never hits the exp(-lambda) underflow.
   unsigned poisson(double lambda);
 
   /// k distinct values uniformly drawn from [0, n) without replacement.
@@ -62,6 +63,10 @@ class Rng {
   void fill_bytes(std::uint8_t* out, std::size_t len);
 
  private:
+  /// One Knuth product-method draw; requires exp(-lambda) to be normal
+  /// (lambda well below ~745).
+  unsigned poisson_knuth(double lambda);
+
   std::uint64_t s_[4];
 };
 

@@ -174,6 +174,7 @@ void CongosProcess::send_phase(Round now, sim::Sender& out) {
 void CongosProcess::receive_phase(Round now, std::span<const sim::Envelope> inbox) {
   now_ = now;
   for (const auto& e : inbox) {
+    CONGOS_ASSERT(e.body != nullptr);
     switch (e.tag.kind) {
       case sim::ServiceKind::kGroupGossip:
         CONGOS_ASSERT(e.tag.partition < group_gossip_.size());
@@ -183,29 +184,30 @@ void CongosProcess::receive_phase(Round now, std::span<const sim::Envelope> inbo
         all_gossip_->on_envelope(now, e);
         break;
       case sim::ServiceKind::kProxy: {
-        if (const auto* req = dynamic_cast<const ProxyRequestPayload*>(e.body.get())) {
+        if (e.body->kind() == sim::PayloadKind::kProxyRequest) {
+          const auto& req = static_cast<const ProxyRequestPayload&>(*e.body);
           // A lazy process silently drops proxy work addressed to it (no
           // cache, no ack): the requester times it out as a failed proxy.
           if (behavior_ == ProcessBehavior::kLazy) break;
-          proxy(req->dline, e.tag.partition)->on_request(now, *req, e.from);
-        } else if (const auto* ack =
-                       dynamic_cast<const ProxyAckPayload*>(e.body.get())) {
-          proxy(ack->dline, e.tag.partition)->on_ack(now, e.from);
+          proxy(req.dline, e.tag.partition)->on_request(now, req, e.from);
+        } else if (e.body->kind() == sim::PayloadKind::kProxyAck) {
+          const auto& ack = static_cast<const ProxyAckPayload&>(*e.body);
+          proxy(ack.dline, e.tag.partition)->on_ack(now, e.from);
         } else {
           CONGOS_ASSERT_MSG(false, "unknown proxy payload");
         }
         break;
       }
       case sim::ServiceKind::kGroupDistribution: {
-        const auto* partials = dynamic_cast<const PartialsPayload*>(e.body.get());
-        CONGOS_ASSERT_MSG(partials != nullptr, "unknown group-distribution payload");
-        cg_->on_partials(now, *partials);
+        CONGOS_ASSERT_MSG(e.body->kind() == sim::PayloadKind::kPartials,
+                          "unknown group-distribution payload");
+        cg_->on_partials(now, static_cast<const PartialsPayload&>(*e.body));
         break;
       }
       case sim::ServiceKind::kFallback: {
-        const auto* direct = dynamic_cast<const DirectRumorPayload*>(e.body.get());
-        CONGOS_ASSERT_MSG(direct != nullptr, "unknown fallback payload");
-        cg_->on_direct(now, *direct);
+        CONGOS_ASSERT_MSG(e.body->kind() == sim::PayloadKind::kDirectRumor,
+                          "unknown fallback payload");
+        cg_->on_direct(now, static_cast<const DirectRumorPayload&>(*e.body));
         break;
       }
       default:
@@ -216,25 +218,32 @@ void CongosProcess::receive_phase(Round now, std::span<const sim::Envelope> inbo
 
 void CongosProcess::on_group_gossip_deliver(PartitionIndex l, Round now,
                                             const gossip::GossipRumor& rumor) {
-  if (const auto* frag = dynamic_cast<const FragmentBody*>(rumor.body.get())) {
-    cg_->on_group_fragment(now, l, frag->fragment);
-    return;
+  CONGOS_ASSERT(rumor.body != nullptr);
+  switch (rumor.body->kind()) {
+    case sim::PayloadKind::kFragment:
+      cg_->on_group_fragment(now, l,
+                             static_cast<const FragmentBody&>(*rumor.body).fragment);
+      return;
+    case sim::PayloadKind::kProxyShare: {
+      const auto& share = static_cast<const ProxyShareBody&>(*rumor.body);
+      instance(share.dline).proxies[l]->on_share(now, share);
+      return;
+    }
+    case sim::PayloadKind::kHitSetShare: {
+      const auto& share = static_cast<const HitSetShareBody&>(*rumor.body);
+      instance(share.dline).gds[l]->on_share(now, share);
+      return;
+    }
+    default:
+      CONGOS_ASSERT_MSG(false, "unknown GroupGossip rumor body");
   }
-  if (const auto* share = dynamic_cast<const ProxyShareBody*>(rumor.body.get())) {
-    instance(share->dline).proxies[l]->on_share(now, *share);
-    return;
-  }
-  if (const auto* share = dynamic_cast<const HitSetShareBody*>(rumor.body.get())) {
-    instance(share->dline).gds[l]->on_share(now, *share);
-    return;
-  }
-  CONGOS_ASSERT_MSG(false, "unknown GroupGossip rumor body");
 }
 
 void CongosProcess::on_all_gossip_deliver(Round now, const gossip::GossipRumor& rumor) {
-  const auto* report = dynamic_cast<const DistributionReportBody*>(rumor.body.get());
-  CONGOS_ASSERT_MSG(report != nullptr, "unknown AllGossip rumor body");
-  cg_->on_report(now, *report);
+  CONGOS_ASSERT_MSG(rumor.body != nullptr &&
+                        rumor.body->kind() == sim::PayloadKind::kDistributionReport,
+                    "unknown AllGossip rumor body");
+  cg_->on_report(now, static_cast<const DistributionReportBody&>(*rumor.body));
 }
 
 std::uint64_t CongosProcess::filter_drops() const {

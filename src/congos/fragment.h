@@ -68,6 +68,8 @@ inline std::size_t wire_size(const Fragment& f) {
 /// distribute on its behalf (Fig. 9 round 1). All fragments belong to the
 /// receiver's group - [PROXY:CONFIDENTIAL].
 struct ProxyRequestPayload final : sim::Payload {
+  ProxyRequestPayload() : sim::Payload(sim::PayloadKind::kProxyRequest) {}
+
   Round dline = 0;  // deadline class, for routing to the right instance
   std::vector<Fragment> fragments;
 
@@ -80,6 +82,8 @@ struct ProxyRequestPayload final : sim::Payload {
 
 /// Proxy[l] acknowledgement (Fig. 9 last iteration round).
 struct ProxyAckPayload final : sim::Payload {
+  ProxyAckPayload() : sim::Payload(sim::PayloadKind::kProxyAck) {}
+
   Round dline = 0;
 
   std::size_t wire_size() const override { return 8; }
@@ -90,6 +94,8 @@ struct ProxyAckPayload final : sim::Payload {
 /// ConfidentialGossip - [GD:CONFIDENTIAL] guarantees receiver is in every
 /// fragment's destination set.
 struct PartialsPayload final : sim::Payload {
+  PartialsPayload() : sim::Payload(sim::PayloadKind::kPartials) {}
+
   Round dline = 0;
   std::vector<Fragment> fragments;
 
@@ -104,6 +110,8 @@ struct PartialsPayload final : sim::Payload {
 /// rumor, sent by the source to a destination when the deadline is about to
 /// expire without a delivery confirmation.
 struct DirectRumorPayload final : sim::Payload {
+  DirectRumorPayload() : sim::Payload(sim::PayloadKind::kDirectRumor) {}
+
   sim::Rumor rumor;
 
   std::size_t wire_size() const override { return sim::wire_size(rumor); }
@@ -116,6 +124,8 @@ struct DirectRumorPayload final : sim::Payload {
 /// A fragment disseminated inside its own group via GroupGossip[l]
 /// (ConfidentialGossip step 2).
 struct FragmentBody final : sim::Payload {
+  FragmentBody() : sim::Payload(sim::PayloadKind::kFragment) {}
+
   Fragment fragment;
 
   std::size_t wire_size() const override { return core::wire_size(fragment); }
@@ -125,6 +135,8 @@ struct FragmentBody final : sim::Payload {
 /// proxy for this group, the failed-proxies set, and the sender id (which
 /// establishes the collaborator set).
 struct ProxyShareBody final : sim::Payload {
+  ProxyShareBody() : sim::Payload(sim::PayloadKind::kProxyShare) {}
+
   Round dline = 0;
   std::uint64_t block = 0;
   ProcessId from = kNoProcess;
@@ -150,6 +162,8 @@ struct Hit {
 /// GroupDistribution[l] intra-group share (Fig. 10 round 3): hitSet and
 /// sender id (collaborator counting).
 struct HitSetShareBody final : sim::Payload {
+  HitSetShareBody() : sim::Payload(sim::PayloadKind::kHitSetShare) {}
+
   Round dline = 0;
   std::uint64_t block = 0;
   ProcessId from = kNoProcess;
@@ -162,6 +176,8 @@ struct HitSetShareBody final : sim::Payload {
 /// (group g of partition l) fragments of which rumor ids were sent to which
 /// processes. Contains identifiers only, never fragment data ([GD:CONFIRM]).
 struct DistributionReportBody final : sim::Payload {
+  DistributionReportBody() : sim::Payload(sim::PayloadKind::kDistributionReport) {}
+
   ProcessId reporter = kNoProcess;
   PartitionIndex partition = 0;
   GroupIndex group = 0;  // reporter's group in `partition`

@@ -62,6 +62,7 @@ ContinuousGossipService::ContinuousGossipService(ProcessId self, GossipConfig cf
 
 void ContinuousGossipService::reset(Round now) {
   known_.clear();
+  sorted_gids_.clear();
   pending_acks_.clear();
   pending_pulls_.clear();
   epoch_start_ = now;
@@ -70,11 +71,17 @@ void ContinuousGossipService::reset(Round now) {
 
 std::uint64_t ContinuousGossipService::next_gid(Round now) {
   // Unique across restarts: the epoch (restart round) is part of the id, and
-  // a process restarts at most once per round.
+  // a process restarts at most once per round. The packed layout is
+  // [source:24 | epoch+1:19 | counter:21], so the *stored* value
+  // `epoch_start_ + 1` must stay strictly below 2^19 - otherwise it spills
+  // into bit 40, the low bit of the source-id field, and gids of different
+  // processes can collide (a process restarted at round 2^19 - 1 would alias
+  // source id self+1, epoch 0).
   CONGOS_ASSERT_MSG(counter_ < (1ull << 21), "too many gossip rumors in one epoch");
-  CONGOS_ASSERT_MSG(now >= 0 && static_cast<std::uint64_t>(now) < (1ull << 19),
-                    "round number exceeds gid packing range");
-  (void)now;
+  CONGOS_ASSERT_MSG(now >= epoch_start_, "clock ran backwards");
+  CONGOS_ASSERT_MSG(epoch_start_ >= 0 &&
+                        static_cast<std::uint64_t>(epoch_start_) + 1 < (1ull << 19),
+                    "epoch round exceeds gid packing range");
   return (static_cast<std::uint64_t>(self_) << 40) |
          (static_cast<std::uint64_t>(epoch_start_ + 1) << 21) | counter_++;
 }
@@ -99,6 +106,8 @@ void ContinuousGossipService::accept(Round now, const GossipRumor& r) {
   if (r.deadline_at < now) return;  // expired in flight
   auto [it, inserted] = known_.try_emplace(r.gid);
   if (!inserted) return;  // already known
+  sorted_gids_.insert(
+      std::lower_bound(sorted_gids_.begin(), sorted_gids_.end(), r.gid), r.gid);
   Tracked& t = it->second;
   t.rumor = r;
   if (cfg_.guaranteed && r.origin == self_) {
@@ -114,17 +123,36 @@ void ContinuousGossipService::accept(Round now, const GossipRumor& r) {
 }
 
 void ContinuousGossipService::purge_expired(Round now) {
-  for (auto it = known_.begin(); it != known_.end();) {
+  // One pass over the sorted index: drop expired rumors from both the map
+  // and the index, preserving order (so no re-sort is ever needed).
+  auto keep = sorted_gids_.begin();
+  for (auto gid : sorted_gids_) {
+    auto it = known_.find(gid);
+    CONGOS_ASSERT_MSG(it != known_.end(), "rumor index out of sync with known set");
     if (it->second.rumor.deadline_at < now) {
-      it = known_.erase(it);
+      known_.erase(it);
     } else {
-      ++it;
+      *keep++ = gid;
     }
   }
+  sorted_gids_.erase(keep, sorted_gids_.end());
 }
 
 void ContinuousGossipService::send_phase(Round now, sim::Sender& out) {
   purge_expired(now);
+
+  // All same-round recipients (pull repliers, push targets, expander
+  // neighbors) get the same batch of active rumors in gid order, so build it
+  // once and share the payload; it is immutable once sent.
+  std::shared_ptr<GossipMsg> batch;
+  auto active_batch = [&]() -> const std::shared_ptr<GossipMsg>& {
+    if (!batch) {
+      batch = std::make_shared<GossipMsg>();
+      batch->rumors.reserve(sorted_gids_.size());
+      for (auto gid : sorted_gids_) batch->rumors.push_back(known_.find(gid)->second.rumor);
+    }
+    return batch;
+  };
 
   // Guaranteed mode: flush receipt acks accumulated since the last round.
   if (cfg_.guaranteed && !pending_acks_.empty()) {
@@ -148,11 +176,7 @@ void ContinuousGossipService::send_phase(Round now, sim::Sender& out) {
   // catch up without waiting to be pushed at.
   if (cfg_.strategy == GossipStrategy::kPushPull && !peers_.empty()) {
     if (!known_.empty() && !pending_pulls_.empty()) {
-      auto reply = std::make_shared<GossipMsg>();
-      std::vector<std::uint64_t> reply_gids;
-      for (const auto& [gid, _] : known_) reply_gids.push_back(gid);
-      std::sort(reply_gids.begin(), reply_gids.end());
-      for (auto gid : reply_gids) reply->rumors.push_back(known_[gid].rumor);
+      const auto& reply = active_batch();
       std::sort(pending_pulls_.begin(), pending_pulls_.end());
       pending_pulls_.erase(
           std::unique(pending_pulls_.begin(), pending_pulls_.end()),
@@ -173,20 +197,11 @@ void ContinuousGossipService::send_phase(Round now, sim::Sender& out) {
   if (known_.empty() || peers_.empty()) return;
 
   // Epidemic push: all active rumors to `fanout` random universe peers.
-  auto batch = std::make_shared<GossipMsg>();
-  batch->rumors.reserve(known_.size());
-  // Deterministic order for reproducibility.
-  std::vector<std::uint64_t> gids;
-  gids.reserve(known_.size());
-  for (const auto& [gid, _] : known_) gids.push_back(gid);
-  std::sort(gids.begin(), gids.end());
-  for (auto gid : gids) batch->rumors.push_back(known_[gid].rumor);
-
   if (cfg_.strategy == GossipStrategy::kExpander) {
     // Deterministic push along the expander out-edges.
     for (ProcessId target : neighbors_) {
       if (!filter_.allows(target)) continue;
-      out.send(sim::Envelope{self_, target, cfg_.tag, batch});
+      out.send(sim::Envelope{self_, target, cfg_.tag, active_batch()});
     }
   } else {
     // kEpidemicPush and the push half of kPushPull.
@@ -197,14 +212,14 @@ void ContinuousGossipService::send_phase(Round now, sim::Sender& out) {
     for (auto idx : picks) {
       const ProcessId target = peers_[idx];
       if (!filter_.allows(target)) continue;
-      out.send(sim::Envelope{self_, target, cfg_.tag, batch});
+      out.send(sim::Envelope{self_, target, cfg_.tag, active_batch()});
     }
   }
 
   // Guaranteed mode: origin fallback in the round before each deadline.
   if (cfg_.guaranteed) {
-    for (auto gid : gids) {
-      Tracked& t = known_[gid];
+    for (auto gid : sorted_gids_) {
+      Tracked& t = known_.find(gid)->second;
       if (t.rumor.origin != self_ || t.fallback_sent) continue;
       if (now < t.rumor.deadline_at - 1) continue;
       t.fallback_sent = true;
@@ -222,27 +237,32 @@ void ContinuousGossipService::send_phase(Round now, sim::Sender& out) {
 void ContinuousGossipService::on_envelope(Round now, const sim::Envelope& e) {
   CONGOS_ASSERT(e.to == self_);
   CONGOS_ASSERT(e.tag == cfg_.tag);
-  if (const auto* msg = dynamic_cast<const GossipMsg*>(e.body.get())) {
-    for (const auto& r : msg->rumors) accept(now, r);
-    return;
-  }
-  if (dynamic_cast<const GossipPull*>(e.body.get()) != nullptr) {
-    CONGOS_ASSERT_MSG(cfg_.strategy == GossipStrategy::kPushPull,
-                      "pull request under a non-pull strategy");
-    pending_pulls_.push_back(e.from);
-    return;
-  }
-  if (const auto* ack = dynamic_cast<const GossipAck*>(e.body.get())) {
-    for (auto gid : ack->gids) {
-      auto it = known_.find(gid);
-      if (it != known_.end() && it->second.rumor.origin == self_ &&
-          it->second.acked.size() != 0) {
-        it->second.acked.set(e.from);
-      }
+  CONGOS_ASSERT(e.body != nullptr);
+  switch (e.body->kind()) {
+    case sim::PayloadKind::kGossipMsg: {
+      const auto& msg = static_cast<const GossipMsg&>(*e.body);
+      for (const auto& r : msg.rumors) accept(now, r);
+      return;
     }
-    return;
+    case sim::PayloadKind::kGossipPull:
+      CONGOS_ASSERT_MSG(cfg_.strategy == GossipStrategy::kPushPull,
+                        "pull request under a non-pull strategy");
+      pending_pulls_.push_back(e.from);
+      return;
+    case sim::PayloadKind::kGossipAck: {
+      const auto& ack = static_cast<const GossipAck&>(*e.body);
+      for (auto gid : ack.gids) {
+        auto it = known_.find(gid);
+        if (it != known_.end() && it->second.rumor.origin == self_ &&
+            it->second.acked.size() != 0) {
+          it->second.acked.set(e.from);
+        }
+      }
+      return;
+    }
+    default:
+      CONGOS_ASSERT_MSG(false, "unknown payload type on gossip service tag");
   }
-  CONGOS_ASSERT_MSG(false, "unknown payload type on gossip service tag");
 }
 
 std::size_t ContinuousGossipService::known_active(Round now) const {

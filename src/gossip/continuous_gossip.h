@@ -55,19 +55,38 @@ inline std::size_t wire_size(const GossipRumor& r) {
   return 8 + 4 + 8 + r.dest.byte_size() + (r.body ? r.body->wire_size() : 0);
 }
 
-/// Wire payload: a batch of rumors pushed to one peer.
+/// Wire payload: a batch of rumors pushed to one peer. One batch is shared
+/// between every same-round recipient (push targets, pull repliers, expander
+/// neighbors), so the serialized size is memoized: the payload is immutable
+/// once handed to a Sender, and wire_size() is re-queried per recipient by
+/// the byte accounting.
 struct GossipMsg final : sim::Payload {
+  GossipMsg() : sim::Payload(sim::PayloadKind::kGossipMsg) {}
+
   std::vector<GossipRumor> rumors;
 
   std::size_t wire_size() const override {
-    std::size_t total = 4;  // count
-    for (const auto& r : rumors) total += gossip::wire_size(r);
-    return total;
+    if (cached_for_count_ != rumors.size()) {
+      std::size_t total = 4;  // count
+      for (const auto& r : rumors) total += gossip::wire_size(r);
+      cached_wire_size_ = total;
+      cached_for_count_ = rumors.size();
+    }
+    return cached_wire_size_;
   }
+
+ private:
+  mutable std::size_t cached_wire_size_ = 0;
+  // Memo is invalidated when the rumor count changes; mutating a rumor
+  // in place after a wire_size() query is still forbidden (see the class
+  // comment: payloads are immutable once handed to a Sender).
+  mutable std::size_t cached_for_count_ = SIZE_MAX;
 };
 
 /// Wire payload: receipt acknowledgements (guaranteed mode only).
 struct GossipAck final : sim::Payload {
+  GossipAck() : sim::Payload(sim::PayloadKind::kGossipAck) {}
+
   std::vector<std::uint64_t> gids;
 
   std::size_t wire_size() const override { return 4 + 8 * gids.size(); }
@@ -93,6 +112,8 @@ enum class GossipStrategy : std::uint8_t { kEpidemicPush, kExpander, kPushPull }
 /// Wire payload: a pull request (kPushPull); the receiver responds next
 /// round with its active rumors.
 struct GossipPull final : sim::Payload {
+  GossipPull() : sim::Payload(sim::PayloadKind::kGossipPull) {}
+
   std::size_t wire_size() const override { return 4; }
 };
 
@@ -161,6 +182,13 @@ class ContinuousGossipService {
   std::vector<ProcessId> peers_;      // universe minus self, for sampling
   std::vector<ProcessId> neighbors_;  // expander out-neighbors (kExpander)
   std::unordered_map<std::uint64_t, Tracked> known_;
+  /// Sorted gids of `known_`, maintained incrementally by accept() /
+  /// purge_expired() / reset(). Invariant: `sorted_gids_` holds exactly the
+  /// keys of `known_`, in ascending order. This replaces the per-round
+  /// rebuild-and-sort of the rumor list in send_phase(), which dominated the
+  /// hot path at large n; the sorted order is what keeps batch contents (and
+  /// hence traces) deterministic.
+  std::vector<std::uint64_t> sorted_gids_;
   // acks to emit next send phase: origin -> gids (guaranteed mode)
   std::unordered_map<ProcessId, std::vector<std::uint64_t>> pending_acks_;
   // pull requests to answer next send phase (kPushPull)

@@ -129,6 +129,8 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   const auto& stats = engine.stats();
   result.max_per_round = stats.max_from(cfg.measure_from);
   result.mean_per_round = stats.mean_from(cfg.measure_from);
+  result.p50_per_round = stats.percentile_from(cfg.measure_from, 50.0);
+  result.p95_per_round = stats.percentile_from(cfg.measure_from, 95.0);
   result.total_messages = stats.total_sent();
   for (std::size_t k = 0; k < sim::kNumServiceKinds; ++k) {
     result.max_by_kind[k] =

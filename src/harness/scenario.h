@@ -70,6 +70,8 @@ struct ScenarioResult {
   // message complexity
   std::uint64_t max_per_round = 0;       // after warm-up
   double mean_per_round = 0.0;           // after warm-up
+  std::uint64_t p50_per_round = 0;       // after warm-up
+  std::uint64_t p95_per_round = 0;       // after warm-up
   std::uint64_t total_messages = 0;      // whole run
   std::uint64_t max_by_kind[sim::kNumServiceKinds] = {};    // after warm-up
   std::uint64_t total_by_kind[sim::kNumServiceKinds] = {};  // after warm-up

@@ -17,6 +17,19 @@ class Engine::NetworkSender final : public Sender {
   ProcessId from_;
 };
 
+/// Fans delivered envelopes out to the registered execution observers.
+/// Stack-allocated per step; replaces a per-round std::function closure.
+class Engine::DeliveryFanout final : public DeliveryObserver {
+ public:
+  explicit DeliveryFanout(Engine& engine) : engine_(engine) {}
+  void on_delivered(const Envelope& e) override {
+    for (auto* obs : engine_.observers_) obs->on_envelope_delivered(e, engine_.now_);
+  }
+
+ private:
+  Engine& engine_;
+};
+
 Engine::Engine(std::vector<std::unique_ptr<Process>> processes, std::uint64_t seed)
     : processes_(std::move(processes)),
       rng_(seed),
@@ -139,10 +152,9 @@ void Engine::step() {
   if (adversary_ != nullptr) adversary_->after_sends(*this);
 
   phase_ = Phase::kDelivering;
+  DeliveryFanout fanout(*this);
   network_.deliver(out_policy_, out_filtered_, in_policy_, in_filtered_, rng_,
-                   [&](const Envelope& e) {
-                     for (auto* obs : observers_) obs->on_envelope_delivered(e, now_);
-                   });
+                   observers_.empty() ? nullptr : &fanout);
 
   phase_ = Phase::kReceiving;
   for (std::size_t p = 0; p < n(); ++p) {

@@ -146,6 +146,7 @@ class Engine {
   std::vector<bool> sent_this_round_;  // participated in the send phase
 
   class NetworkSender;
+  class DeliveryFanout;
 
   void begin_round();
   void notify_crash(ProcessId p);

@@ -35,6 +35,42 @@ struct ServiceTag {
   friend bool operator==(const ServiceTag&, const ServiceTag&) = default;
 };
 
+/// Concrete payload type, one tag per wire format. Receivers dispatch on
+/// this tag with a switch + `static_cast` instead of RTTI type-cast chains:
+/// the tag lives in the envelope hot path of every simulated round, and a
+/// one-byte compare is what keeps large-n sweeps affordable.
+///
+/// The enum is the central registry of wire formats (like the protocol
+/// numbers of a real network stack). A new payload type must (a) add a tag
+/// here, (b) pass it to the Payload base constructor, and (c) keep its
+/// contents deterministic functions of (seed, configuration) - see
+/// DESIGN.md section 5, "Type-tagged payload dispatch".
+enum class PayloadKind : std::uint8_t {
+  kOpaque,  // default: test doubles and payloads nobody dispatches on
+
+  // continuous gossip service (src/gossip)
+  kGossipMsg,   // batch of rumors pushed to one peer
+  kGossipAck,   // receipt acknowledgements (guaranteed mode)
+  kGossipPull,  // pull request (kPushPull strategy)
+
+  // CONGOS point-to-point payloads (src/congos)
+  kProxyRequest,  // Proxy[l] request: fragments to distribute
+  kProxyAck,      // Proxy[l] acknowledgement
+  kPartials,      // GroupDistribution[l] "partials"
+  kDirectRumor,   // ConfidentialGossip deadline fallback ("shoot")
+
+  // CONGOS gossip rumor bodies (carried inside kGossipMsg)
+  kFragment,            // one XOR share, intra-group dissemination
+  kProxyShare,          // Proxy[l] intra-group share
+  kHitSetShare,         // GroupDistribution[l] intra-group share
+  kDistributionReport,  // AllGossip sanitized hitSet report
+
+  // comparison protocols (src/baseline)
+  kBaselineRumor,  // a whole rumor in one message
+  kBaselineBatch,  // merged whole rumors (strongly-confidential baseline)
+  kStrongAck,      // strongly-confidential receipt ack
+};
+
 /// Base class for all message payloads. Payloads are immutable once sent and
 /// shared between the network queue, the inboxes and the auditors.
 ///
@@ -42,8 +78,15 @@ struct ServiceTag {
 /// the *communication* complexity accounting the paper discusses in Section 7
 /// (bits per round, as opposed to Definition 3's messages per round).
 struct Payload {
+  constexpr explicit Payload(PayloadKind kind = PayloadKind::kOpaque)
+      : kind_(kind) {}
   virtual ~Payload() = default;
   virtual std::size_t wire_size() const { return 8; }
+
+  PayloadKind kind() const { return kind_; }
+
+ private:
+  PayloadKind kind_;
 };
 
 /// Serialized size of an envelope: addressing/tag header plus body.

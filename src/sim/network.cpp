@@ -31,7 +31,7 @@ void Network::deliver(const std::vector<PartialDelivery>& out_policy,
                       const std::vector<bool>& out_filtered,
                       const std::vector<PartialDelivery>& in_policy,
                       const std::vector<bool>& in_filtered, Rng& rng,
-                      const std::function<void(const Envelope&)>& observer) {
+                      DeliveryObserver* observer) {
   for (auto& e : pending_) {
     bool keep = true;
     if (out_filtered[e.from]) {
@@ -49,10 +49,10 @@ void Network::deliver(const std::vector<PartialDelivery>& out_policy,
       }
     }
     if (!keep) continue;
-    if (observer) observer(e);
+    if (observer != nullptr) observer->on_delivered(e);
     inboxes_[e.to].push_back(std::move(e));
   }
-  pending_.clear();
+  pending_.clear();  // keeps capacity: the buffer is reused next round
 }
 
 void Network::end_round() {

@@ -7,7 +7,6 @@
 // restarts mid-round.
 #pragma once
 
-#include <functional>
 #include <span>
 #include <vector>
 
@@ -17,6 +16,16 @@
 #include "sim/stats.h"
 
 namespace congos::sim {
+
+/// Per-delivery hook for Network::deliver. A plain virtual interface rather
+/// than std::function: deliver() runs once per round for every envelope in
+/// flight, and the indirect call must not allocate or touch a type-erased
+/// wrapper on that path.
+class DeliveryObserver {
+ public:
+  virtual ~DeliveryObserver() = default;
+  virtual void on_delivered(const Envelope& e) = 0;
+};
 
 /// How the adversary resolves the in-flight messages of a process that
 /// crashes (outgoing) or restarts (incoming) in the current round.
@@ -44,12 +53,13 @@ class Network {
   /// drop_from[p]  - p crashed this round; policy applies to p's sends.
   /// drop_to[p]    - p is unable to receive this round (crashed, or was dead
   ///                 at send time); restart partial delivery uses the policy.
-  /// observer      - called for every *delivered* envelope (auditing).
+  /// observer      - called for every *delivered* envelope (auditing);
+  ///                 nullptr when nobody is listening.
   void deliver(const std::vector<PartialDelivery>& out_policy,
                const std::vector<bool>& out_filtered,
                const std::vector<PartialDelivery>& in_policy,
                const std::vector<bool>& in_filtered, Rng& rng,
-               const std::function<void(const Envelope&)>& observer);
+               DeliveryObserver* observer);
 
   /// Inbox of process p for the current round; cleared by end_round().
   std::span<const Envelope> inbox(ProcessId p) const {
@@ -63,6 +73,8 @@ class Network {
  private:
   std::size_t n_;
   MessageStats* stats_;
+  // pending_ and the inboxes are cleared - never deallocated - between
+  // rounds, so after warm-up the hot path performs no queue reallocation.
   std::vector<Envelope> pending_;
   std::vector<std::vector<Envelope>> inboxes_ = std::vector<std::vector<Envelope>>(n_);
   std::uint64_t sent_total_ = 0;

@@ -36,9 +36,12 @@ std::uint64_t MessageStats::max_bytes_from(Round start) const {
   return m;
 }
 
-std::uint64_t MessageStats::percentile(double p) const {
-  if (per_round_.empty()) return 0;
-  std::vector<std::uint64_t> sorted = per_round_;
+std::uint64_t MessageStats::percentile_from(Round start, double p) const {
+  const auto first = static_cast<std::size_t>(std::max<Round>(start, 0));
+  if (first >= per_round_.size()) return 0;
+  std::vector<std::uint64_t> sorted(per_round_.begin() +
+                                        static_cast<std::ptrdiff_t>(first),
+                                    per_round_.end());
   std::sort(sorted.begin(), sorted.end());
   const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
   const auto idx = static_cast<std::size_t>(std::llround(rank));

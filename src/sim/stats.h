@@ -52,8 +52,12 @@ class MessageStats {
   /// Per-round totals, in round order (for percentile computations).
   const std::vector<std::uint64_t>& per_round_totals() const { return per_round_; }
 
-  /// p-th percentile (0..100) of per-round totals.
-  std::uint64_t percentile(double p) const;
+  /// p-th percentile (0..100) of per-round totals over rounds >= start.
+  /// EXPERIMENTS.md mandates steady-state measurement, so percentile queries
+  /// take the same warm-up exclusion as max_from()/mean_from().
+  std::uint64_t percentile_from(Round start, double p) const;
+  /// p-th percentile (0..100) of per-round totals, whole run.
+  std::uint64_t percentile(double p) const { return percentile_from(0, p); }
 
   /// Maximum per-round total over rounds >= start (warm-up exclusion).
   std::uint64_t max_from(Round start) const;

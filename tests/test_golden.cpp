@@ -47,6 +47,86 @@ TEST(Golden, PlainGossipAggregates) {
   EXPECT_EQ(r.leaks, 1267u);
 }
 
+// Full-system determinism pin: CONGOS under random churn, with the
+// confidentiality auditor's coalition analysis on. The per-round delivery
+// trace is hashed, so any change in message *ordering or count per round* -
+// not just aggregate drift - trips the test. The constants were captured
+// from the per-round rebuild-and-sort implementation; the incremental rumor
+// index and shared push batches must reproduce them bit-for-bit.
+class RoundTrace final : public sim::ExecutionObserver {
+ public:
+  void on_envelope_delivered(const sim::Envelope&, Round) override { ++current_; }
+  void on_round_end(Round) override {
+    counts_.push_back(current_);
+    current_ = 0;
+  }
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+ private:
+  std::uint64_t current_ = 0;
+  std::vector<std::uint64_t> counts_;
+};
+
+std::uint64_t fnv1a(const std::vector<std::uint64_t>& counts) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (auto c : counts) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (c >> (8 * b)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+harness::ScenarioConfig churn_config() {
+  harness::ScenarioConfig cfg;
+  cfg.n = 64;
+  cfg.seed = 20260805;
+  cfg.rounds = 96;
+  cfg.protocol = harness::Protocol::kCongos;
+  cfg.continuous.inject_prob = 0.02;
+  cfg.continuous.deadlines = {32};
+  adversary::RandomChurn::Options churn;
+  churn.crash_prob = 0.01;
+  churn.restart_prob = 0.2;
+  churn.min_alive = 48;
+  cfg.churn = churn;
+  return cfg;
+}
+
+TEST(Golden, CongosChurnTraceIsPinned) {
+  auto cfg = churn_config();
+  RoundTrace trace;
+  cfg.extra_observers.push_back(&trace);
+  const auto r = harness::run_scenario(cfg);
+
+  // 96 workload rounds + 32 drain + 2 engine epilogue rounds.
+  ASSERT_EQ(trace.counts().size(), 130u);
+  std::uint64_t delivered_total = 0;
+  for (auto c : trace.counts()) delivered_total += c;
+  EXPECT_EQ(delivered_total, 269790u);
+  EXPECT_EQ(fnv1a(trace.counts()), 17331845611235902561ull);
+
+  EXPECT_EQ(r.injected, 92u);
+  EXPECT_EQ(r.total_messages, 281730u);
+  EXPECT_EQ(r.crashes, 69u);
+  EXPECT_EQ(r.restarts, 66u);
+  EXPECT_EQ(r.leaks, 0u);
+  // Lemma 14: the weakest rumor-breaking coalition stays above tau.
+  EXPECT_EQ(r.weakest_coalition, 2u);
+  EXPECT_GT(r.weakest_coalition, static_cast<std::size_t>(cfg.congos.tau));
+}
+
+TEST(Golden, CongosChurnRunToRunDeterminism) {
+  auto cfg = churn_config();
+  RoundTrace a, b;
+  cfg.extra_observers.assign(1, &a);
+  harness::run_scenario(cfg);
+  cfg.extra_observers.assign(1, &b);
+  harness::run_scenario(cfg);
+  EXPECT_EQ(a.counts(), b.counts());
+}
+
 TEST(Golden, IdenticalWorkloadAcrossProtocols) {
   // The injection schedule depends only on (seed, n, rounds), never on the
   // protocol under test - the comparisons in the benches rely on this.

@@ -485,6 +485,42 @@ TEST(GossipDeath, InjectOutsideUniverse) {
   EXPECT_DEATH(svc.inject(0, nullptr, bad, 10), "within the service universe");
 }
 
+TEST(Gossip, GidPackingAtEpochBoundary) {
+  // The packed layout is [source:24 | epoch+1:19 | counter:21]; the largest
+  // epoch round whose stored value epoch+1 still fits 19 bits is 2^19 - 2.
+  const std::size_t n = 4;
+  auto universe = DynamicBitset::full(n);
+  GossipConfig cfg;
+  cfg.tag = kTag;
+  cfg.universe = universe;
+  Rng rng(7);
+  ContinuousGossipService svc(2, cfg, &rng, nullptr);
+  constexpr Round kMaxEpoch = (Round{1} << 19) - 2;
+  svc.reset(kMaxEpoch);
+  const auto gid = svc.inject(kMaxEpoch, nullptr, universe, kMaxEpoch + 8);
+  EXPECT_EQ(gid >> 40, 2u);  // source-id field untouched by the epoch
+  EXPECT_EQ((gid >> 21) & ((1u << 19) - 1),
+            static_cast<std::uint64_t>(kMaxEpoch) + 1);
+  EXPECT_EQ(gid & ((1u << 21) - 1), 0u);  // first counter value of the epoch
+}
+
+TEST(GossipDeath, GidEpochOverflowAborts) {
+  // One restart round later, epoch+1 == 2^19 would spill into bit 40 and
+  // alias gids of source self+1, epoch 0. The service must refuse instead
+  // of silently colliding.
+  const std::size_t n = 4;
+  auto universe = DynamicBitset::full(n);
+  GossipConfig cfg;
+  cfg.tag = kTag;
+  cfg.universe = universe;
+  Rng rng(7);
+  ContinuousGossipService svc(2, cfg, &rng, nullptr);
+  constexpr Round kOverflowEpoch = (Round{1} << 19) - 1;
+  svc.reset(kOverflowEpoch);
+  EXPECT_DEATH(svc.inject(kOverflowEpoch, nullptr, universe, kOverflowEpoch + 8),
+               "gid packing range");
+}
+
 TEST(GossipDeath, HostMustBeInUniverse) {
   DynamicBitset universe(8);
   universe.set(1);

@@ -101,6 +101,35 @@ TEST(Rng, PoissonMeanMatches) {
   EXPECT_NEAR(sum / 20000.0, 2.5, 0.1);
 }
 
+TEST(Rng, PoissonLargeLambdaMeanAndVariance) {
+  // Knuth's product method compares a running product against exp(-lambda),
+  // which underflows to 0.0 for lambda >~ 745 and silently truncates every
+  // draw. The chunked implementation stays exact by Poisson additivity, so
+  // both the mean and the variance (== lambda) must survive at lambda = 3000.
+  Rng rng(67);
+  constexpr double kLambda = 3000.0;
+  constexpr int kDraws = 4000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double v = rng.poisson(kLambda);
+    sum += v;
+    sumsq += v * v;
+  }
+  const double mean = sum / kDraws;
+  const double var = sumsq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, kLambda, 5.0);  // ~6 standard errors of the mean
+  EXPECT_NEAR(var, kLambda, kLambda * 0.10);
+}
+
+TEST(Rng, PoissonJustAboveChunkStaysCalibrated) {
+  // lambda slightly above the internal chunk size exercises the split into
+  // one full chunk plus a remainder.
+  Rng rng(71);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += rng.poisson(600.0);
+  EXPECT_NEAR(sum / 20000.0, 600.0, 1.0);
+}
+
 TEST(Rng, PoissonZeroLambda) {
   Rng rng(31);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);

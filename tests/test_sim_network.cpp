@@ -23,9 +23,15 @@ struct NetworkFixture : ::testing::Test {
   std::vector<bool> in_filtered = std::vector<bool>(kN, false);
   std::vector<Envelope> observed;
 
+  struct Recorder final : DeliveryObserver {
+    explicit Recorder(std::vector<Envelope>& sink) : sink(sink) {}
+    void on_delivered(const Envelope& e) override { sink.push_back(e); }
+    std::vector<Envelope>& sink;
+  };
+
   void deliver() {
-    net.deliver(out_policy, out_filtered, in_policy, in_filtered, rng,
-                [&](const Envelope& e) { observed.push_back(e); });
+    Recorder recorder(observed);
+    net.deliver(out_policy, out_filtered, in_policy, in_filtered, rng, &recorder);
   }
 };
 
@@ -140,6 +146,24 @@ TEST(MessageStats, WarmupWindows) {
   EXPECT_EQ(s.max_from(5, ServiceKind::kFallback), 0u);
   EXPECT_NEAR(s.mean_from(5), 1.0, 1e-9);
   EXPECT_EQ(s.total_from(5, ServiceKind::kProxy), 5u);
+}
+
+TEST(MessageStats, PercentileFromExcludesWarmup) {
+  MessageStats s;
+  // Warm-up rounds 0..4: a 1000-message spike. Steady state rounds 5..14:
+  // totals 1..10.
+  for (Round t = 0; t < 15; ++t) {
+    const int count = t < 5 ? 1000 : static_cast<int>(t) - 4;
+    for (int i = 0; i < count; ++i) s.note_sent(ServiceKind::kOther);
+    s.end_round(t);
+  }
+  // Whole-run percentiles see the spike; steady-state percentiles must not.
+  EXPECT_EQ(s.percentile(100), 1000u);
+  EXPECT_EQ(s.percentile_from(5, 100), 10u);
+  EXPECT_EQ(s.percentile_from(5, 0), 1u);
+  EXPECT_EQ(s.percentile_from(5, 50), 6u);    // rank 4.5 rounds to index 5
+  EXPECT_EQ(s.percentile_from(14, 50), 10u);  // one-round tail
+  EXPECT_EQ(s.percentile_from(15, 50), 0u);   // empty tail
 }
 
 TEST(ServiceKindNames, AllNamed) {

@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# Runs the engine hot-path microbenchmark and appends one JSON record per
+# benchmark to BENCH_engine.json (JSON-lines: one record per line, so the
+# file accumulates a perf trajectory across commits).
+#
+# Usage: tools/check_bench.sh [build-dir] [output-file]
+#   build-dir    defaults to ./build
+#   output-file  defaults to ./BENCH_engine.json
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT_FILE="${2:-BENCH_engine.json}"
+BENCH_BIN="$BUILD_DIR/bench/micro_engine"
+
+if [ ! -x "$BENCH_BIN" ]; then
+  echo "error: $BENCH_BIN not found; build first (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+  exit 1
+fi
+
+TMP_JSON="$(mktemp)"
+trap 'rm -f "$TMP_JSON"' EXIT
+
+"$BENCH_BIN" --benchmark_filter='BM_HotPathRounds' \
+  --benchmark_out="$TMP_JSON" --benchmark_out_format=json \
+  --benchmark_format=console
+
+GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+
+# One compact line per benchmark: name, real/cpu time, rounds/sec, context.
+jq -c --arg rev "$GIT_REV" \
+  '.context.date as $date | .benchmarks[] |
+   {date: $date, rev: $rev, name: .name, real_time_ms: .real_time,
+    cpu_time_ms: .cpu_time, rounds_per_sec: .rounds_per_sec}' \
+  "$TMP_JSON" >> "$OUT_FILE"
+
+echo "appended $(jq '.benchmarks | length' "$TMP_JSON") benchmark record(s) to $OUT_FILE:"
+tail -n 2 "$OUT_FILE"
