@@ -3,7 +3,9 @@
 // Every exp_* binary regenerates one experiment from DESIGN.md's
 // per-experiment index (EXPERIMENTS.md records the resulting numbers).
 // Default parameters finish in tens of seconds; set CONGOS_BENCH_SCALE=full
-// for the larger sweeps quoted in EXPERIMENTS.md.
+// for the larger sweeps quoted in EXPERIMENTS.md. Grids run through
+// harness::SweepRunner; CONGOS_BENCH_THREADS caps the worker count
+// (default: hardware concurrency).
 #pragma once
 
 #include <cstdio>
@@ -12,17 +14,30 @@
 #include <iostream>
 #include <string>
 
+#include "harness/sweep.h"
+
 namespace congos::bench {
 
+/// CONGOS_BENCH_SCALE=full. Parsed once — sweep loops may call this per
+/// scenario and must not re-read the environment each time.
 inline bool full_scale() {
-  const char* v = std::getenv("CONGOS_BENCH_SCALE");
-  return v != nullptr && std::strcmp(v, "full") == 0;
+  static const bool cached = [] {
+    const char* v = std::getenv("CONGOS_BENCH_SCALE");
+    return v != nullptr && std::strcmp(v, "full") == 0;
+  }();
+  return cached;
 }
+
+/// Worker threads the sweep runner will use (CONGOS_BENCH_THREADS, else
+/// hardware concurrency). Cached like full_scale().
+inline std::size_t threads() { return harness::SweepRunner::default_threads(); }
 
 inline void banner(const char* exp_id, const char* claim) {
   std::printf("=== %s ===\n%s\n", exp_id, claim);
-  std::printf("(scale: %s; set CONGOS_BENCH_SCALE=full for the larger sweep)\n\n",
-              full_scale() ? "full" : "default");
+  std::printf(
+      "(scale: %s, threads: %zu; CONGOS_BENCH_SCALE=full for the larger sweep, "
+      "CONGOS_BENCH_THREADS=k to cap workers)\n\n",
+      full_scale() ? "full" : "default", threads());
 }
 
 }  // namespace congos::bench

@@ -8,6 +8,8 @@
 //   3. partition_c (collusion partition count multiplier, tau = 2): more
 //      partitions, more redundancy, more messages.
 // All rows must keep QoD intact; what moves is cost and fallback usage.
+#include <iterator>
+
 #include "bench_util.h"
 #include "congos/congos_process.h"
 #include "harness/scenario.h"
@@ -42,15 +44,57 @@ int main() {
 
   const std::size_t n = 64;
 
+  // All four ablation axes flattened into one grid so the sweep runner can
+  // execute every configuration concurrently; offsets index back per axis.
+  const std::vector<double> exponents = {2.0, 6.0, 12.0, 48.0};
+  const std::vector<int> fanouts = {1, 2, 3, 6};
+  const std::vector<double> partition_cs = {1.0, 2.0, 4.0};
+  const std::pair<gossip::GossipStrategy, const char*> strategies[] = {
+      {gossip::GossipStrategy::kEpidemicPush, "epidemic push (random)"},
+      {gossip::GossipStrategy::kExpander, "expander (deterministic)"},
+      {gossip::GossipStrategy::kPushPull, "push-pull (Karp et al.)"},
+  };
+
+  std::vector<harness::ScenarioConfig> grid;
+  for (double e : exponents) {
+    auto cfg = base(n, 71);
+    cfg.congos.fanout_exponent = e;
+    grid.push_back(cfg);
+  }
+  const std::size_t off_fanout = grid.size();
+  for (int f : fanouts) {
+    auto cfg = base(n, 72);
+    cfg.congos.gossip_fanout = f;
+    grid.push_back(cfg);
+  }
+  const std::size_t off_partition = grid.size();
+  for (double c : partition_cs) {
+    auto cfg = base(n, 73);
+    cfg.congos.tau = 2;
+    cfg.congos.allow_degenerate = false;
+    cfg.congos.partition_c = c;
+    grid.push_back(cfg);
+  }
+  const std::size_t off_strategy = grid.size();
+  for (const auto& [strategy, name] : strategies) {
+    auto cfg = base(n, 74);
+    cfg.congos.gossip_strategy = strategy;
+    grid.push_back(cfg);
+  }
+
+  harness::SweepRunner::Options opts;
+  opts.label = "E12";
+  const auto results = harness::run_sweep(grid, opts);
+  for (const auto& r : results) {
+    if (!r.qod.ok()) return 1;
+  }
+
   {
     harness::Table t({"fanout_exponent", "max/rnd", "mean/rnd", "shoots",
                       "mean latency"});
-    for (double e : {2.0, 6.0, 12.0, 48.0}) {
-      auto cfg = base(n, 71);
-      cfg.congos.fanout_exponent = e;
-      const auto r = harness::run_scenario(cfg);
-      if (!r.qod.ok()) return 1;
-      t.row({harness::cell(e, 0), harness::cell(r.max_per_round),
+    for (std::size_t i = 0; i < exponents.size(); ++i) {
+      const auto& r = results[i];
+      t.row({harness::cell(exponents[i], 0), harness::cell(r.max_per_round),
              harness::cell(r.mean_per_round, 1), harness::cell(r.cg_shoots),
              harness::cell(r.qod.mean_latency, 1)});
     }
@@ -62,12 +106,9 @@ int main() {
   {
     harness::Table t({"gossip_fanout", "max/rnd", "mean/rnd", "shoots",
                       "mean latency"});
-    for (int f : {1, 2, 3, 6}) {
-      auto cfg = base(n, 72);
-      cfg.congos.gossip_fanout = f;
-      const auto r = harness::run_scenario(cfg);
-      if (!r.qod.ok()) return 1;
-      t.row({harness::cell(static_cast<std::uint64_t>(f)),
+    for (std::size_t i = 0; i < fanouts.size(); ++i) {
+      const auto& r = results[off_fanout + i];
+      t.row({harness::cell(static_cast<std::uint64_t>(fanouts[i])),
              harness::cell(r.max_per_round), harness::cell(r.mean_per_round, 1),
              harness::cell(r.cg_shoots), harness::cell(r.qod.mean_latency, 1)});
     }
@@ -79,15 +120,11 @@ int main() {
   {
     harness::Table t({"partition_c (tau=2)", "partitions", "max/rnd", "total msgs",
                       "shoots"});
-    for (double c : {1.0, 2.0, 4.0}) {
-      auto cfg = base(n, 73);
-      cfg.congos.tau = 2;
-      cfg.congos.allow_degenerate = false;
-      cfg.congos.partition_c = c;
-      const auto r = harness::run_scenario(cfg);
-      if (!r.qod.ok()) return 1;
-      const auto parts = core::CongosProcess::build_partitions(n, cfg.congos);
-      t.row({harness::cell(c, 1),
+    for (std::size_t i = 0; i < partition_cs.size(); ++i) {
+      const auto& r = results[off_partition + i];
+      const auto parts =
+          core::CongosProcess::build_partitions(n, grid[off_partition + i].congos);
+      t.row({harness::cell(partition_cs[i], 1),
              harness::cell(static_cast<std::uint64_t>(parts->count())),
              harness::cell(r.max_per_round), harness::cell(r.total_messages),
              harness::cell(r.cg_shoots)});
@@ -100,17 +137,9 @@ int main() {
   {
     harness::Table t({"gossip strategy", "max/rnd", "mean/rnd", "shoots",
                       "mean latency", "total msgs"});
-    const std::pair<gossip::GossipStrategy, const char*> strategies[] = {
-        {gossip::GossipStrategy::kEpidemicPush, "epidemic push (random)"},
-        {gossip::GossipStrategy::kExpander, "expander (deterministic)"},
-        {gossip::GossipStrategy::kPushPull, "push-pull (Karp et al.)"},
-    };
-    for (const auto& [strategy, name] : strategies) {
-      auto cfg = base(n, 74);
-      cfg.congos.gossip_strategy = strategy;
-      const auto r = harness::run_scenario(cfg);
-      if (!r.qod.ok()) return 1;
-      t.row({name, harness::cell(r.max_per_round),
+    for (std::size_t i = 0; i < std::size(strategies); ++i) {
+      const auto& r = results[off_strategy + i];
+      t.row({strategies[i].second, harness::cell(r.max_per_round),
              harness::cell(r.mean_per_round, 1), harness::cell(r.cg_shoots),
              harness::cell(r.qod.mean_latency, 1), harness::cell(r.total_messages)});
     }

@@ -22,7 +22,9 @@ int main() {
   harness::Table table({"payload B", "congos msgs/rumor", "congos KB/rumor",
                         "direct KB/rumor", "byte ratio", "congos peak KB/rnd"});
 
-  for (std::size_t payload : {16u, 256u, 4096u}) {
+  const std::vector<std::size_t> payloads = {16, 256, 4096};
+  std::vector<harness::ScenarioConfig> grid;
+  for (std::size_t payload : payloads) {
     harness::ScenarioConfig cfg;
     cfg.n = n;
     cfg.seed = 55;
@@ -35,11 +37,19 @@ int main() {
     cfg.continuous.payload_len = payload;
     cfg.measure_from = 128;
     cfg.audit_confidentiality = false;
-
     cfg.protocol = harness::Protocol::kCongos;
-    const auto congos = harness::run_scenario(cfg);
+    grid.push_back(cfg);
     cfg.protocol = harness::Protocol::kDirect;
-    const auto direct = harness::run_scenario(cfg);
+    grid.push_back(cfg);
+  }
+  harness::SweepRunner::Options opts;
+  opts.label = "E15";
+  const auto results = harness::run_sweep(grid, opts);
+
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    const std::size_t payload = payloads[i];
+    const auto& congos = results[2 * i + 0];
+    const auto& direct = results[2 * i + 1];
     if (!congos.qod.ok() || !direct.qod.ok()) return 1;
 
     const double c_kb = static_cast<double>(congos.total_bytes) /

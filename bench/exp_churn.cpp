@@ -23,7 +23,7 @@ int main() {
   harness::Table table({"crash prob", "crashes+restarts seen", "admissible",
                         "on-time", "on-time %", "bonus", "shoots", "leaks"});
 
-  bool ok = true;
+  std::vector<harness::ScenarioConfig> grid;
   for (double cp : crash_probs) {
     harness::ScenarioConfig cfg;
     cfg.n = n;
@@ -42,8 +42,16 @@ int main() {
       cfg.churn->restart_prob = 0.05;
       cfg.churn->min_alive = 6;
     }
+    grid.push_back(cfg);
+  }
+  harness::SweepRunner::Options opts;
+  opts.label = "E8";
+  const auto results = harness::run_sweep(grid, opts);
 
-    const auto r = harness::run_scenario(cfg);
+  bool ok = true;
+  for (std::size_t i = 0; i < crash_probs.size(); ++i) {
+    const double cp = crash_probs[i];
+    const auto& r = results[i];
     const double pct =
         r.qod.admissible_pairs == 0
             ? 100.0

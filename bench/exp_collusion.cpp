@@ -24,8 +24,7 @@ int main() {
   harness::Table table({"tau", "groups", "partitions", "total msgs", "max/rnd",
                         "ratio vs tau=1", "tau^2", "min breaking coalition"});
 
-  double base_total = 0;
-  bool ok = true;
+  std::vector<harness::ScenarioConfig> grid;
   for (std::uint32_t tau : taus) {
     harness::ScenarioConfig cfg;
     cfg.n = n;
@@ -41,10 +40,19 @@ int main() {
     cfg.continuous.dest_max = 6;
     cfg.continuous.deadlines = {64};
     cfg.measure_from = 128;
+    grid.push_back(cfg);
+  }
+  harness::SweepRunner::Options opts;
+  opts.label = "E5";
+  const auto results = harness::run_sweep(grid, opts);
 
-    const auto r = harness::run_scenario(cfg);
+  double base_total = 0;
+  bool ok = true;
+  for (std::size_t i = 0; i < taus.size(); ++i) {
+    const std::uint32_t tau = taus[i];
+    const auto& r = results[i];
     if (tau == 1) base_total = static_cast<double>(r.total_messages);
-    const auto parts = core::CongosProcess::build_partitions(n, cfg.congos);
+    const auto parts = core::CongosProcess::build_partitions(n, grid[i].congos);
 
     std::string coalition =
         r.weakest_coalition == SIZE_MAX ? "unbreakable"

@@ -81,41 +81,38 @@ int main() {
   harness::Table table(
       {"tau", "border msgs", "floor (tau+1)n/2", "ratio", "leaks"});
 
-  for (std::uint32_t tau : taus) {
-    core::CongosConfig ccfg;
-    ccfg.tau = tau;
-    ccfg.allow_degenerate = false;
-    auto shared_cfg = std::make_shared<const core::CongosConfig>(ccfg);
-    auto partitions = core::CongosProcess::build_partitions(n, ccfg);
+  // One scenario per tau, each with its own BorderCounter registered as an
+  // extra observer (per-grid-entry state: the scenarios run on worker
+  // threads). The Theorem-1 workload and 90+128+2 round schedule match the
+  // hand-built engine this sweep replaced.
+  std::vector<BorderCounter> borders(taus.size());
+  std::vector<harness::ScenarioConfig> grid;
+  for (std::size_t i = 0; i < taus.size(); ++i) {
+    harness::ScenarioConfig cfg;
+    cfg.n = n;
+    cfg.seed = 500 + taus[i];
+    cfg.rounds = 90;
+    cfg.protocol = harness::Protocol::kCongos;
+    cfg.congos.tau = taus[i];
+    cfg.congos.allow_degenerate = false;
+    cfg.workload = harness::WorkloadKind::kTheorem1;
+    cfg.theorem1.x = 4.0;
+    cfg.theorem1.dmax = 128;
+    cfg.extra_observers.push_back(&borders[i]);
+    grid.push_back(cfg);
+  }
+  harness::SweepRunner::Options opts;
+  opts.label = "E6";
+  const auto results = harness::run_sweep(grid, opts);
 
-    audit::DeliveryAuditor qod(n);
-    std::vector<std::unique_ptr<sim::Process>> procs;
-    Rng seeder(500 + tau);
-    for (ProcessId p = 0; p < n; ++p) {
-      procs.push_back(std::make_unique<core::CongosProcess>(p, shared_cfg, partitions,
-                                                            seeder.next(), &qod));
-    }
-    sim::Engine engine(std::move(procs), seeder.next());
-    audit::ConfidentialityAuditor conf(n, partitions.get());
-    BorderCounter border;
-    engine.add_observer(&conf);
-    engine.add_observer(&qod);
-    engine.add_observer(&border);
-
-    adversary::Composite adv;
-    adversary::Theorem1::Options w;
-    w.x = 4.0;
-    w.dmax = 128;
-    adv.add(std::make_unique<adversary::Theorem1>(w));
-    engine.set_adversary(&adv);
-    engine.run(220);
-
+  for (std::size_t i = 0; i < taus.size(); ++i) {
+    const std::uint32_t tau = taus[i];
     const double floor = static_cast<double>(tau + 1) * static_cast<double>(n) / 2.0;
     table.row({harness::cell(static_cast<std::uint64_t>(tau)),
-               harness::cell(border.count()), harness::cell(floor, 0),
-               harness::cell(static_cast<double>(border.count()) / floor, 1),
-               harness::cell(conf.leaks())});
-    if (conf.leaks() != 0) {
+               harness::cell(borders[i].count()), harness::cell(floor, 0),
+               harness::cell(static_cast<double>(borders[i].count()) / floor, 1),
+               harness::cell(results[i].leaks)});
+    if (results[i].leaks != 0) {
       std::printf("UNEXPECTED: leak at tau=%u\n", tau);
       return 1;
     }

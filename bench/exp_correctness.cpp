@@ -38,31 +38,22 @@ int main() {
   harness::Table table({"scenario", "protocol", "injected", "admissible", "on-time",
                         "late", "missing", "leaks", "foreign-frag", "shoots"});
 
-  auto add_row = [&](const char* name, const harness::ScenarioConfig& cfg) {
-    const auto r = harness::run_scenario(cfg);
-    table.row({name, to_string(cfg.protocol), harness::cell(r.injected),
-               harness::cell(r.qod.admissible_pairs),
-               harness::cell(r.qod.delivered_on_time), harness::cell(r.qod.late),
-               harness::cell(r.qod.missing), harness::cell(r.leaks),
-               harness::cell(r.foreign_fragments), harness::cell(r.cg_shoots)});
-    return r;
+  // Named adversarial settings, run as one grid through the sweep runner.
+  std::vector<const char*> names;
+  std::vector<harness::ScenarioConfig> grid;
+  auto add = [&](const char* name, harness::ScenarioConfig cfg) {
+    names.push_back(name);
+    grid.push_back(std::move(cfg));
   };
 
-  bool ok = true;
-
-  {
-    auto cfg = base(n, 1);
-    const auto r = add_row("failure-free", cfg);
-    ok = ok && r.qod.ok() && r.leaks == 0;
-  }
+  add("failure-free", base(n, 1));
   {
     auto cfg = base(n, 2);
     cfg.churn = adversary::RandomChurn::Options{};
     cfg.churn->crash_prob = 0.004;
     cfg.churn->restart_prob = 0.05;
     cfg.churn->min_alive = 6;
-    const auto r = add_row("random churn", cfg);
-    ok = ok && r.qod.ok() && r.leaks == 0;
+    add("random churn", cfg);
   }
   {
     auto cfg = base(n, 3);
@@ -72,8 +63,7 @@ int main() {
     cfg.crash_on_service->total_budget = 60;
     cfg.crash_on_service->restart_after = 24;
     cfg.crash_on_service->min_alive = 6;
-    const auto r = add_row("adaptive proxy-killer", cfg);
-    ok = ok && r.qod.ok() && r.leaks == 0;
+    add("adaptive proxy-killer", cfg);
   }
   {
     auto cfg = base(n, 4);
@@ -82,14 +72,28 @@ int main() {
     cfg.crash_senders->per_round_budget = 1;
     cfg.crash_senders->total_budget = 40;
     cfg.crash_senders->min_alive = 6;
-    const auto r = add_row("adaptive GD-sender-killer", cfg);
-    ok = ok && r.qod.ok() && r.leaks == 0;
+    add("adaptive GD-sender-killer", cfg);
   }
   {
     auto cfg = base(n, 5);
     cfg.protocol = harness::Protocol::kPlainGossip;
-    const auto r = add_row("failure-free (contrast)", cfg);
-    ok = ok && r.qod.ok() && r.leaks > 0;  // plain gossip must leak
+    add("failure-free (contrast)", cfg);
+  }
+
+  harness::SweepRunner::Options opts;
+  opts.label = "E2";
+  const auto results = harness::run_sweep(grid, opts);
+
+  bool ok = true;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto& r = results[i];
+    table.row({names[i], to_string(grid[i].protocol), harness::cell(r.injected),
+               harness::cell(r.qod.admissible_pairs),
+               harness::cell(r.qod.delivered_on_time), harness::cell(r.qod.late),
+               harness::cell(r.qod.missing), harness::cell(r.leaks),
+               harness::cell(r.foreign_fragments), harness::cell(r.cg_shoots)});
+    const bool plain = grid[i].protocol == harness::Protocol::kPlainGossip;
+    ok = ok && r.qod.ok() && (plain ? r.leaks > 0 : r.leaks == 0);
   }
 
   table.print(std::cout);

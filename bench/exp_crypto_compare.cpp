@@ -77,7 +77,9 @@ int main() {
   cfg.continuous.deadlines = {128};
   cfg.measure_from = 256;
   cfg.audit_confidentiality = false;  // cost comparison; E2 audits payloads
-  const auto congos = harness::run_scenario(cfg);
+  harness::SweepRunner::Options sweep_opts;
+  sweep_opts.label = "E9";
+  const auto congos = harness::run_sweep({cfg}, sweep_opts).front();
   const double congos_per_rumor =
       congos.injected == 0
           ? 0.0

@@ -23,6 +23,7 @@ int main() {
       {32, 64}, {32, 128}, {64, 64}, {64, 256}};
   if (bench::full_scale()) params.push_back({128, 128});
 
+  std::vector<harness::ScenarioConfig> grid;
   for (auto [n, d] : params) {
     harness::ScenarioConfig cfg;
     cfg.n = n;
@@ -36,8 +37,15 @@ int main() {
     cfg.continuous.deadlines = {d};
     cfg.measure_from = 2 * d;
     cfg.audit_confidentiality = false;
+    grid.push_back(cfg);
+  }
+  harness::SweepRunner::Options opts;
+  opts.label = "E13";
+  const auto results = harness::run_sweep(grid, opts);
 
-    const auto r = harness::run_scenario(cfg);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const auto [n, d] = params[i];
+    const auto& r = results[i];
     const double pct = r.qod.admissible_pairs == 0
                            ? 100.0
                            : 100.0 * static_cast<double>(r.qod.delivered_on_time) /

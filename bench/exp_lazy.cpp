@@ -23,8 +23,9 @@ int main() {
   harness::Table table({"lazy %", "injected", "on-time %", "confirmed %",
                         "shoots", "fallback msgs", "leaks"});
 
-  bool ok = true;
-  for (double f : {0.0, 0.25, 0.5, 0.75, 0.9, 0.97}) {
+  const std::vector<double> fractions = {0.0, 0.25, 0.5, 0.75, 0.9, 0.97};
+  std::vector<harness::ScenarioConfig> grid;
+  for (double f : fractions) {
     harness::ScenarioConfig cfg;
     cfg.n = n;
     cfg.seed = 4100 + static_cast<std::uint64_t>(f * 100);
@@ -37,8 +38,16 @@ int main() {
     cfg.continuous.dest_max = 6;
     cfg.continuous.deadlines = {64};
     cfg.measure_from = 128;
+    grid.push_back(cfg);
+  }
+  harness::SweepRunner::Options opts;
+  opts.label = "E14";
+  const auto results = harness::run_sweep(grid, opts);
 
-    const auto r = harness::run_scenario(cfg);
+  bool ok = true;
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    const double f = fractions[i];
+    const auto& r = results[i];
     const double on_time =
         r.qod.admissible_pairs == 0
             ? 100.0

@@ -32,6 +32,7 @@ int main() {
   harness::Table table({"n", "x", "dest-pairs", "strong total", "floor nx/2c",
                         "ratio", "max-merged", "strong max/rnd", "congos max/rnd"});
 
+  std::vector<harness::ScenarioConfig> grid;
   for (std::size_t n : ns) {
     const double x = std::pow(static_cast<double>(n), 0.5 - 2.0 / c);
     harness::ScenarioConfig cfg;
@@ -41,12 +42,20 @@ int main() {
     cfg.workload = harness::WorkloadKind::kTheorem1;
     cfg.theorem1.x = x;
     cfg.theorem1.dmax = 64;
-
     cfg.protocol = harness::Protocol::kStrongConfidential;
-    const auto strong = harness::run_scenario(cfg);
-
+    grid.push_back(cfg);
     cfg.protocol = harness::Protocol::kCongos;
-    const auto congos = harness::run_scenario(cfg);
+    grid.push_back(cfg);
+  }
+  harness::SweepRunner::Options opts;
+  opts.label = "E1";
+  const auto results = harness::run_sweep(grid, opts);
+
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    const std::size_t n = ns[i];
+    const double x = grid[2 * i].theorem1.x;
+    const auto& strong = results[2 * i + 0];
+    const auto& congos = results[2 * i + 1];
 
     const double floor = static_cast<double>(n) * x / (2.0 * c);
     table.row({harness::cell(static_cast<std::uint64_t>(n)), harness::cell(x, 2),

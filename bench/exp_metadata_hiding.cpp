@@ -84,6 +84,17 @@ int main() {
   harness::Table table({"mode", "real rumors", "system rumors", "total msgs",
                         "msgs per real rumor", "max/rnd"});
 
+  // All three modes run as one grid through the sweep runner. The hiding
+  // adversaries are caller-owned and attached via extra_adversaries, so their
+  // counters stay readable after the sweep returns.
+  HiddenDestWorkload hidden(0.004, deadline, 16);
+  core::CoverTraffic::Options ct;
+  ct.rate = 0.02;  // 5x decoys over real traffic
+  ct.deadline = deadline;
+  core::CoverTraffic cover(ct);
+
+  std::vector<harness::ScenarioConfig> grid;
+
   // --- baseline: plain CONGOS with visible destination sets ---------------
   {
     harness::ScenarioConfig cfg;
@@ -97,7 +108,50 @@ int main() {
     cfg.continuous.dest_max = 6;
     cfg.continuous.deadlines = {deadline};
     cfg.audit_confidentiality = false;
-    const auto r = harness::run_scenario(cfg);
+    grid.push_back(cfg);
+  }
+
+  // --- destination-set hiding ---------------------------------------------
+  {
+    harness::ScenarioConfig cfg;
+    cfg.n = n;
+    cfg.seed = 62;
+    cfg.rounds = 320;
+    cfg.protocol = harness::Protocol::kCongos;
+    cfg.workload = harness::WorkloadKind::kNone;
+    cfg.extra_adversaries = {&hidden};
+    cfg.min_drain = deadline;  // no declared workload: drain explicitly
+    cfg.audit_confidentiality = false;
+    grid.push_back(cfg);
+  }
+
+  // --- existence hiding (cover traffic) ------------------------------------
+  {
+    harness::ScenarioConfig cfg;
+    cfg.n = n;
+    cfg.seed = 63;
+    cfg.rounds = 320;
+    cfg.protocol = harness::Protocol::kCongos;
+    cfg.workload = harness::WorkloadKind::kContinuous;
+    cfg.continuous.inject_prob = 0.004;
+    cfg.continuous.dest_min = 2;
+    cfg.continuous.dest_max = 6;
+    cfg.continuous.deadlines = {deadline};
+    cfg.continuous.last_injection_round = 319;
+    cfg.extra_adversaries = {&cover};
+    cfg.audit_confidentiality = false;
+    grid.push_back(cfg);
+  }
+
+  harness::SweepRunner::Options opts;
+  opts.label = "E11";
+  const auto results = harness::run_sweep(grid, opts);
+  for (const auto& r : results) {
+    if (!r.qod.ok()) return 1;
+  }
+
+  {
+    const auto& r = results[0];
     table.row({"visible destinations", harness::cell(r.injected),
                harness::cell(r.injected), harness::cell(r.total_messages),
                harness::cell(r.injected == 0
@@ -106,85 +160,33 @@ int main() {
                                        static_cast<double>(r.injected),
                              0),
                harness::cell(r.max_per_round)});
-    if (!r.qod.ok()) return 1;
   }
-
-  // --- destination-set hiding ---------------------------------------------
   {
-    core::CongosConfig ccfg;
-    auto cfg = std::make_shared<const core::CongosConfig>(ccfg);
-    auto partitions = core::CongosProcess::build_partitions(n, ccfg);
-    audit::DeliveryAuditor qod(n);
-    std::vector<std::unique_ptr<sim::Process>> procs;
-    Rng seeder(62);
-    for (ProcessId p = 0; p < n; ++p) {
-      procs.push_back(std::make_unique<core::CongosProcess>(p, cfg, partitions,
-                                                            seeder.next(), &qod));
-    }
-    sim::Engine engine(std::move(procs), seeder.next());
-    engine.add_observer(&qod);
-    adversary::Composite adv;
-    auto w = std::make_unique<HiddenDestWorkload>(0.004, deadline, 16);
-    auto* raw = w.get();
-    adv.add(std::move(w));
-    engine.set_adversary(&adv);
-    engine.run(320 + deadline + 2);
-    const auto report = qod.finalize(engine.now());
-    table.row({"hidden destinations", harness::cell(raw->real_rumors()),
-               harness::cell(raw->singletons()),
-               harness::cell(engine.stats().total_sent()),
-               harness::cell(raw->real_rumors() == 0
+    const auto& r = results[1];
+    // r.injected counts every singleton the workload injected; the real rumor
+    // count lives on the (caller-owned) workload adversary.
+    table.row({"hidden destinations", harness::cell(hidden.real_rumors()),
+               harness::cell(hidden.singletons()),
+               harness::cell(r.total_messages),
+               harness::cell(hidden.real_rumors() == 0
                                  ? 0.0
-                                 : static_cast<double>(engine.stats().total_sent()) /
-                                       static_cast<double>(raw->real_rumors()),
+                                 : static_cast<double>(r.total_messages) /
+                                       static_cast<double>(hidden.real_rumors()),
                              0),
-               harness::cell(engine.stats().max_per_round())});
-    if (!report.ok()) return 1;
+               harness::cell(r.max_per_round)});
   }
-
-  // --- existence hiding (cover traffic) ------------------------------------
   {
-    core::CongosConfig ccfg;
-    auto cfg = std::make_shared<const core::CongosConfig>(ccfg);
-    auto partitions = core::CongosProcess::build_partitions(n, ccfg);
-    audit::DeliveryAuditor qod(n);
-    std::vector<std::unique_ptr<sim::Process>> procs;
-    Rng seeder(63);
-    for (ProcessId p = 0; p < n; ++p) {
-      procs.push_back(std::make_unique<core::CongosProcess>(p, cfg, partitions,
-                                                            seeder.next(), &qod));
-    }
-    sim::Engine engine(std::move(procs), seeder.next());
-    engine.add_observer(&qod);
-    adversary::Composite adv;
-    adversary::Continuous::Options w;
-    w.inject_prob = 0.004;
-    w.dest_min = 2;
-    w.dest_max = 6;
-    w.deadlines = {deadline};
-    w.last_injection_round = 319;
-    auto real = std::make_unique<adversary::Continuous>(w);
-    auto* real_raw = real.get();
-    adv.add(std::move(real));
-    core::CoverTraffic::Options ct;
-    ct.rate = 0.02;  // 5x decoys over real traffic
-    ct.deadline = deadline;
-    auto cover = std::make_unique<core::CoverTraffic>(ct);
-    auto* cover_raw = cover.get();
-    adv.add(std::move(cover));
-    engine.set_adversary(&adv);
-    engine.run(320 + deadline + 2);
-    const auto report = qod.finalize(engine.now());
-    table.row({"cover traffic (5x decoys)", harness::cell(real_raw->injected_count()),
-               harness::cell(real_raw->injected_count() + cover_raw->decoys_injected()),
-               harness::cell(engine.stats().total_sent()),
-               harness::cell(real_raw->injected_count() == 0
+    const auto& r = results[2];
+    // r.injected = real rumors + decoys (both go through engine.inject).
+    const std::uint64_t real = r.injected - cover.decoys_injected();
+    table.row({"cover traffic (5x decoys)", harness::cell(real),
+               harness::cell(r.injected), harness::cell(r.total_messages),
+               harness::cell(real == 0
                                  ? 0.0
-                                 : static_cast<double>(engine.stats().total_sent()) /
-                                       static_cast<double>(real_raw->injected_count()),
+                                 : static_cast<double>(r.total_messages) /
+                                       static_cast<double>(real),
                              0),
-               harness::cell(engine.stats().max_per_round())});
-    if (!report.ok()) return 1;
+               harness::cell(r.max_per_round)});
   }
 
   table.print(std::cout);

@@ -26,6 +26,7 @@ int main() {
   harness::Table table({"deadline", "eff. class", "congos max/rnd", "mean/rnd",
                         "shape n^{1+6/sqrt(d)}", "shoots", "mean latency"});
 
+  std::vector<harness::ScenarioConfig> grid;
   for (Round d : deadlines) {
     harness::ScenarioConfig cfg;
     cfg.n = n;
@@ -42,8 +43,16 @@ int main() {
     cfg.measure_from = 2 * d;
     cfg.audit_confidentiality = false;  // cost sweep; E2 audits payloads
     cfg.protocol = harness::Protocol::kCongos;
+    grid.push_back(cfg);
+  }
+  harness::SweepRunner::Options opts;
+  opts.label = "E4";
+  const auto results = harness::run_sweep(grid, opts);
 
-    const auto r = harness::run_scenario(cfg);
+  for (std::size_t i = 0; i < deadlines.size(); ++i) {
+    const Round d = deadlines[i];
+    const auto& cfg = grid[i];
+    const auto& r = results[i];
     const double shape =
         std::pow(static_cast<double>(n), 1.0 + 6.0 / std::sqrt(static_cast<double>(d)));
     table.row({harness::cell(static_cast<std::uint64_t>(d)),

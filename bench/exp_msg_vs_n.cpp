@@ -30,6 +30,12 @@ int main() {
                         "normalized", "direct max/rnd", "paced max/rnd",
                         "plain max/rnd"});
 
+  // (n x protocol) grid, executed through the sweep runner: every point is an
+  // independent seeded scenario, so results are identical to serial runs.
+  const harness::Protocol protocols[] = {
+      harness::Protocol::kCongos, harness::Protocol::kDirect,
+      harness::Protocol::kDirectPaced, harness::Protocol::kPlainGossip};
+  std::vector<harness::ScenarioConfig> grid;
   for (std::size_t n : ns) {
     harness::ScenarioConfig cfg;
     cfg.n = n;
@@ -44,15 +50,21 @@ int main() {
     // Pure cost sweep: confidentiality is machine-checked in E2; skipping the
     // per-envelope payload inspection here keeps large n affordable.
     cfg.audit_confidentiality = false;
+    for (harness::Protocol p : protocols) {
+      cfg.protocol = p;
+      grid.push_back(cfg);
+    }
+  }
+  harness::SweepRunner::Options opts;
+  opts.label = "E3";
+  const auto results = harness::run_sweep(grid, opts);
 
-    cfg.protocol = harness::Protocol::kCongos;
-    const auto congos = harness::run_scenario(cfg);
-    cfg.protocol = harness::Protocol::kDirect;
-    const auto direct = harness::run_scenario(cfg);
-    cfg.protocol = harness::Protocol::kDirectPaced;
-    const auto paced = harness::run_scenario(cfg);
-    cfg.protocol = harness::Protocol::kPlainGossip;
-    const auto plain = harness::run_scenario(cfg);
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    const std::size_t n = ns[i];
+    const auto& congos = results[4 * i + 0];
+    const auto& direct = results[4 * i + 1];
+    const auto& paced = results[4 * i + 2];
+    const auto& plain = results[4 * i + 3];
 
     const double nd = static_cast<double>(n);
     const double shape = std::pow(nd, 1.0 + 6.0 / std::sqrt(static_cast<double>(

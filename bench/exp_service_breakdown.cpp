@@ -22,7 +22,9 @@ int main() {
                           "reassembled deliveries", "latency mean/p50/p95/max",
                           "max bytes/round"});
 
-  for (Round d : {64, 256}) {
+  const std::vector<Round> deadlines = {64, 256};
+  std::vector<harness::ScenarioConfig> grid;
+  for (Round d : deadlines) {
     harness::ScenarioConfig cfg;
     cfg.n = n;
     cfg.seed = 90 + static_cast<std::uint64_t>(d);
@@ -34,8 +36,15 @@ int main() {
     cfg.continuous.dest_max = 8;
     cfg.continuous.deadlines = {d};
     cfg.measure_from = 2 * d;
+    grid.push_back(cfg);
+  }
+  harness::SweepRunner::Options opts;
+  opts.label = "E7";
+  const auto results = harness::run_sweep(grid, opts);
 
-    const auto r = harness::run_scenario(cfg);
+  for (std::size_t i = 0; i < deadlines.size(); ++i) {
+    const Round d = deadlines[i];
+    const auto& r = results[i];
     const char* names[] = {"group-gossip", "all-gossip", "proxy", "group-dist",
                            "fallback"};
     const sim::ServiceKind kinds[] = {

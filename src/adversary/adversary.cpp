@@ -6,7 +6,13 @@ namespace congos::adversary {
 
 void Composite::add(std::unique_ptr<sim::Adversary> part) {
   CONGOS_ASSERT(part != nullptr);
-  parts_.push_back(std::move(part));
+  parts_.push_back(part.get());
+  owned_.push_back(std::move(part));
+}
+
+void Composite::add_unowned(sim::Adversary* part) {
+  CONGOS_ASSERT(part != nullptr);
+  parts_.push_back(part);
 }
 
 void Composite::at_round_start(sim::Engine& engine) {

@@ -22,6 +22,11 @@ class Composite final : public sim::Adversary {
  public:
   void add(std::unique_ptr<sim::Adversary> part);
 
+  /// Registers a component the caller keeps ownership of (workloads whose
+  /// counters the experiment reads after the run); it must outlive the
+  /// composite.
+  void add_unowned(sim::Adversary* part);
+
   void at_round_start(sim::Engine& engine) override;
   void after_sends(sim::Engine& engine) override;
   void at_round_end(sim::Engine& engine) override;
@@ -29,7 +34,8 @@ class Composite final : public sim::Adversary {
   std::size_t size() const { return parts_.size(); }
 
  private:
-  std::vector<std::unique_ptr<sim::Adversary>> parts_;
+  std::vector<std::unique_ptr<sim::Adversary>> owned_;
+  std::vector<sim::Adversary*> parts_;  // registration order, owned or not
 };
 
 }  // namespace congos::adversary

@@ -1,0 +1,51 @@
+// A fixed-size thread pool for embarrassingly parallel work.
+//
+// The simulation engine itself is strictly single-threaded (see DESIGN.md
+// section 6 "Threading model"); the pool exists so that *independent*
+// scenario executions — each with its own engine, RNG and auditors — can
+// saturate the machine. Jobs must not touch shared mutable state unless they
+// synchronize it themselves.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace congos {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1). Workers idle until jobs are
+  /// submitted and are joined by the destructor after the queue drains.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a job. Safe to call from any thread, including pool workers.
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished (queue empty and no job
+  /// in flight). The pool stays usable afterwards.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // wakes workers: job available or stop
+  std::condition_variable idle_cv_;  // wakes wait_idle(): everything drained
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace congos

@@ -119,10 +119,12 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   if (cfg.crash_senders) {
     adversaries.add(std::make_unique<adversary::CrashSenders>(*cfg.crash_senders));
   }
+  for (auto* adv : cfg.extra_adversaries) adversaries.add_unowned(adv);
   engine.set_adversary(&adversaries);
 
   // Run the scenario plus a drain window so every injected rumor's deadline
   // passes before finalize().
+  max_deadline = std::max(max_deadline, cfg.min_drain);
   engine.run(cfg.rounds + max_deadline + 2);
 
   ScenarioResult result;

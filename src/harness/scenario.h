@@ -62,8 +62,21 @@ struct ScenarioConfig {
   bool audit_confidentiality = true;
 
   /// Additional observers to register on the engine (tracing, custom
-  /// counters). Not owned; must outlive run_scenario().
+  /// counters). Not owned; must outlive run_scenario(). When the config is
+  /// part of a SweepRunner grid, each entry needs its own observers — they
+  /// run on different threads.
   std::vector<sim::ExecutionObserver*> extra_observers;
+
+  /// Additional adversary components, registered after the built-in workload
+  /// and failure patterns (custom injection schedules, cover traffic). Not
+  /// owned; must outlive run_scenario(). Same per-grid-entry rule as
+  /// extra_observers.
+  std::vector<sim::Adversary*> extra_adversaries;
+
+  /// Lower bound on the post-run drain window, for workloads injected by
+  /// extra_adversaries whose deadlines run_scenario cannot see (the built-in
+  /// workloads extend the drain to their own maximum deadline automatically).
+  Round min_drain = 0;
 };
 
 struct ScenarioResult {

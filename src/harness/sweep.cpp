@@ -1,0 +1,91 @@
+#include "harness/sweep.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "common/thread_pool.h"
+
+namespace congos::harness {
+
+namespace {
+
+/// Serializes the progress line; completions arrive from every worker.
+class ProgressLine {
+ public:
+  ProgressLine(const char* label, std::size_t total, std::size_t threads,
+               bool enabled)
+      : label_(label),
+        total_(total),
+        threads_(threads),
+        enabled_(enabled && isatty(fileno(stderr)) != 0) {}
+
+  void tick() {
+    if (!enabled_) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++done_;
+    std::fprintf(stderr, "\r[%s] %zu/%zu scenarios (threads=%zu)", label_, done_,
+                 total_, threads_);
+    if (done_ == total_) std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+  }
+
+ private:
+  const char* label_;
+  std::size_t total_;
+  std::size_t threads_;
+  bool enabled_;
+  std::mutex mu_;
+  std::size_t done_ = 0;
+};
+
+}  // namespace
+
+SweepRunner::SweepRunner() : SweepRunner(Options{}) {}
+
+SweepRunner::SweepRunner(Options opts) : opts_(opts) {
+  threads_ = opts_.threads != 0 ? opts_.threads : default_threads();
+}
+
+std::size_t SweepRunner::default_threads() {
+  static const std::size_t cached = [] {
+    if (const char* v = std::getenv("CONGOS_BENCH_THREADS")) {
+      const long parsed = std::strtol(v, nullptr, 10);
+      if (parsed > 0) return static_cast<std::size_t>(parsed);
+    }
+    return std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  }();
+  return cached;
+}
+
+std::vector<ScenarioResult> SweepRunner::run(
+    const std::vector<ScenarioConfig>& grid) const {
+  std::vector<ScenarioResult> results(grid.size());
+  const std::size_t workers = std::min(threads_, std::max<std::size_t>(grid.size(), 1));
+  ProgressLine progress(opts_.label, grid.size(), workers, opts_.progress);
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      results[i] = run_scenario(grid[i]);
+      progress.tick();
+    }
+    return results;
+  }
+
+  ThreadPool pool(workers);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    pool.submit([&grid, &results, &progress, i] {
+      results[i] = run_scenario(grid[i]);
+      progress.tick();
+    });
+  }
+  pool.wait_idle();
+  return results;
+}
+
+}  // namespace congos::harness

@@ -1,0 +1,61 @@
+// SweepRunner: executes a grid of independent scenarios across a fixed-size
+// worker pool.
+//
+// Every experiment in EXPERIMENTS.md is a grid of run_scenario() calls that
+// share nothing: each scenario derives all randomness from its own seed and
+// owns its engine, network and auditors. The runner exploits exactly that —
+// scenarios are the unit of parallelism, the engine stays single-threaded —
+// so per-scenario results are byte-identical to serial execution regardless
+// of thread count (tests/test_sweep.cpp pins this, including a golden trace).
+//
+// Thread count resolution: Options::threads when non-zero, else the
+// CONGOS_BENCH_THREADS environment variable, else hardware concurrency.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "harness/scenario.h"
+
+namespace congos::harness {
+
+class SweepRunner {
+ public:
+  struct Options {
+    /// Worker threads; 0 = default_threads().
+    std::size_t threads = 0;
+    /// Emit a live "[label] done/total" progress line (stderr, only when
+    /// stderr is a terminal, so piped/CI output stays clean).
+    bool progress = true;
+    /// Progress-line prefix, typically the experiment id.
+    const char* label = "sweep";
+  };
+
+  SweepRunner();
+  explicit SweepRunner(Options opts);
+
+  /// Resolved worker count for this runner.
+  std::size_t threads() const { return threads_; }
+
+  /// Runs every scenario in `grid` and returns the results in submission
+  /// order. Scenarios with extra_observers/extra_adversaries run fine, but
+  /// those objects must not be shared between grid entries (each runs on its
+  /// own thread).
+  std::vector<ScenarioResult> run(const std::vector<ScenarioConfig>& grid) const;
+
+  /// CONGOS_BENCH_THREADS when set to a positive integer, else
+  /// std::thread::hardware_concurrency() (>= 1). Parsed once and cached.
+  static std::size_t default_threads();
+
+ private:
+  Options opts_;
+  std::size_t threads_;
+};
+
+/// One-call convenience used by the bench binaries.
+inline std::vector<ScenarioResult> run_sweep(
+    const std::vector<ScenarioConfig>& grid, SweepRunner::Options opts = {}) {
+  return SweepRunner(opts).run(grid);
+}
+
+}  // namespace congos::harness

@@ -35,6 +35,7 @@ Engine::Engine(std::vector<std::unique_ptr<Process>> processes, std::uint64_t se
       rng_(seed),
       network_(processes_.size(), &stats_),
       alive_(processes_.size(), true),
+      alive_count_(processes_.size()),
       alive_since_(processes_.size(), 0),
       lifecycle_event_this_round_(processes_.size(), false),
       injected_this_round_(processes_.size(), false),
@@ -49,13 +50,6 @@ Engine::Engine(std::vector<std::unique_ptr<Process>> processes, std::uint64_t se
   }
 }
 
-std::size_t Engine::alive_count() const {
-  std::size_t c = 0;
-  for (bool a : alive_)
-    if (a) ++c;
-  return c;
-}
-
 void Engine::crash(ProcessId p, PartialDelivery policy) {
   CONGOS_ASSERT(p < n());
   CONGOS_ASSERT_MSG(alive_[p], "crash of an already-crashed process");
@@ -63,6 +57,7 @@ void Engine::crash(ProcessId p, PartialDelivery policy) {
                     "at most one crash/restart per process per round");
   lifecycle_event_this_round_[p] = true;
   alive_[p] = false;
+  --alive_count_;
   if (phase_ == Phase::kAfterSends && sent_this_round_[p]) {
     // Crash after sending: the adversary controls which in-flight messages
     // survive.
@@ -82,6 +77,7 @@ void Engine::restart(ProcessId p, PartialDelivery policy) {
                     "at most one crash/restart per process per round");
   lifecycle_event_this_round_[p] = true;
   alive_[p] = true;
+  ++alive_count_;
   alive_since_[p] = now_;
   // Some of the messages sent to p this round may be lost (Section 2).
   in_filtered_[p] = true;

@@ -70,7 +70,9 @@ class Engine {
   const Process& process(ProcessId p) const { return *processes_[p]; }
 
   bool alive(ProcessId p) const { return alive_[p]; }
-  std::size_t alive_count() const;
+  /// Maintained incrementally by crash()/restart(); workloads call this every
+  /// round, so it must not rescan alive_.
+  std::size_t alive_count() const { return alive_count_; }
 
   /// Rounds the process has been continuously alive, as of the current round
   /// (the Proxy / GroupDistribution activation checks use this through the
@@ -134,6 +136,7 @@ class Engine {
   bool started_ = false;
 
   std::vector<bool> alive_;
+  std::size_t alive_count_ = 0;     // invariant: == count of set bits in alive_
   std::vector<Round> alive_since_;  // round the current "alive" run began
   std::vector<bool> lifecycle_event_this_round_;
   std::vector<bool> injected_this_round_;

@@ -6,7 +6,7 @@
 
 #include <tuple>
 
-#include "harness/scenario.h"
+#include "harness/sweep.h"
 
 namespace congos {
 namespace {
@@ -54,25 +54,32 @@ TEST(CongosIntegration, FailureFreeConfirmsWithoutFallback) {
   EXPECT_GT(r.cg_reassembled, 0u);
 }
 
-class CongosSweep
-    : public ::testing::TestWithParam<std::tuple<std::size_t, Round, std::uint64_t>> {};
-
-TEST_P(CongosSweep, QoDAndConfidentialityHold) {
-  const auto [n, deadline, seed] = GetParam();
-  auto cfg = base_config(n, deadline, seed);
-  const auto r = run_scenario(cfg);
-  EXPECT_GT(r.injected, 0u);
-  EXPECT_TRUE(r.qod.ok()) << "late=" << r.qod.late << " missing=" << r.qod.missing;
-  EXPECT_EQ(r.leaks, 0u);
-  EXPECT_EQ(r.foreign_fragments, 0u);
+TEST(CongosIntegration, QoDAndConfidentialityHoldAcrossGrid) {
+  // The heavyweight (n, deadline, seed) grid, executed through the sweep
+  // runner: each point is an independent scenario, so the pool parallelizes
+  // them without touching any per-scenario result.
+  const std::tuple<std::size_t, Round, std::uint64_t> points[] = {
+      {8, 64, 1},   {16, 32, 2},  {16, 128, 3}, {33, 64, 4},
+      {48, 64, 5},  {64, 128, 6}, {20, 256, 7}};
+  std::vector<ScenarioConfig> grid;
+  for (const auto& [n, deadline, seed] : points) {
+    grid.push_back(base_config(n, deadline, seed));
+  }
+  harness::SweepRunner::Options opts;
+  opts.progress = false;
+  const auto results = harness::run_sweep(grid, opts);
+  ASSERT_EQ(results.size(), grid.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& [n, deadline, seed] = points[i];
+    SCOPED_TRACE("n=" + std::to_string(n) + " d=" + std::to_string(deadline) +
+                 " seed=" + std::to_string(seed));
+    const auto& r = results[i];
+    EXPECT_GT(r.injected, 0u);
+    EXPECT_TRUE(r.qod.ok()) << "late=" << r.qod.late << " missing=" << r.qod.missing;
+    EXPECT_EQ(r.leaks, 0u);
+    EXPECT_EQ(r.foreign_fragments, 0u);
+  }
 }
-
-INSTANTIATE_TEST_SUITE_P(
-    Grid, CongosSweep,
-    ::testing::Values(std::make_tuple(8, 64, 1), std::make_tuple(16, 32, 2),
-                      std::make_tuple(16, 128, 3), std::make_tuple(33, 64, 4),
-                      std::make_tuple(48, 64, 5), std::make_tuple(64, 128, 6),
-                      std::make_tuple(20, 256, 7)));
 
 TEST(CongosIntegration, ShortDeadlinesUseDirectPath) {
   auto cfg = base_config(24, 64, 1003);

@@ -5,7 +5,7 @@
 // deliberate: update the constants only after understanding why.
 #include <gtest/gtest.h>
 
-#include "harness/scenario.h"
+#include "harness/sweep.h"
 
 namespace congos {
 namespace {
@@ -21,30 +21,37 @@ harness::ScenarioConfig golden_config(harness::Protocol proto) {
   return cfg;
 }
 
-TEST(Golden, CongosAggregates) {
-  const auto r = harness::run_scenario(golden_config(harness::Protocol::kCongos));
-  EXPECT_EQ(r.injected, 71u);
-  EXPECT_EQ(r.qod.delivered_on_time, 381u);
-  EXPECT_EQ(r.total_messages, 104665u);
-  EXPECT_EQ(r.max_per_round, 3240u);
-  EXPECT_EQ(r.total_bytes, 1086917669u);
-  EXPECT_EQ(r.leaks, 0u);
-  EXPECT_EQ(r.cg_shoots, 0u);
-}
+// The three protocol pins run as one grid through the sweep runner — the
+// constants predate the runner, so this doubles as a serial-vs-pool
+// equivalence pin on top of tests/test_sweep.cpp.
+TEST(Golden, AggregatesAcrossProtocolsViaSweep) {
+  const std::vector<harness::ScenarioConfig> grid = {
+      golden_config(harness::Protocol::kCongos),
+      golden_config(harness::Protocol::kStrongConfidential),
+      golden_config(harness::Protocol::kPlainGossip)};
+  harness::SweepRunner::Options opts;
+  opts.progress = false;
+  const auto results = harness::run_sweep(grid, opts);
+  ASSERT_EQ(results.size(), 3u);
 
-TEST(Golden, StrongConfidentialAggregates) {
-  const auto r =
-      harness::run_scenario(golden_config(harness::Protocol::kStrongConfidential));
-  EXPECT_EQ(r.injected, 71u);
-  EXPECT_EQ(r.qod.delivered_on_time, 381u);
-  EXPECT_EQ(r.total_messages, 15441u);
-  EXPECT_EQ(r.leaks, 0u);
-}
+  const auto& congos = results[0];
+  EXPECT_EQ(congos.injected, 71u);
+  EXPECT_EQ(congos.qod.delivered_on_time, 381u);
+  EXPECT_EQ(congos.total_messages, 104665u);
+  EXPECT_EQ(congos.max_per_round, 3240u);
+  EXPECT_EQ(congos.total_bytes, 1086917669u);
+  EXPECT_EQ(congos.leaks, 0u);
+  EXPECT_EQ(congos.cg_shoots, 0u);
 
-TEST(Golden, PlainGossipAggregates) {
-  const auto r = harness::run_scenario(golden_config(harness::Protocol::kPlainGossip));
-  EXPECT_EQ(r.total_messages, 16245u);
-  EXPECT_EQ(r.leaks, 1267u);
+  const auto& strong = results[1];
+  EXPECT_EQ(strong.injected, 71u);
+  EXPECT_EQ(strong.qod.delivered_on_time, 381u);
+  EXPECT_EQ(strong.total_messages, 15441u);
+  EXPECT_EQ(strong.leaks, 0u);
+
+  const auto& plain = results[2];
+  EXPECT_EQ(plain.total_messages, 16245u);
+  EXPECT_EQ(plain.leaks, 1267u);
 }
 
 // Full-system determinism pin: CONGOS under random churn, with the

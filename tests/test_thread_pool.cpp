@@ -1,0 +1,75 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace congos {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, UsableAcrossMultipleWaves) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int wave = 0; wave < 3; ++wave) {
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), (wave + 1) * 10);
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsPendingJobs) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        counter.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran = true; });
+  pool.wait_idle();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(3);
+  pool.wait_idle();  // nothing submitted: must not hang
+}
+
+TEST(ThreadPool, SubmitFromWorkerThread) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&pool, &counter] {
+    counter.fetch_add(1, std::memory_order_relaxed);
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+}  // namespace
+}  // namespace congos

@@ -17,6 +17,27 @@ if [ ! -x "$BENCH_BIN" ]; then
   exit 1
 fi
 
+# Sanitized builds are 2-20x slower: a record from one would pollute the
+# perf trajectory. Detect from the configured cache and refuse.
+CACHE="$BUILD_DIR/CMakeCache.txt"
+if [ -f "$CACHE" ]; then
+  SANITIZE="$(sed -n 's/^CONGOS_SANITIZE:[A-Z]*=//p' "$CACHE")"
+  case "$SANITIZE" in
+    ""|OFF|Off|off|FALSE|False|false|NO|No|no|0) SANITIZE="" ;;
+  esac
+  if [ -n "$SANITIZE" ]; then
+    echo "error: $BUILD_DIR was configured with CONGOS_SANITIZE=$SANITIZE;" >&2
+    echo "       refusing to append sanitized timings to $OUT_FILE." >&2
+    echo "       Re-run from an unsanitized build directory." >&2
+    exit 1
+  fi
+fi
+
+# Context recorded with each line: thread count the sweep runner would use
+# and the bench scale, so trajectory lines are comparable across machines.
+THREADS="${CONGOS_BENCH_THREADS:-$(nproc 2>/dev/null || echo unknown)}"
+SCALE="${CONGOS_BENCH_SCALE:-default}"
+
 TMP_JSON="$(mktemp)"
 trap 'rm -f "$TMP_JSON"' EXIT
 
@@ -27,10 +48,11 @@ trap 'rm -f "$TMP_JSON"' EXIT
 GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
 # One compact line per benchmark: name, real/cpu time, rounds/sec, context.
-jq -c --arg rev "$GIT_REV" \
+jq -c --arg rev "$GIT_REV" --arg threads "$THREADS" --arg scale "$SCALE" \
   '.context.date as $date | .benchmarks[] |
    {date: $date, rev: $rev, name: .name, real_time_ms: .real_time,
-    cpu_time_ms: .cpu_time, rounds_per_sec: .rounds_per_sec}' \
+    cpu_time_ms: .cpu_time, rounds_per_sec: .rounds_per_sec,
+    threads: $threads, bench_scale: $scale}' \
   "$TMP_JSON" >> "$OUT_FILE"
 
 echo "appended $(jq '.benchmarks | length' "$TMP_JSON") benchmark record(s) to $OUT_FILE:"
