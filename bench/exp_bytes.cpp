@@ -66,6 +66,21 @@ int main() {
                              0)});
   }
   table.print(std::cout);
+
+  // Where the CONGOS bytes actually go, for the largest payload: the
+  // by-service split of total_bytes (MessageStats::total_bytes(kind)).
+  const auto& breakdown = results[2 * (payloads.size() - 1)];
+  std::printf("\nCONGOS byte breakdown by service (payload %zu B):\n",
+              payloads.back());
+  for (std::size_t k = 0; k < sim::kNumServiceKinds; ++k) {
+    const std::uint64_t bytes = breakdown.total_bytes_by_kind[k];
+    if (bytes == 0) continue;
+    std::printf("  %-18s %10.1f KB  (%5.1f%%)\n",
+                sim::to_string(static_cast<sim::ServiceKind>(k)),
+                static_cast<double>(bytes) / 1024.0,
+                100.0 * static_cast<double>(bytes) /
+                    static_cast<double>(breakdown.total_bytes));
+  }
   std::printf(
       "\nReading: message counts are payload-independent, but bytes scale with\n"
       "payload x replication x epidemic re-pushing (our gossip realization\n"

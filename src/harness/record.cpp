@@ -1,0 +1,97 @@
+#include "harness/record.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "sim/trace.h"
+
+namespace congos::harness {
+
+namespace {
+
+void fill_result_summary(replay::ReproFile* file, const ScenarioResult& r) {
+  file->total_messages = r.total_messages;
+  file->total_bytes = r.total_bytes;
+  file->injected = r.injected;
+  file->crashes = r.crashes;
+  file->restarts = r.restarts;
+  file->leaks = r.leaks;
+  file->foreign_fragments = r.foreign_fragments;
+  file->qod_delivered_on_time = r.qod.delivered_on_time;
+  file->qod_late = r.qod.late;
+  file->qod_missing = r.qod.missing;
+  file->qod_data_mismatches = r.qod.data_mismatches;
+}
+
+}  // namespace
+
+RecordedRun run_recorded(const ScenarioConfig& cfg, const std::string& label,
+                         const std::string& reason) {
+  std::string why;
+  CONGOS_ASSERT_MSG(replay::is_recordable(cfg, &why), why.c_str());
+
+  replay::DecisionRecorder recorder;
+  sim::TraceLog trace;
+
+  ScenarioConfig copy = cfg;
+  copy.extra_observers.push_back(&recorder);
+  copy.extra_observers.push_back(&trace);
+
+  RecordedRun out;
+  out.result = run_scenario(copy);
+
+  // The artifact stores the caller's config (without this function's
+  // observers) so a replay re-attaches its own.
+  out.repro.config = cfg;
+  out.repro.config.extra_observers.clear();
+  out.repro.label = label;
+  out.repro.reason = reason;
+  recorder.fill(&out.repro);
+  fill_result_summary(&out.repro, out.result);
+  out.repro.trace_tail = trace.dump_string();
+  return out;
+}
+
+ReplayReport replay_file(const replay::ReproFile& file, ReplayOptions opt) {
+  replay::DecisionRecorder recorder;
+
+  ScenarioConfig cfg = file.config;
+  cfg.extra_observers.clear();
+  cfg.extra_adversaries.clear();
+  cfg.extra_observers.push_back(&recorder);
+
+  ScenarioRun run(cfg);
+  run.run_until(opt.until_round < 0 ? run.total_rounds() : opt.until_round);
+
+  ReplayReport report;
+  report.result = run.finalize();
+  report.executed_rounds = run.engine().now();
+  report.complete = run.finished();
+  report.trace_hash = recorder.trace_hash();
+  report.hash_match = report.complete && report.trace_hash == file.trace_hash;
+
+  const auto& got = recorder.round_deliveries();
+  const auto& want = file.round_deliveries;
+  const std::size_t common = std::min(got.size(), want.size());
+  report.counts_match = true;
+  for (std::size_t i = 0; i < common; ++i) {
+    if (got[i] != want[i]) {
+      report.counts_match = false;
+      report.first_count_divergence = static_cast<Round>(i);
+      break;
+    }
+  }
+  if (report.counts_match && report.complete && got.size() != want.size()) {
+    // A complete replay must cover exactly the recorded rounds.
+    report.counts_match = false;
+    report.first_count_divergence = static_cast<Round>(common);
+  }
+
+  report.first_decision_divergence = recorder.first_divergence(file.decisions);
+  report.decisions_match = report.first_decision_divergence == SIZE_MAX &&
+                           (!report.complete ||
+                            recorder.decisions().size() == file.decisions.size());
+  return report;
+}
+
+}  // namespace congos::harness

@@ -1,0 +1,77 @@
+// Recorded scenario execution and deterministic replay.
+//
+// run_recorded() executes a scenario with a replay::DecisionRecorder and a
+// TraceLog attached and returns the result together with a filled
+// replay::ReproFile — the artifact SweepRunner dumps when an auditor flags a
+// scenario, and what `congos replay` consumes. replay_file() re-executes a
+// ReproFile's config from scratch and cross-checks every recorded
+// observation (per-round delivery counts, their FNV-1a golden hash, the
+// adversary decision trace); any mismatch pinpoints the first diverging
+// round/decision. Because the simulator is a pure function of
+// (config, seed), a verified replay is byte-identical, not merely similar.
+#pragma once
+
+#include <string>
+
+#include "harness/scenario.h"
+#include "replay/recorder.h"
+#include "replay/repro.h"
+
+namespace congos::harness {
+
+/// The auditor-failure predicate shared by SweepRunner's artifact dumping
+/// and the CI smoke checks: QoD violated, any confidentiality leak, or a
+/// structural foreign-fragment violation.
+inline bool scenario_failed(const ScenarioResult& r) {
+  return !r.qod.ok() || r.leaks > 0 || r.foreign_fragments > 0;
+}
+
+struct RecordedRun {
+  ScenarioResult result;
+  replay::ReproFile repro;
+};
+
+/// Run `cfg` to completion with recording observers attached (they are
+/// passive: the execution is identical to run_scenario()). The config must
+/// be recordable (replay::is_recordable); CONGOS_ASSERTs otherwise.
+/// `label`/`reason` are stored verbatim in the artifact.
+RecordedRun run_recorded(const ScenarioConfig& cfg, const std::string& label = {},
+                         const std::string& reason = {});
+
+struct ReplayOptions {
+  /// Stop the re-execution at this round (< 0: run to completion). Partial
+  /// replays verify the per-round count prefix; the full-trace hash is only
+  /// checked on complete runs.
+  Round until_round = -1;
+};
+
+struct ReplayReport {
+  ScenarioResult result;
+  Round executed_rounds = 0;
+  bool complete = false;
+
+  /// FNV-1a hash of the re-executed per-round delivery counts.
+  std::uint64_t trace_hash = 0;
+  /// Full-run hash equals the recorded hash (complete runs only).
+  bool hash_match = false;
+  /// Re-executed per-round counts match the recorded ones over the
+  /// executed prefix.
+  bool counts_match = false;
+  /// First differing per-round count, or kNoRound.
+  Round first_count_divergence = kNoRound;
+  /// Decision traces agree over the executed prefix.
+  bool decisions_match = false;
+  /// Index of the first differing decision, or SIZE_MAX.
+  std::size_t first_decision_divergence = SIZE_MAX;
+
+  /// Everything checked agrees with the recording.
+  bool verified() const {
+    return counts_match && decisions_match && (!complete || hash_match);
+  }
+};
+
+/// Re-execute `file.config` deterministically and compare against the
+/// recorded observations.
+ReplayReport replay_file(const replay::ReproFile& file, ReplayOptions opt = {});
+
+}  // namespace congos::harness

@@ -23,142 +23,181 @@ const char* to_string(Protocol p) {
   return "?";
 }
 
-ScenarioResult run_scenario(const ScenarioConfig& cfg) {
-  CONGOS_ASSERT(cfg.n >= 2);
-  Rng seeder(cfg.seed);
+/// Everything a running scenario owns. Auditors and the adversary composite
+/// must have stable addresses (the engine holds pointers), hence the pimpl.
+struct ScenarioRun::Impl {
+  explicit Impl(std::size_t n) : qod(n) {}
 
-  audit::DeliveryAuditor qod(cfg.n);
-
-  // Shared CONGOS inputs (partition family is common knowledge).
+  audit::DeliveryAuditor qod;
   std::shared_ptr<const core::CongosConfig> ccfg;
   std::shared_ptr<const partition::PartitionSet> partitions;
-  if (cfg.protocol == Protocol::kCongos) {
-    ccfg = std::make_shared<const core::CongosConfig>(cfg.congos);
-    partitions = core::CongosProcess::build_partitions(cfg.n, *ccfg);
+  std::unique_ptr<sim::Engine> engine;
+  std::unique_ptr<audit::ConfidentialityAuditor> confidentiality;
+  adversary::Composite adversaries;
+  adversary::Theorem1* thm1 = nullptr;
+  Round max_deadline = 0;
+};
+
+ScenarioRun::ScenarioRun(const ScenarioConfig& cfg)
+    : cfg_(cfg), impl_(std::make_unique<Impl>(cfg.n)) {
+  CONGOS_ASSERT(cfg_.n >= 2);
+  Rng seeder(cfg_.seed);
+
+  // Shared CONGOS inputs (partition family is common knowledge).
+  if (cfg_.protocol == Protocol::kCongos) {
+    impl_->ccfg = std::make_shared<const core::CongosConfig>(cfg_.congos);
+    impl_->partitions = core::CongosProcess::build_partitions(cfg_.n, *impl_->ccfg);
   }
 
   // Deterministic lazy-process selection (CONGOS only).
-  DynamicBitset lazy(cfg.n);
-  if (cfg.lazy_fraction > 0.0 && cfg.protocol == Protocol::kCongos) {
+  DynamicBitset lazy(cfg_.n);
+  if (cfg_.lazy_fraction > 0.0 && cfg_.protocol == Protocol::kCongos) {
     const auto k = static_cast<std::uint32_t>(
-        static_cast<double>(cfg.n) * std::min(cfg.lazy_fraction, 1.0));
-    Rng picker(cfg.seed ^ 0x1a27ULL);
+        static_cast<double>(cfg_.n) * std::min(cfg_.lazy_fraction, 1.0));
+    Rng picker(cfg_.seed ^ 0x1a27ULL);
     lazy = DynamicBitset::from_indices(
-        cfg.n, picker.sample_without_replacement(static_cast<std::uint32_t>(cfg.n), k));
+        cfg_.n, picker.sample_without_replacement(static_cast<std::uint32_t>(cfg_.n), k));
   }
 
   std::vector<std::unique_ptr<sim::Process>> procs;
-  procs.reserve(cfg.n);
-  for (ProcessId p = 0; p < cfg.n; ++p) {
+  procs.reserve(cfg_.n);
+  for (ProcessId p = 0; p < cfg_.n; ++p) {
     const std::uint64_t pseed = seeder.next();
-    switch (cfg.protocol) {
+    switch (cfg_.protocol) {
       case Protocol::kCongos:
         procs.push_back(std::make_unique<core::CongosProcess>(
-            p, ccfg, partitions, pseed, &qod,
+            p, impl_->ccfg, impl_->partitions, pseed, &impl_->qod,
             lazy.test(p) ? core::ProcessBehavior::kLazy
                          : core::ProcessBehavior::kHonest));
         break;
       case Protocol::kDirect:
         procs.push_back(std::make_unique<baseline::DirectSendProcess>(
-            p, baseline::DirectSendProcess::Options{false}, &qod));
+            p, baseline::DirectSendProcess::Options{false}, &impl_->qod));
         break;
       case Protocol::kDirectPaced:
         procs.push_back(std::make_unique<baseline::DirectSendProcess>(
-            p, baseline::DirectSendProcess::Options{true}, &qod));
+            p, baseline::DirectSendProcess::Options{true}, &impl_->qod));
         break;
       case Protocol::kStrongConfidential:
         procs.push_back(std::make_unique<baseline::StrongConfidentialProcess>(
-            p, baseline::StrongConfidentialProcess::Options{cfg.baseline_fanout},
-            pseed, &qod));
+            p, baseline::StrongConfidentialProcess::Options{cfg_.baseline_fanout},
+            pseed, &impl_->qod));
         break;
       case Protocol::kPlainGossip:
         procs.push_back(std::make_unique<baseline::PlainGossipProcess>(
-            p, baseline::PlainGossipProcess::Options{cfg.baseline_fanout, cfg.n},
-            pseed, &qod));
+            p, baseline::PlainGossipProcess::Options{cfg_.baseline_fanout, cfg_.n},
+            pseed, &impl_->qod));
         break;
     }
   }
 
-  sim::Engine engine(std::move(procs), seeder.next());
+  impl_->engine = std::make_unique<sim::Engine>(std::move(procs), seeder.next());
+  sim::Engine& engine = *impl_->engine;
 
-  audit::ConfidentialityAuditor confidentiality(cfg.n, partitions.get());
-  if (cfg.audit_confidentiality) engine.add_observer(&confidentiality);
-  engine.add_observer(&qod);
-  for (auto* obs : cfg.extra_observers) engine.add_observer(obs);
+  impl_->confidentiality = std::make_unique<audit::ConfidentialityAuditor>(
+      cfg_.n, impl_->partitions.get());
+  if (cfg_.audit_confidentiality) engine.add_observer(impl_->confidentiality.get());
+  engine.add_observer(&impl_->qod);
+  for (auto* obs : cfg_.extra_observers) engine.add_observer(obs);
 
-  adversary::Composite adversaries;
-  Round max_deadline = 0;
-  adversary::Theorem1* thm1 = nullptr;
-  switch (cfg.workload) {
+  switch (cfg_.workload) {
     case WorkloadKind::kContinuous: {
-      auto opts = cfg.continuous;
+      auto opts = cfg_.continuous;
+      for (Round d : opts.deadlines) {
+        impl_->max_deadline = std::max(impl_->max_deadline, d);
+      }
       if (opts.last_injection_round < 0) {
         // Stop injecting early enough that every rumor can drain.
-        for (Round d : opts.deadlines) max_deadline = std::max(max_deadline, d);
-        opts.last_injection_round = cfg.rounds - 1;
-      } else {
-        for (Round d : opts.deadlines) max_deadline = std::max(max_deadline, d);
+        opts.last_injection_round = cfg_.rounds - 1;
       }
-      adversaries.add(std::make_unique<adversary::Continuous>(opts));
+      impl_->adversaries.add(std::make_unique<adversary::Continuous>(opts));
       break;
     }
     case WorkloadKind::kTheorem1: {
-      auto w = std::make_unique<adversary::Theorem1>(cfg.theorem1);
-      thm1 = w.get();
-      max_deadline = cfg.theorem1.dmax;
-      adversaries.add(std::move(w));
+      auto w = std::make_unique<adversary::Theorem1>(cfg_.theorem1);
+      impl_->thm1 = w.get();
+      impl_->max_deadline = cfg_.theorem1.dmax;
+      impl_->adversaries.add(std::move(w));
       break;
     }
     case WorkloadKind::kNone:
       break;
   }
-  if (cfg.churn) adversaries.add(std::make_unique<adversary::RandomChurn>(*cfg.churn));
-  if (cfg.crash_on_service) {
-    adversaries.add(std::make_unique<adversary::CrashOnService>(*cfg.crash_on_service));
+  if (cfg_.churn) {
+    impl_->adversaries.add(std::make_unique<adversary::RandomChurn>(*cfg_.churn));
   }
-  if (cfg.crash_senders) {
-    adversaries.add(std::make_unique<adversary::CrashSenders>(*cfg.crash_senders));
+  if (cfg_.crash_on_service) {
+    impl_->adversaries.add(
+        std::make_unique<adversary::CrashOnService>(*cfg_.crash_on_service));
   }
-  for (auto* adv : cfg.extra_adversaries) adversaries.add_unowned(adv);
-  engine.set_adversary(&adversaries);
+  if (cfg_.crash_senders) {
+    impl_->adversaries.add(
+        std::make_unique<adversary::CrashSenders>(*cfg_.crash_senders));
+  }
+  for (auto* adv : cfg_.extra_adversaries) impl_->adversaries.add_unowned(adv);
+  engine.set_adversary(&impl_->adversaries);
 
-  // Run the scenario plus a drain window so every injected rumor's deadline
-  // passes before finalize().
-  max_deadline = std::max(max_deadline, cfg.min_drain);
-  engine.run(cfg.rounds + max_deadline + 2);
+  // Drain window: every injected rumor's deadline must pass before
+  // finalize() classifies it.
+  impl_->max_deadline = std::max(impl_->max_deadline, cfg_.min_drain);
+}
+
+ScenarioRun::~ScenarioRun() = default;
+
+sim::Engine& ScenarioRun::engine() { return *impl_->engine; }
+
+Round ScenarioRun::total_rounds() const {
+  return cfg_.rounds + impl_->max_deadline + 2;
+}
+
+void ScenarioRun::run_until(Round r) {
+  const Round stop = std::min(r, total_rounds());
+  while (impl_->engine->now() < stop) impl_->engine->step();
+}
+
+bool ScenarioRun::finished() const {
+  return impl_->engine->now() >= total_rounds();
+}
+
+ScenarioResult ScenarioRun::finalize() const {
+  const sim::Engine& engine = *impl_->engine;
 
   ScenarioResult result;
   const auto& stats = engine.stats();
-  result.max_per_round = stats.max_from(cfg.measure_from);
-  result.mean_per_round = stats.mean_from(cfg.measure_from);
-  result.p50_per_round = stats.percentile_from(cfg.measure_from, 50.0);
-  result.p95_per_round = stats.percentile_from(cfg.measure_from, 95.0);
+  result.max_per_round = stats.max_from(cfg_.measure_from);
+  result.mean_per_round = stats.mean_from(cfg_.measure_from);
+  result.p50_per_round = stats.percentile_from(cfg_.measure_from, 50.0);
+  result.p95_per_round = stats.percentile_from(cfg_.measure_from, 95.0);
   result.total_messages = stats.total_sent();
   for (std::size_t k = 0; k < sim::kNumServiceKinds; ++k) {
     result.max_by_kind[k] =
-        stats.max_from(cfg.measure_from, static_cast<sim::ServiceKind>(k));
+        stats.max_from(cfg_.measure_from, static_cast<sim::ServiceKind>(k));
     result.total_by_kind[k] =
-        stats.total_from(cfg.measure_from, static_cast<sim::ServiceKind>(k));
+        stats.total_from(cfg_.measure_from, static_cast<sim::ServiceKind>(k));
   }
 
-  result.max_bytes_per_round = stats.max_bytes_from(cfg.measure_from);
+  result.max_bytes_per_round = stats.max_bytes_from(cfg_.measure_from);
   result.total_bytes = stats.total_bytes();
-
-  result.qod = qod.finalize(engine.now());
-  result.leaks = confidentiality.leaks();
-  result.foreign_fragments =
-      confidentiality.count(audit::ViolationKind::kForeignFragment);
-  result.unknown_payloads = confidentiality.unknown_payloads();
-  result.weakest_coalition = confidentiality.weakest_rumor_coalition();
-  if (thm1 != nullptr) {
-    result.theorem1_dest_pairs = thm1->dest_pairs();
+  for (std::size_t k = 0; k < sim::kNumServiceKinds; ++k) {
+    result.total_bytes_by_kind[k] =
+        stats.total_bytes(static_cast<sim::ServiceKind>(k));
   }
-  result.injected = qod.injected_count();
-  result.crashes = qod.crash_count();
-  result.restarts = qod.restart_count();
 
-  if (cfg.protocol == Protocol::kStrongConfidential) {
-    for (ProcessId p = 0; p < cfg.n; ++p) {
+  result.qod = impl_->qod.finalize(engine.now());
+  result.leaks = impl_->confidentiality->leaks();
+  result.foreign_fragments =
+      impl_->confidentiality->count(audit::ViolationKind::kForeignFragment);
+  result.unknown_payloads = impl_->confidentiality->unknown_payloads();
+  result.weakest_coalition = impl_->confidentiality->weakest_rumor_coalition();
+  if (impl_->thm1 != nullptr) {
+    result.theorem1_dest_pairs = impl_->thm1->dest_pairs();
+  }
+  result.injected = impl_->qod.injected_count();
+  result.crashes = impl_->qod.crash_count();
+  result.restarts = impl_->qod.restart_count();
+
+  if (cfg_.protocol == Protocol::kStrongConfidential) {
+    for (ProcessId p = 0; p < cfg_.n; ++p) {
       const auto& sp =
           static_cast<const baseline::StrongConfidentialProcess&>(engine.process(p));
       result.strong_max_merged =
@@ -166,8 +205,8 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     }
   }
 
-  if (cfg.protocol == Protocol::kCongos) {
-    for (ProcessId p = 0; p < cfg.n; ++p) {
+  if (cfg_.protocol == Protocol::kCongos) {
+    for (ProcessId p = 0; p < cfg_.n; ++p) {
       const auto& cp = static_cast<const core::CongosProcess&>(engine.process(p));
       const auto& c = cp.counters();
       result.cg_confirmed += c.confirmed;
@@ -179,6 +218,12 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     }
   }
   return result;
+}
+
+ScenarioResult run_scenario(const ScenarioConfig& cfg) {
+  ScenarioRun run(cfg);
+  run.run_all();
+  return run.finalize();
 }
 
 }  // namespace congos::harness

@@ -92,6 +92,8 @@ struct ScenarioResult {
   // communication complexity (Section 7 discussion): serialized bytes
   std::uint64_t max_bytes_per_round = 0;  // after warm-up
   std::uint64_t total_bytes = 0;          // whole run
+  /// By-service split of total_bytes (E15 reports the breakdown).
+  std::uint64_t total_bytes_by_kind[sim::kNumServiceKinds] = {};  // whole run
 
   // delivery
   audit::QodReport qod;
@@ -125,5 +127,42 @@ struct ScenarioResult {
 /// Builds the system, runs it for cfg.rounds rounds plus a drain period of
 /// the maximum deadline, and returns the audited results.
 ScenarioResult run_scenario(const ScenarioConfig& cfg);
+
+/// A constructed but not-yet-finished scenario: the decomposed form of
+/// run_scenario() for callers that need to stop at a round boundary —
+/// checkpoint/rewind experiments (sim::EngineCheckpoint) and the replay
+/// tooling (tools/congos_replay --until-round). Construction performs
+/// exactly the same RNG draws in the same order as run_scenario(), so a
+/// ScenarioRun stepped to completion is byte-identical to run_scenario()
+/// on the same config.
+class ScenarioRun {
+ public:
+  explicit ScenarioRun(const ScenarioConfig& cfg);
+  ~ScenarioRun();
+  ScenarioRun(const ScenarioRun&) = delete;
+  ScenarioRun& operator=(const ScenarioRun&) = delete;
+
+  const ScenarioConfig& config() const { return cfg_; }
+  sim::Engine& engine();
+
+  /// Rounds a full execution takes: cfg.rounds plus the drain window
+  /// (maximum workload deadline, at least cfg.min_drain) plus 2.
+  Round total_rounds() const;
+
+  /// Step until the engine clock reaches min(r, total_rounds()).
+  void run_until(Round r);
+  void run_all() { run_until(total_rounds()); }
+  bool finished() const;
+
+  /// Aggregate the auditors into a ScenarioResult. Valid any time the
+  /// engine is at a round boundary; QoD classification of still-undelivered
+  /// rumors is only final once finished().
+  ScenarioResult finalize() const;
+
+ private:
+  ScenarioConfig cfg_;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace congos::harness

@@ -1,5 +1,6 @@
 #include "harness/sweep.h"
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -10,6 +11,8 @@
 #include <thread>
 
 #include "common/thread_pool.h"
+#include "harness/record.h"
+#include "replay/repro.h"
 
 namespace congos::harness {
 
@@ -63,28 +66,66 @@ std::size_t SweepRunner::default_threads() {
   return cached;
 }
 
+std::string SweepRunner::artifact_dir() const {
+  if (opts_.artifact_dir != nullptr) return opts_.artifact_dir;
+  if (const char* env = std::getenv("CONGOS_REPRO_DIR")) return env;
+  return {};
+}
+
+ScenarioResult SweepRunner::run_one(const ScenarioConfig& cfg,
+                                    const std::string& dir, std::size_t index,
+                                    std::string* artifact) const {
+  if (dir.empty() || !replay::is_recordable(cfg)) return run_scenario(cfg);
+
+  // Recording observers are passive, so the result stays byte-identical to
+  // an unrecorded run (tests/test_replay.cpp pins this).
+  auto recorded = run_recorded(cfg, opts_.label,
+                               "auditor failure during sweep");
+  if (scenario_failed(recorded.result)) {
+    std::string path = dir + "/" + opts_.label + "-" + std::to_string(index) +
+                       ".repro";
+    if (replay::write_file(path, recorded.repro)) {
+      *artifact = std::move(path);
+    } else {
+      std::fprintf(stderr, "[%s] failed to write repro artifact %s\n",
+                   opts_.label, path.c_str());
+    }
+  }
+  return recorded.result;
+}
+
 std::vector<ScenarioResult> SweepRunner::run(
     const std::vector<ScenarioConfig>& grid) const {
   std::vector<ScenarioResult> results(grid.size());
   const std::size_t workers = std::min(threads_, std::max<std::size_t>(grid.size(), 1));
   ProgressLine progress(opts_.label, grid.size(), workers, opts_.progress);
 
+  const std::string dir = artifact_dir();
+  if (!dir.empty()) {
+    ::mkdir(dir.c_str(), 0777);  // best effort; write_file reports failures
+  }
+  std::vector<std::string> paths(grid.size());
+
   if (workers <= 1) {
     for (std::size_t i = 0; i < grid.size(); ++i) {
-      results[i] = run_scenario(grid[i]);
+      results[i] = run_one(grid[i], dir, i, &paths[i]);
       progress.tick();
     }
-    return results;
+  } else {
+    ThreadPool pool(workers);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      pool.submit([this, &grid, &results, &progress, &dir, &paths, i] {
+        results[i] = run_one(grid[i], dir, i, &paths[i]);
+        progress.tick();
+      });
+    }
+    pool.wait_idle();
   }
 
-  ThreadPool pool(workers);
-  for (std::size_t i = 0; i < grid.size(); ++i) {
-    pool.submit([&grid, &results, &progress, i] {
-      results[i] = run_scenario(grid[i]);
-      progress.tick();
-    });
+  artifacts_.clear();
+  for (auto& p : paths) {
+    if (!p.empty()) artifacts_.push_back(std::move(p));
   }
-  pool.wait_idle();
   return results;
 }
 

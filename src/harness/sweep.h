@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "harness/scenario.h"
@@ -29,6 +30,13 @@ class SweepRunner {
     bool progress = true;
     /// Progress-line prefix, typically the experiment id.
     const char* label = "sweep";
+    /// Directory for .repro failure artifacts: when a scenario trips the
+    /// auditor predicate (harness::scenario_failed), a self-contained
+    /// reproduction file is written here as <label>-<index>.repro. nullptr
+    /// defers to the CONGOS_REPRO_DIR environment variable; "" disables
+    /// dumping. The directory is created if missing. Works under any thread
+    /// count: each worker records its own scenario independently.
+    const char* artifact_dir = nullptr;
   };
 
   SweepRunner();
@@ -47,9 +55,23 @@ class SweepRunner {
   /// std::thread::hardware_concurrency() (>= 1). Parsed once and cached.
   static std::size_t default_threads();
 
+  /// Paths of the .repro artifacts written by the last run(), in grid order
+  /// (empty when nothing failed or dumping is disabled).
+  const std::vector<std::string>& artifacts() const { return artifacts_; }
+
  private:
+  /// Resolved artifact directory ("" = disabled).
+  std::string artifact_dir() const;
+  /// Runs one grid entry; on auditor failure writes a .repro into `dir`
+  /// (when enabled) and stores its path in *artifact.
+  ScenarioResult run_one(const ScenarioConfig& cfg, const std::string& dir,
+                         std::size_t index, std::string* artifact) const;
+
   Options opts_;
   std::size_t threads_;
+  /// Written by run(): each worker fills its own pre-sized slot, then run()
+  /// compacts, so no locking is needed.
+  mutable std::vector<std::string> artifacts_;
 };
 
 /// One-call convenience used by the bench binaries.

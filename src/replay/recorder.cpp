@@ -1,0 +1,64 @@
+#include "replay/recorder.h"
+
+#include "sim/rumor.h"
+
+namespace congos::replay {
+
+void DecisionRecorder::on_crash(ProcessId p, Round now,
+                                sim::PartialDelivery policy) {
+  Decision d;
+  d.round = now;
+  d.kind = Decision::Kind::kCrash;
+  d.process = p;
+  d.policy = policy;
+  decisions_.push_back(d);
+}
+
+void DecisionRecorder::on_restart(ProcessId p, Round now,
+                                  sim::PartialDelivery policy) {
+  Decision d;
+  d.round = now;
+  d.kind = Decision::Kind::kRestart;
+  d.process = p;
+  d.policy = policy;
+  decisions_.push_back(d);
+}
+
+void DecisionRecorder::on_inject(const sim::Rumor& rumor, Round now) {
+  Decision d;
+  d.round = now;
+  d.kind = Decision::Kind::kInject;
+  d.process = rumor.uid.source;
+  d.rumor = rumor.uid;
+  d.dest_count = rumor.dest.count();
+  d.deadline = rumor.deadline;
+  decisions_.push_back(d);
+}
+
+void DecisionRecorder::on_envelope_delivered(const sim::Envelope& /*e*/,
+                                             Round /*now*/) {
+  ++current_;
+}
+
+void DecisionRecorder::on_round_end(Round /*now*/) {
+  rounds_.push_back(current_);
+  hash_ = fnv1a_u64(hash_, current_);
+  current_ = 0;
+}
+
+void DecisionRecorder::fill(ReproFile* file) const {
+  file->decisions = decisions_;
+  file->round_deliveries = rounds_;
+  file->trace_hash = hash_;
+}
+
+std::size_t DecisionRecorder::first_divergence(
+    const std::vector<Decision>& expected) const {
+  const std::size_t common = std::min(decisions_.size(), expected.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (!(decisions_[i] == expected[i])) return i;
+  }
+  return SIZE_MAX;
+}
+
+}  // namespace congos::replay

@@ -67,7 +67,7 @@ void Engine::crash(ProcessId p, PartialDelivery policy) {
   // In any phase: the process no longer receives this round.
   in_filtered_[p] = true;
   in_policy_[p] = PartialDelivery::kDropAll;
-  notify_crash(p);
+  notify_crash(p, policy);
 }
 
 void Engine::restart(ProcessId p, PartialDelivery policy) {
@@ -83,7 +83,7 @@ void Engine::restart(ProcessId p, PartialDelivery policy) {
   in_filtered_[p] = true;
   in_policy_[p] = policy;
   processes_[p]->on_restart(now_);
-  notify_restart(p);
+  notify_restart(p, policy);
 }
 
 void Engine::inject(ProcessId p, Rumor rumor) {
@@ -98,12 +98,57 @@ void Engine::inject(ProcessId p, Rumor rumor) {
   processes_[p]->inject(rumor);
 }
 
-void Engine::notify_crash(ProcessId p) {
-  for (auto* obs : observers_) obs->on_crash(p, now_);
+void Engine::notify_crash(ProcessId p, PartialDelivery policy) {
+  for (auto* obs : observers_) obs->on_crash(p, now_, policy);
 }
 
-void Engine::notify_restart(ProcessId p) {
-  for (auto* obs : observers_) obs->on_restart(p, now_);
+void Engine::notify_restart(ProcessId p, PartialDelivery policy) {
+  for (auto* obs : observers_) obs->on_restart(p, now_, policy);
+}
+
+EngineCheckpoint Engine::save_checkpoint() const {
+  CONGOS_ASSERT_MSG(phase_ == Phase::kIdle, "checkpoint only at round boundaries");
+  EngineCheckpoint cp;
+  cp.now = now_;
+  cp.started = started_;
+  cp.rng = rng_;
+  cp.stats = stats_;
+  cp.network_sent_total = network_.messages_sent_total();
+  cp.alive = alive_;
+  cp.alive_count = alive_count_;
+  cp.alive_since = alive_since_;
+  cp.processes.reserve(processes_.size());
+  for (const auto& p : processes_) {
+    cp.processes.push_back(p->snapshot());
+    if (cp.processes.back() == nullptr) cp.complete = false;
+  }
+  cp.had_adversary = adversary_ != nullptr;
+  if (adversary_ != nullptr) {
+    cp.adversary = adversary_->snapshot();
+    if (cp.adversary == nullptr) cp.complete = false;
+  }
+  return cp;
+}
+
+bool Engine::restore_checkpoint(const EngineCheckpoint& cp) {
+  CONGOS_ASSERT_MSG(phase_ == Phase::kIdle, "restore only at round boundaries");
+  if (!cp.complete || cp.processes.size() != processes_.size()) return false;
+  if (cp.had_adversary != (adversary_ != nullptr)) return false;
+  // Restore process state first: a type mismatch aborts before the engine's
+  // own bookkeeping is touched.
+  for (std::size_t p = 0; p < processes_.size(); ++p) {
+    if (!processes_[p]->restore(*cp.processes[p], cp.now)) return false;
+  }
+  if (adversary_ != nullptr && !adversary_->restore(*cp.adversary)) return false;
+  now_ = cp.now;
+  started_ = cp.started;
+  rng_ = cp.rng;
+  stats_ = cp.stats;
+  network_.restore_sent_total(cp.network_sent_total);
+  alive_ = cp.alive;
+  alive_count_ = cp.alive_count;
+  alive_since_ = cp.alive_since;
+  return true;
 }
 
 void Engine::begin_round() {

@@ -23,6 +23,15 @@ namespace congos::sim {
 
 class Engine;
 
+/// Opaque snapshot of an adversary component's mutable state (sequence
+/// counters, budgets, script cursors). Produced by Adversary::snapshot() and
+/// consumed by Adversary::restore(); concrete types are private to each
+/// component. Part of the engine checkpoint machinery (see
+/// Engine::save_checkpoint and DESIGN.md section 7).
+struct AdversarySnapshot {
+  virtual ~AdversarySnapshot() = default;
+};
+
 /// The CRRI adversary hook points. Implementations live in src/adversary.
 class Adversary {
  public:
@@ -40,17 +49,65 @@ class Adversary {
 
   /// After the receive phase.
   virtual void at_round_end(Engine& /*engine*/) {}
+
+  /// Checkpoint support: capture the component's mutable state so a run can
+  /// be rewound. nullptr = unsupported (the engine checkpoint is then marked
+  /// incomplete). Stateless components return the base AdversarySnapshot.
+  virtual std::unique_ptr<AdversarySnapshot> snapshot() const { return nullptr; }
+  /// Restore a state captured by snapshot() *on the same object*. Returns
+  /// false when unsupported or the snapshot type does not match.
+  virtual bool restore(const AdversarySnapshot& /*snap*/) { return false; }
 };
 
 /// Passive observers of the execution (auditors, tracing).
+///
+/// Crash/restart events come in two flavours: the legacy two-argument hooks
+/// and policy-carrying overloads whose default implementation forwards to
+/// them. Observers that need the adversary's full decision (the
+/// PartialDelivery policy chosen for the victim's in-flight messages - e.g.
+/// the replay DecisionRecorder) override the three-argument form; everyone
+/// else keeps overriding the two-argument form and is unaffected.
 class ExecutionObserver {
  public:
   virtual ~ExecutionObserver() = default;
   virtual void on_envelope_delivered(const Envelope& /*e*/, Round /*now*/) {}
   virtual void on_crash(ProcessId /*p*/, Round /*now*/) {}
   virtual void on_restart(ProcessId /*p*/, Round /*now*/) {}
+  virtual void on_crash(ProcessId p, Round now, PartialDelivery /*policy*/) {
+    on_crash(p, now);
+  }
+  virtual void on_restart(ProcessId p, Round now, PartialDelivery /*policy*/) {
+    on_restart(p, now);
+  }
   virtual void on_inject(const Rumor& /*rumor*/, Round /*now*/) {}
   virtual void on_round_end(Round /*now*/) {}
+};
+
+/// A point-in-time snapshot of the simulation core, taken at a round
+/// boundary: engine bookkeeping, RNG position, message statistics, network
+/// counters, per-process protocol state and (when present) adversary state.
+/// Execution observers and auditors are *not* captured - see DESIGN.md
+/// section 7 for the determinism contract.
+///
+/// Restore is only valid on the engine that produced the snapshot (process
+/// snapshots hold callbacks bound to their host objects); a checkpoint can
+/// be restored any number of times.
+struct EngineCheckpoint {
+  Round now = 0;
+  bool started = false;
+  Rng rng{0};
+  MessageStats stats;
+  std::uint64_t network_sent_total = 0;
+  std::vector<bool> alive;
+  std::size_t alive_count = 0;
+  std::vector<Round> alive_since;
+  std::vector<std::unique_ptr<ProcessSnapshot>> processes;
+  std::unique_ptr<AdversarySnapshot> adversary;
+  bool had_adversary = false;
+
+  /// True iff every process (and the adversary, when one is attached)
+  /// produced a snapshot; restore_checkpoint() requires this.
+  bool complete = true;
 };
 
 class Engine {
@@ -120,6 +177,21 @@ class Engine {
   /// Run a single round.
   void step();
 
+  // -- snapshots -----------------------------------------------------------
+
+  /// Capture the simulation core at the current round boundary (must not be
+  /// called from inside a step). Check `complete` before relying on restore:
+  /// a process or adversary without snapshot support leaves a partial
+  /// checkpoint that cannot be restored.
+  EngineCheckpoint save_checkpoint() const;
+
+  /// Rewind to a checkpoint taken on *this* engine. Returns false (leaving
+  /// the engine untouched as far as possible) when the checkpoint is
+  /// incomplete or shaped for a different system. Observers are not rewound:
+  /// re-running after a restore replays the same event stream, but
+  /// cumulative auditor state will include the pre-rewind events.
+  bool restore_checkpoint(const EngineCheckpoint& cp);
+
  private:
   enum class Phase { kIdle, kRoundStart, kSending, kAfterSends, kDelivering, kReceiving, kRoundEnd };
 
@@ -152,8 +224,8 @@ class Engine {
   class DeliveryFanout;
 
   void begin_round();
-  void notify_crash(ProcessId p);
-  void notify_restart(ProcessId p);
+  void notify_crash(ProcessId p, PartialDelivery policy);
+  void notify_restart(ProcessId p, PartialDelivery policy);
 };
 
 }  // namespace congos::sim

@@ -70,6 +70,11 @@ class Network {
 
   std::uint64_t messages_sent_total() const { return sent_total_; }
 
+  /// Checkpoint support: rewind the sent counter to a value captured at a
+  /// round boundary (pending queue and inboxes are empty there, so the
+  /// counter is the only state worth restoring).
+  void restore_sent_total(std::uint64_t total) { sent_total_ = total; }
+
  private:
   std::size_t n_;
   MessageStats* stats_;

@@ -24,6 +24,7 @@ class MessageStats {
   void note_sent(ServiceKind kind, std::uint64_t bytes = 0) {
     current_[static_cast<std::size_t>(kind)] += 1;
     current_bytes_ += bytes;
+    bytes_by_kind_[static_cast<std::size_t>(kind)] += bytes;
   }
 
   /// Close the accounting for round `t`.
@@ -71,6 +72,11 @@ class MessageStats {
   // -- communication complexity (bytes) --------------------------------------
 
   std::uint64_t total_bytes() const { return total_bytes_; }
+  /// Whole-run serialized bytes attributed to one service (the by-service
+  /// split of total_bytes(); E15 reports the breakdown).
+  std::uint64_t total_bytes(ServiceKind kind) const {
+    return bytes_by_kind_[static_cast<std::size_t>(kind)];
+  }
   std::uint64_t max_bytes_per_round() const { return max_bytes_; }
   /// Maximum bytes in a round over rounds >= start.
   std::uint64_t max_bytes_from(Round start) const;
@@ -95,6 +101,7 @@ class MessageStats {
   std::uint64_t current_bytes_ = 0;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t max_bytes_ = 0;
+  std::array<std::uint64_t, kNumServiceKinds> bytes_by_kind_{};
   std::vector<std::uint64_t> per_round_bytes_;
 };
 

@@ -1,6 +1,7 @@
 #include "sim/trace.h"
 
 #include <ostream>
+#include <sstream>
 
 namespace congos::sim {
 
@@ -22,8 +23,12 @@ void TraceLog::on_inject(const Rumor& rumor, Round now) {
   push(Event{now, Kind::kInject, rumor.uid.source, rumor.uid, rumor.dest.count()});
 }
 
-void TraceLog::on_envelope_delivered(const Envelope& /*e*/, Round /*now*/) {
+void TraceLog::on_envelope_delivered(const Envelope& e, Round now) {
   ++current_round_deliveries_;
+  if (opt_.record_deliveries) {
+    Event ev{now, Kind::kEnvelopeDelivered, e.to, {}, 0, e.tag.kind, e.from};
+    push(ev);
+  }
 }
 
 void TraceLog::on_round_end(Round now) {
@@ -51,6 +56,10 @@ void TraceLog::dump(std::ostream& os, std::size_t last_n) const {
         os << "inject  p" << e.process << " rumor (" << e.rumor.source << ","
            << e.rumor.seq << ") |D|=" << e.dest;
         break;
+      case Kind::kEnvelopeDelivered:
+        os << "deliver p" << e.from << " -> p" << e.process << " ["
+           << to_string(e.service) << "]";
+        break;
     }
     os << "\n";
   }
@@ -59,6 +68,12 @@ void TraceLog::dump(std::ostream& os, std::size_t last_n) const {
     os << " " << round << ":" << count;
   }
   os << "\n";
+}
+
+std::string TraceLog::dump_string(std::size_t last_n) const {
+  std::ostringstream os;
+  dump(os, last_n);
+  return os.str();
 }
 
 }  // namespace congos::sim

@@ -1,9 +1,11 @@
 // TraceLog: a bounded execution event log for debugging and post-mortems.
 //
-// Registered as an ExecutionObserver, it keeps the most recent lifecycle
-// events (crashes, restarts, injections) in a ring buffer plus a per-round
-// delivery counter, and renders a human-readable tail on demand. Used by the
-// CLI (--trace) and available to tests; overhead is O(1) per event.
+// Registered as an ExecutionObserver, it keeps the most recent events
+// (crashes, restarts, injections, and envelope deliveries tagged with the
+// service that sent them) in a ring buffer plus a per-round delivery
+// counter, and renders a human-readable tail on demand. Used by the CLI
+// (--trace), embedded in .repro failure artifacts (src/replay), and
+// available to tests; overhead is O(1) per event.
 #pragma once
 
 #include <deque>
@@ -19,6 +21,11 @@ class TraceLog final : public ExecutionObserver {
   struct Options {
     /// Maximum retained events (older ones are evicted).
     std::size_t capacity = 4096;
+    /// Record one kEnvelopeDelivered event per delivery (with its
+    /// ServiceKind) in the ring buffer. High-volume: on a busy round these
+    /// evict older lifecycle events, which is exactly what a post-mortem of
+    /// the failing round wants; disable for long-lived lifecycle-only logs.
+    bool record_deliveries = true;
   };
 
   TraceLog() = default;
@@ -35,17 +42,23 @@ class TraceLog final : public ExecutionObserver {
   /// counts of the most recent rounds.
   void dump(std::ostream& os, std::size_t last_n = 100) const;
 
+  /// dump() into a string (the form embedded in .repro artifacts).
+  std::string dump_string(std::size_t last_n = 100) const;
+
   std::size_t event_count() const { return events_.size(); }
   std::uint64_t total_events_seen() const { return seen_; }
 
  private:
-  enum class Kind : std::uint8_t { kCrash, kRestart, kInject };
+  enum class Kind : std::uint8_t { kCrash, kRestart, kInject, kEnvelopeDelivered };
   struct Event {
     Round when = 0;
     Kind kind = Kind::kCrash;
-    ProcessId process = kNoProcess;
+    ProcessId process = kNoProcess;  // victim / injection target / receiver
     RumorUid rumor;       // kInject only
     std::size_t dest = 0; // kInject only: |D|
+    // kEnvelopeDelivered only: sending service and sender.
+    ServiceKind service = ServiceKind::kOther;
+    ProcessId from = kNoProcess;
   };
 
   void push(Event e);

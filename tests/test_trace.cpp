@@ -14,7 +14,7 @@ TEST(TraceLog, RecordsLifecycleEvents) {
                                    [](Round, Sender& out, testutil::ScriptedProcess& s) {
                                      if (s.id() == 0) out.send(testutil::make_msg(0, 1, 1));
                                    });
-  TraceLog trace;
+  TraceLog trace(TraceLog::Options{.record_deliveries = false});
   sys.engine->add_observer(&trace);
   testutil::LambdaAdversary adv;
   adv.on_round_start = [](Engine& e) {
@@ -59,6 +59,21 @@ TEST(TraceLog, DumpLimitsToLastN) {
   EXPECT_EQ(os.str().find("[47]"), std::string::npos);
   EXPECT_NE(os.str().find("[48]"), std::string::npos);
   EXPECT_NE(os.str().find("[49]"), std::string::npos);
+}
+
+TEST(TraceLog, RecordsDeliveriesWithServiceKind) {
+  auto sys = testutil::make_system(
+      3, 2, [](Round now, Sender& out, testutil::ScriptedProcess& s) {
+        if (s.id() == 0 && now == 1) {
+          out.send(testutil::make_msg(0, 1, 1, ServiceKind::kProxy));
+        }
+      });
+  TraceLog trace;  // record_deliveries defaults to on
+  sys.engine->add_observer(&trace);
+  sys.engine->run(3);
+  EXPECT_EQ(trace.total_events_seen(), 1u);
+  const std::string out = trace.dump_string();
+  EXPECT_NE(out.find("deliver p0 -> p1 [proxy]"), std::string::npos);
 }
 
 TEST(TraceLog, CountsDeliveriesPerRound) {

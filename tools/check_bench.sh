@@ -46,13 +46,21 @@ trap 'rm -f "$TMP_JSON"' EXIT
   --benchmark_format=console
 
 GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+# Full SHA plus a dirty marker, so a trajectory line can be tied back to an
+# exact tree (the short rev alone is ambiguous across rebases).
+GIT_SHA="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
+GIT_DIRTY=false
+if [ -n "$(git status --porcelain 2>/dev/null)" ]; then
+  GIT_DIRTY=true
+fi
 
 # One compact line per benchmark: name, real/cpu time, rounds/sec, context.
-jq -c --arg rev "$GIT_REV" --arg threads "$THREADS" --arg scale "$SCALE" \
+jq -c --arg rev "$GIT_REV" --arg sha "$GIT_SHA" --argjson dirty "$GIT_DIRTY" \
+  --arg threads "$THREADS" --arg scale "$SCALE" \
   '.context.date as $date | .benchmarks[] |
-   {date: $date, rev: $rev, name: .name, real_time_ms: .real_time,
-    cpu_time_ms: .cpu_time, rounds_per_sec: .rounds_per_sec,
-    threads: $threads, bench_scale: $scale}' \
+   {date: $date, rev: $rev, sha: $sha, dirty: $dirty, name: .name,
+    real_time_ms: .real_time, cpu_time_ms: .cpu_time,
+    rounds_per_sec: .rounds_per_sec, threads: $threads, bench_scale: $scale}' \
   "$TMP_JSON" >> "$OUT_FILE"
 
 echo "appended $(jq '.benchmarks | length' "$TMP_JSON") benchmark record(s) to $OUT_FILE:"

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "common/flags.h"
+#include "harness/record.h"
 #include "harness/scenario.h"
 #include "sim/trace.h"
 
@@ -38,6 +39,7 @@ const char kUsage[] = R"(congos_sim - confidential continuous gossip simulator
   --lazy=F         fraction of freeloading processes (congos only)
   --measure-from=R exclude rounds < R from peak statistics  (default 2*D)
   --no-audit       skip the confidentiality auditor (faster)
+  --record-repro=F write a replayable .repro artifact of this run to F
   --csv            machine-readable one-line output
   --trace=N        dump the last N lifecycle events after the run
   --help           this text
@@ -59,7 +61,8 @@ int main(int argc, char** argv) {
   const auto unknown = flags.unknown_keys(
       {"protocol", "n", "rounds", "seed", "deadline", "inject-prob", "dest-min",
        "dest-max", "tau", "no-degenerate", "expander", "gossip-fanout", "churn",
-       "lazy", "measure-from", "no-audit", "csv", "trace", "help"});
+       "lazy", "measure-from", "no-audit", "record-repro", "csv", "trace",
+       "help"});
   if (!unknown.empty()) return fail_usage("unknown flag --" + unknown.front());
 
   harness::ScenarioConfig cfg;
@@ -109,7 +112,26 @@ int main(int argc, char** argv) {
   const auto trace_n = flags.get_int("trace", 0);
   if (trace_n > 0) cfg.extra_observers.push_back(&trace);
 
-  const auto r = harness::run_scenario(cfg);
+  harness::ScenarioResult r;
+  const std::string repro_path = flags.get("record-repro", "");
+  if (!repro_path.empty()) {
+    std::string why;
+    if (!replay::is_recordable(cfg, &why)) {
+      return fail_usage("cannot record this configuration: " + why);
+    }
+    auto recorded = harness::run_recorded(cfg, "congos_sim",
+                                          "recorded via --record-repro");
+    r = recorded.result;
+    if (!replay::write_file(repro_path, recorded.repro)) {
+      std::fprintf(stderr, "error: cannot write %s\n", repro_path.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "wrote %s (%zu decisions, %zu rounds)\n",
+                 repro_path.c_str(), recorded.repro.decisions.size(),
+                 recorded.repro.round_deliveries.size());
+  } else {
+    r = harness::run_scenario(cfg);
+  }
   const bool ok = r.qod.ok() && r.leaks == 0;
 
   if (trace_n > 0) trace.dump(std::cerr, static_cast<std::size_t>(trace_n));
