@@ -1,0 +1,161 @@
+// Microbenchmarks: the allocation-free building blocks of the round engine
+// (DESIGN.md section 9) against their standard-library counterparts.
+//
+// FlatMap vs std::unordered_map on the access patterns the gossip hot path
+// actually performs (find-heavy steady state, insert/erase churn, ordered
+// iteration), and PayloadPool vs make_shared for the per-round payload
+// cycle.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/flat_map.h"
+#include "common/pool.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace congos;
+
+/// Deterministic key stream shaped like gossip gids: sparse 64-bit values.
+std::vector<std::uint64_t> make_keys(std::size_t count) {
+  Rng rng(0xbe9cull);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) keys.push_back(rng.next());
+  return keys;
+}
+
+template <typename Map>
+void lookup_heavy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto keys = make_keys(n);
+  Map map;
+  for (std::size_t i = 0; i < n; ++i) map.emplace(keys[i], i);
+  std::uint64_t sum = 0;
+  for (auto _ : state) {
+    // 8 probes per resident key: the steady-state accept() mix, where every
+    // incoming rumor is already known and find() is the whole story.
+    for (int rep = 0; rep < 8; ++rep) {
+      for (const auto k : keys) sum += map.find(k)->second;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n) * 8);
+}
+
+void BM_FlatMapLookup(benchmark::State& state) {
+  lookup_heavy<FlatMap<std::uint64_t, std::uint64_t>>(state);
+}
+void BM_UnorderedMapLookup(benchmark::State& state) {
+  lookup_heavy<std::unordered_map<std::uint64_t, std::uint64_t>>(state);
+}
+BENCHMARK(BM_FlatMapLookup)->Arg(64)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_UnorderedMapLookup)->Arg(64)->Arg(1024)->Arg(16384);
+
+template <typename Map>
+void churn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto keys = make_keys(2 * n);
+  for (auto _ : state) {
+    Map map;
+    // Rumor lifecycle: insert a window, erase the expired half, insert the
+    // next window - the purge_expired()/accept() cycle.
+    for (std::size_t i = 0; i < n; ++i) map.emplace(keys[i], i);
+    for (std::size_t i = 0; i < n / 2; ++i) map.erase(keys[i]);
+    for (std::size_t i = n; i < 2 * n; ++i) map.emplace(keys[i], i);
+    benchmark::DoNotOptimize(map);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n) * 2);
+}
+
+void BM_FlatMapChurn(benchmark::State& state) {
+  churn<FlatMap<std::uint64_t, std::uint64_t>>(state);
+}
+void BM_UnorderedMapChurn(benchmark::State& state) {
+  churn<std::unordered_map<std::uint64_t, std::uint64_t>>(state);
+}
+BENCHMARK(BM_FlatMapChurn)->Arg(64)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_UnorderedMapChurn)->Arg(64)->Arg(1024)->Arg(16384);
+
+template <typename Map>
+void iterate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto keys = make_keys(n);
+  Map map;
+  for (std::size_t i = 0; i < n; ++i) map.emplace(keys[i], i);
+  std::uint64_t sum = 0;
+  for (auto _ : state) {
+    // Whole-table sweeps back the per-round batch rebuild and the auditors.
+    for (const auto& [k, v] : map) sum += k ^ v;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+void BM_FlatMapIterate(benchmark::State& state) {
+  iterate<FlatMap<std::uint64_t, std::uint64_t>>(state);
+}
+void BM_UnorderedMapIterate(benchmark::State& state) {
+  iterate<std::unordered_map<std::uint64_t, std::uint64_t>>(state);
+}
+BENCHMARK(BM_FlatMapIterate)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_UnorderedMapIterate)->Arg(1024)->Arg(16384);
+
+/// A payload-sized object with a reusable buffer, as the pooled gossip
+/// payloads have.
+struct BenchPayload {
+  std::vector<std::uint64_t> data;
+  void reuse() { data.clear(); }
+};
+
+void BM_PooledPayloadCycle(benchmark::State& state) {
+  const auto live = static_cast<std::size_t>(state.range(0));
+  PayloadPool<BenchPayload> pool;
+  std::vector<std::shared_ptr<BenchPayload>> held;
+  held.reserve(live);
+  // Warm the pool (and the payload buffers) to steady state.
+  for (std::size_t i = 0; i < live; ++i) {
+    auto p = pool.acquire();
+    p->data.resize(64);
+    held.push_back(std::move(p));
+  }
+  held.clear();
+  for (auto _ : state) {
+    // One round: acquire `live` payloads, fill, release them all - the
+    // send_phase / end_round cycle.
+    for (std::size_t i = 0; i < live; ++i) {
+      auto p = pool.acquire();
+      p->data.resize(64);
+      held.push_back(std::move(p));
+    }
+    held.clear();
+    benchmark::DoNotOptimize(pool);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(live));
+}
+
+void BM_MakeSharedPayloadCycle(benchmark::State& state) {
+  const auto live = static_cast<std::size_t>(state.range(0));
+  std::vector<std::shared_ptr<BenchPayload>> held;
+  held.reserve(live);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < live; ++i) {
+      auto p = std::make_shared<BenchPayload>();
+      p->data.resize(64);
+      held.push_back(std::move(p));
+    }
+    held.clear();
+    benchmark::DoNotOptimize(held);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(live));
+}
+BENCHMARK(BM_PooledPayloadCycle)->Arg(64)->Arg(1024);
+BENCHMARK(BM_MakeSharedPayloadCycle)->Arg(64)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

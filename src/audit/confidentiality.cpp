@@ -153,7 +153,7 @@ std::size_t ConfidentialityAuditor::min_breaking_coalition(const RumorUid& uid) 
   // under the structural invariant each curious process contributes at most
   // one group per partition, so the minimum is num_groups when every group's
   // fragment escaped, else impossible for that partition.
-  std::unordered_map<PartitionIndex, std::uint64_t> escaped;  // group mask
+  FlatMap<PartitionIndex, std::uint64_t> escaped;  // group mask
   GroupIndex groups = 0;
   for (ProcessId p = 0; p < n_; ++p) {
     if (!curious(p, uid)) continue;

@@ -92,7 +92,7 @@ class ConfidentialityAuditor final : public sim::ExecutionObserver {
   std::size_t n_;
   const partition::PartitionSet* partitions_;
   KnowledgeTracker knowledge_;
-  std::unordered_map<RumorUid, RumorInfo> rumors_;
+  FlatMap<RumorUid, RumorInfo> rumors_;
   std::vector<Violation> violations_;
   std::uint64_t unknown_payloads_ = 0;
 

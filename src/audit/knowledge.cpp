@@ -50,7 +50,7 @@ bool KnowledgeTracker::can_reconstruct(ProcessId p, const RumorUid& uid) const {
 bool KnowledgeTracker::coalition_can_reconstruct(
     const std::vector<ProcessId>& coalition, const RumorUid& uid) const {
   GroupIndex groups = 0;
-  std::unordered_map<PartitionIndex, std::uint64_t> merged;
+  FlatMap<PartitionIndex, std::uint64_t> merged;
   for (ProcessId p : coalition) {
     if (knows_full(p, uid)) return true;
     auto it = frags_[p].find(uid);
@@ -66,7 +66,7 @@ bool KnowledgeTracker::coalition_can_reconstruct(
   return false;
 }
 
-const std::unordered_map<PartitionIndex, std::uint64_t>*
+const FlatMap<PartitionIndex, std::uint64_t>*
 KnowledgeTracker::partition_masks(ProcessId p, const RumorUid& uid) const {
   auto it = frags_[p].find(uid);
   return it == frags_[p].end() ? nullptr : &it->second.masks;

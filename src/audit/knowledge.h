@@ -9,9 +9,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 
+#include "common/flat_map.h"
+#include "common/flat_set.h"
 #include "common/types.h"
 #include "congos/fragment.h"
 
@@ -47,18 +47,18 @@ class KnowledgeTracker {
                                  const RumorUid& uid) const;
 
   /// All (partition -> group mask) knowledge of p about uid.
-  const std::unordered_map<PartitionIndex, std::uint64_t>* partition_masks(
+  const FlatMap<PartitionIndex, std::uint64_t>* partition_masks(
       ProcessId p, const RumorUid& uid) const;
 
  private:
   struct PerRumor {
     GroupIndex num_groups = 0;
-    std::unordered_map<PartitionIndex, std::uint64_t> masks;  // group bitmask
+    FlatMap<PartitionIndex, std::uint64_t> masks;  // group bitmask
   };
 
   std::size_t n_;
-  std::vector<std::unordered_map<RumorUid, PerRumor>> frags_;   // per process
-  std::vector<std::unordered_set<RumorUid>> full_;              // per process
+  std::vector<FlatMap<RumorUid, PerRumor>> frags_;  // per process
+  std::vector<FlatSet<RumorUid>> full_;             // per process
 };
 
 }  // namespace congos::audit

@@ -1,0 +1,276 @@
+// Deterministic open-addressing hash containers (robin-hood indexing over
+// dense storage).
+//
+// The simulator's determinism contract (DESIGN.md section 9) forbids any
+// observable dependence on std::unordered_map bucket order: a different
+// standard library (or a different load factor) would reorder iteration and
+// hence reorder RNG draws and message emission. FlatMap stores its entries in
+// a plain vector - iteration order is insertion order, identical on every
+// platform - and maintains a separate robin-hood index of (hash, entry-slot)
+// pairs for O(1) lookup. Keys are hashed by value only (never by address),
+// so a (seed, config) pair still fully determines an execution.
+//
+// Performance: entries are contiguous (one cache line fetches several), the
+// index stores 12-byte slots probed linearly, and erase() is swap-with-last,
+// so the hot per-round loops (rumor dedup, ack bookkeeping, hitset
+// membership) touch a fraction of the cache lines a node-based
+// unordered_map does. This is what "allocation-free steady state" rides on:
+// after warm-up neither the entry vector nor the index reallocates.
+//
+// Deviations from std::unordered_map, chosen for the hot path:
+//   * references and iterators are invalidated by rehash AND by erase()
+//     (swap-with-last moves the tail entry); do not hold them across
+//     mutations;
+//   * erase(it) returns an iterator at the *same position* (the swapped-in
+//     tail entry), so the `it = m.erase(it)` sweep idiom works unchanged;
+//   * value_type is pair<K, V> (non-const K) so entries can be moved;
+//   * emplace() behaves like try_emplace (no effect when the key exists).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace congos {
+
+/// Default hasher: a strong 64-bit finalizer for integral keys (identity
+/// hashes would make robin-hood probe lengths degenerate on dense ids);
+/// everything else delegates to std::hash, which this codebase only
+/// specializes with deterministic value-based functions.
+template <typename K, typename = void>
+struct FlatHash {
+  std::size_t operator()(const K& k) const noexcept { return std::hash<K>{}(k); }
+};
+
+template <typename K>
+struct FlatHash<K, std::enable_if_t<std::is_integral_v<K>>> {
+  std::size_t operator()(K k) const noexcept {
+    auto x = static_cast<std::uint64_t>(k);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+namespace detail {
+
+/// The shared robin-hood index: maps a 64-bit hash to a 32-bit slot in the
+/// owner's dense entry vector. Knows nothing about keys; the owner resolves
+/// hash collisions through an equality callback.
+class FlatIndex {
+ public:
+  static constexpr std::uint32_t kNoEntry = 0xFFFFFFFFu;
+
+  std::size_t size() const { return size_; }
+
+  void clear() {
+    if (size_ != 0) slots_.assign(slots_.size(), Slot{});
+    size_ = 0;
+  }
+
+  template <typename Eq>
+  std::uint32_t find(std::uint64_t hash, Eq&& eq) const {
+    if (slots_.empty()) return kNoEntry;
+    std::size_t i = hash & mask_;
+    std::size_t dist = 0;
+    while (true) {
+      const Slot& s = slots_[i];
+      if (s.entry == kNoEntry) return kNoEntry;
+      // Robin-hood invariant: once we probe further than a resident slot's
+      // own distance, the key cannot be in the table.
+      if (probe_distance(s.hash, i) < dist) return kNoEntry;
+      if (s.hash == hash && eq(s.entry)) return s.entry;
+      i = (i + 1) & mask_;
+      ++dist;
+    }
+  }
+
+  /// Insert a (hash -> entry) mapping; the caller guarantees the key is not
+  /// already present.
+  void insert(std::uint64_t hash, std::uint32_t entry) {
+    if ((size_ + 1) * 4 > slots_.size() * 3) grow(slots_.empty() ? 16 : slots_.size() * 2);
+    insert_no_grow(hash, entry);
+    ++size_;
+  }
+
+  /// Remove the (hash, entry) mapping; the caller guarantees it is present.
+  void erase(std::uint64_t hash, std::uint32_t entry) {
+    std::size_t i = hash & mask_;
+    while (!(slots_[i].hash == hash && slots_[i].entry == entry)) i = (i + 1) & mask_;
+    // Backward-shift deletion keeps probe chains tight (no tombstones).
+    std::size_t next = (i + 1) & mask_;
+    while (slots_[next].entry != kNoEntry && probe_distance(slots_[next].hash, next) > 0) {
+      slots_[i] = slots_[next];
+      i = next;
+      next = (next + 1) & mask_;
+    }
+    slots_[i] = Slot{};
+    --size_;
+  }
+
+  /// The entry at `old_entry` moved to `new_entry` (swap-with-last erase).
+  void reindex(std::uint64_t hash, std::uint32_t old_entry, std::uint32_t new_entry) {
+    std::size_t i = hash & mask_;
+    while (!(slots_[i].hash == hash && slots_[i].entry == old_entry)) i = (i + 1) & mask_;
+    slots_[i].entry = new_entry;
+  }
+
+  void reserve(std::size_t n) {
+    std::size_t cap = slots_.empty() ? 16 : slots_.size();
+    while (n * 4 > cap * 3) cap *= 2;
+    if (cap > slots_.size()) grow(cap);
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t hash = 0;
+    std::uint32_t entry = kNoEntry;
+  };
+
+  std::size_t probe_distance(std::uint64_t hash, std::size_t slot) const {
+    return (slot - (hash & mask_)) & mask_;
+  }
+
+  void insert_no_grow(std::uint64_t hash, std::uint32_t entry) {
+    std::size_t i = hash & mask_;
+    std::size_t dist = 0;
+    while (true) {
+      Slot& s = slots_[i];
+      if (s.entry == kNoEntry) {
+        s.hash = hash;
+        s.entry = entry;
+        return;
+      }
+      const std::size_t resident = probe_distance(s.hash, i);
+      if (resident < dist) {
+        // Rob the rich: displace the resident with the shorter probe chain.
+        std::swap(s.hash, hash);
+        std::swap(s.entry, entry);
+        dist = resident;
+      }
+      i = (i + 1) & mask_;
+      ++dist;
+    }
+  }
+
+  void grow(std::size_t new_cap) {
+    CONGOS_ASSERT((new_cap & (new_cap - 1)) == 0);
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_cap, Slot{});
+    mask_ = new_cap - 1;
+    for (const Slot& s : old) {
+      if (s.entry != kNoEntry) insert_no_grow(s.hash, s.entry);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::uint64_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace detail
+
+template <typename K, typename V, typename Hash = FlatHash<K>>
+class FlatMap {
+ public:
+  using value_type = std::pair<K, V>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  iterator begin() { return entries_.begin(); }
+  iterator end() { return entries_.end(); }
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  void clear() {
+    entries_.clear();
+    index_.clear();
+  }
+
+  void reserve(std::size_t n) {
+    entries_.reserve(n);
+    index_.reserve(n);
+  }
+
+  template <typename... Args>
+  std::pair<iterator, bool> try_emplace(const K& key, Args&&... args) {
+    const std::uint64_t h = hash_of(key);
+    const std::uint32_t e = index_.find(h, key_eq(key));
+    if (e != detail::FlatIndex::kNoEntry) {
+      return {entries_.begin() + e, false};
+    }
+    entries_.emplace_back(std::piecewise_construct, std::forward_as_tuple(key),
+                          std::forward_as_tuple(std::forward<Args>(args)...));
+    index_.insert(h, static_cast<std::uint32_t>(entries_.size() - 1));
+    return {entries_.end() - 1, true};
+  }
+
+  /// Like try_emplace: no effect when the key already exists (matches how
+  /// every call site uses unordered_map::emplace).
+  template <typename... Args>
+  std::pair<iterator, bool> emplace(const K& key, Args&&... args) {
+    return try_emplace(key, std::forward<Args>(args)...);
+  }
+
+  V& operator[](const K& key) { return try_emplace(key).first->second; }
+
+  iterator find(const K& key) {
+    const std::uint32_t e = index_.find(hash_of(key), key_eq(key));
+    return e == detail::FlatIndex::kNoEntry ? entries_.end() : entries_.begin() + e;
+  }
+  const_iterator find(const K& key) const {
+    const std::uint32_t e = index_.find(hash_of(key), key_eq(key));
+    return e == detail::FlatIndex::kNoEntry ? entries_.end() : entries_.begin() + e;
+  }
+
+  bool contains(const K& key) const {
+    return index_.find(hash_of(key), key_eq(key)) != detail::FlatIndex::kNoEntry;
+  }
+
+  /// Swap-with-last removal; returns an iterator at the same position (now
+  /// holding the former tail entry, or end()), so `it = m.erase(it)` sweeps
+  /// visit every entry exactly once.
+  iterator erase(const_iterator pos) {
+    const auto idx = static_cast<std::size_t>(pos - entries_.cbegin());
+    index_.erase(hash_of(entries_[idx].first), static_cast<std::uint32_t>(idx));
+    const std::size_t last = entries_.size() - 1;
+    if (idx != last) {
+      index_.reindex(hash_of(entries_[last].first), static_cast<std::uint32_t>(last),
+                     static_cast<std::uint32_t>(idx));
+      entries_[idx] = std::move(entries_[last]);
+    }
+    entries_.pop_back();
+    return entries_.begin() + idx;
+  }
+
+  std::size_t erase(const K& key) {
+    const auto it = find(key);
+    if (it == entries_.end()) return 0;
+    erase(it);
+    return 1;
+  }
+
+ private:
+  std::uint64_t hash_of(const K& key) const {
+    return static_cast<std::uint64_t>(Hash{}(key));
+  }
+  auto key_eq(const K& key) const {
+    return [this, &key](std::uint32_t e) { return entries_[e].first == key; };
+  }
+
+  std::vector<value_type> entries_;
+  detail::FlatIndex index_;
+};
+
+}  // namespace congos

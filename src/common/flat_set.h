@@ -1,0 +1,94 @@
+// Deterministic open-addressing hash set. See flat_map.h for the design
+// rationale (dense storage + robin-hood index, insertion-order iteration,
+// value-based hashing only). Shares detail::FlatIndex with FlatMap.
+//
+// Iterators are const (keys are immutable once inserted) and invalidated by
+// rehash and by erase() (swap-with-last).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/flat_map.h"
+
+namespace congos {
+
+template <typename K, typename Hash = FlatHash<K>>
+class FlatSet {
+ public:
+  using value_type = K;
+  using iterator = typename std::vector<K>::const_iterator;
+  using const_iterator = iterator;
+
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  void clear() {
+    entries_.clear();
+    index_.clear();
+  }
+
+  void reserve(std::size_t n) {
+    entries_.reserve(n);
+    index_.reserve(n);
+  }
+
+  std::pair<const_iterator, bool> insert(const K& key) {
+    const std::uint64_t h = hash_of(key);
+    const std::uint32_t e = index_.find(h, key_eq(key));
+    if (e != detail::FlatIndex::kNoEntry) {
+      return {entries_.cbegin() + e, false};
+    }
+    entries_.push_back(key);
+    index_.insert(h, static_cast<std::uint32_t>(entries_.size() - 1));
+    return {entries_.cend() - 1, true};
+  }
+
+  bool contains(const K& key) const {
+    return index_.find(hash_of(key), key_eq(key)) != detail::FlatIndex::kNoEntry;
+  }
+
+  const_iterator find(const K& key) const {
+    const std::uint32_t e = index_.find(hash_of(key), key_eq(key));
+    return e == detail::FlatIndex::kNoEntry ? entries_.cend() : entries_.cbegin() + e;
+  }
+
+  /// Swap-with-last removal; returns an iterator at the same position.
+  const_iterator erase(const_iterator pos) {
+    const auto idx = static_cast<std::size_t>(pos - entries_.cbegin());
+    index_.erase(hash_of(entries_[idx]), static_cast<std::uint32_t>(idx));
+    const std::size_t last = entries_.size() - 1;
+    if (idx != last) {
+      index_.reindex(hash_of(entries_[last]), static_cast<std::uint32_t>(last),
+                     static_cast<std::uint32_t>(idx));
+      entries_[idx] = std::move(entries_[last]);
+    }
+    entries_.pop_back();
+    return entries_.cbegin() + idx;
+  }
+
+  std::size_t erase(const K& key) {
+    const auto it = find(key);
+    if (it == entries_.cend()) return 0;
+    erase(it);
+    return 1;
+  }
+
+ private:
+  std::uint64_t hash_of(const K& key) const {
+    return static_cast<std::uint64_t>(Hash{}(key));
+  }
+  auto key_eq(const K& key) const {
+    return [this, &key](std::uint32_t e) { return entries_[e] == key; };
+  }
+
+  std::vector<K> entries_;
+  detail::FlatIndex index_;
+};
+
+}  // namespace congos

@@ -1,0 +1,112 @@
+// Recycling pool for per-round wire payloads.
+//
+// The round hot path used to make_shared a fresh GossipMsg/GossipAck/... per
+// sender per round; payload and control block die within the same round once
+// the network inboxes clear. PayloadPool keeps both alive instead: releasing
+// the last shared_ptr reference returns the *object* (with its internal
+// vector capacities intact) to a free list and the *control block* to a
+// block cache, so a steady-state round performs no heap allocation for
+// payload traffic.
+//
+// Handles are plain std::shared_ptr<T>, implicitly convertible to
+// sim::PayloadPtr (shared_ptr<const Payload>), so auditors, observers and
+// the network are untouched - a pooled payload is indistinguishable from a
+// make_shared one. Lifetime rules (DESIGN.md section 9):
+//   * the pool core is itself shared_ptr-owned and captured by every
+//     handle's deleter, so handles may outlive the PayloadPool object (and
+//     service snapshot copies share one core with the live service);
+//   * a recycled object is reset via T::reuse() before being handed out
+//     (contents cleared, buffer capacity retained);
+//   * pooling never affects behaviour - allocation identity is invisible to
+//     the protocol, so traces are unchanged.
+//
+// Single-threaded by design, like everything per-process in the simulator:
+// a pool must only be used from the thread running its scenario.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace congos {
+
+template <typename T>
+class PayloadPool {
+ public:
+  PayloadPool() : core_(std::make_shared<Core>()) {}
+
+  /// A cleared T, recycled when possible. The returned handle behaves like
+  /// make_shared<T>(); when the last reference (anywhere) drops, object and
+  /// control block come back to this pool.
+  std::shared_ptr<T> acquire() {
+    T* obj = nullptr;
+    if (core_->free_objects.empty()) {
+      obj = new T();
+    } else {
+      obj = core_->free_objects.back().release();
+      core_->free_objects.pop_back();
+      obj->reuse();
+    }
+    return std::shared_ptr<T>(obj, Recycler{core_}, BlockAllocator<T>{core_});
+  }
+
+  /// Objects currently idle in the free list (tests/benchmarks).
+  std::size_t idle() const { return core_->free_objects.size(); }
+
+ private:
+  struct Core {
+    std::vector<std::unique_ptr<T>> free_objects;
+    std::vector<void*> free_blocks;  // recycled shared_ptr control blocks
+    std::size_t block_size = 0;      // fixed per T; learned on first release
+    ~Core() {
+      for (void* b : free_blocks) ::operator delete(b);
+    }
+  };
+
+  /// Custom deleter: parks the object instead of destroying it.
+  struct Recycler {
+    std::shared_ptr<Core> core;
+    void operator()(T* obj) const { core->free_objects.emplace_back(obj); }
+  };
+
+  /// Allocator handed to shared_ptr for its control block. Every control
+  /// block for a given T has the same size, so a simple same-size free list
+  /// suffices. The standard library deallocates through a *copy* of this
+  /// allocator taken before the block is destroyed, so `core` is always
+  /// alive at deallocation time.
+  template <typename U>
+  struct BlockAllocator {
+    using value_type = U;
+
+    explicit BlockAllocator(std::shared_ptr<Core> c) : core(std::move(c)) {}
+    template <typename W>
+    BlockAllocator(const BlockAllocator<W>& other) : core(other.core) {}
+
+    U* allocate(std::size_t n) {
+      const std::size_t bytes = n * sizeof(U);
+      if (n == 1 && bytes == core->block_size && !core->free_blocks.empty()) {
+        void* b = core->free_blocks.back();
+        core->free_blocks.pop_back();
+        return static_cast<U*>(b);
+      }
+      return static_cast<U*>(::operator new(bytes));
+    }
+
+    void deallocate(U* p, std::size_t n) {
+      const std::size_t bytes = n * sizeof(U);
+      if (n == 1 && (core->block_size == 0 || core->block_size == bytes)) {
+        core->block_size = bytes;
+        core->free_blocks.push_back(p);
+        return;
+      }
+      ::operator delete(p);
+    }
+
+    std::shared_ptr<Core> core;
+  };
+
+  std::shared_ptr<Core> core_;
+};
+
+}  // namespace congos

@@ -95,9 +95,17 @@ unsigned Rng::poisson_knuth(double lambda) {
 
 std::vector<std::uint32_t> Rng::sample_without_replacement(std::uint32_t n,
                                                            std::uint32_t k) {
-  CONGOS_ASSERT(k <= n);
-  // Floyd's algorithm: expected O(k), no O(n) allocation.
   std::vector<std::uint32_t> out;
+  sample_without_replacement(n, k, out);
+  return out;
+}
+
+void Rng::sample_without_replacement(std::uint32_t n, std::uint32_t k,
+                                     std::vector<std::uint32_t>& out) {
+  CONGOS_ASSERT(k <= n);
+  // Floyd's algorithm: expected O(k), no O(n) allocation (and none at all
+  // once `out` has capacity k).
+  out.clear();
   out.reserve(k);
   for (std::uint32_t j = n - k; j < n; ++j) {
     auto t = static_cast<std::uint32_t>(next_below(j + 1));
@@ -110,7 +118,6 @@ std::vector<std::uint32_t> Rng::sample_without_replacement(std::uint32_t n,
     }
     out.push_back(present ? j : t);
   }
-  return out;
 }
 
 Rng Rng::fork() { return Rng(next()); }

@@ -55,6 +55,11 @@ class Rng {
   /// Requires k <= n. O(k) expected time (Floyd's algorithm).
   std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n, std::uint32_t k);
 
+  /// Allocation-free variant for hot loops: clears `out` and fills it with
+  /// the sample. Draws the exact same RNG stream as the returning overload.
+  void sample_without_replacement(std::uint32_t n, std::uint32_t k,
+                                  std::vector<std::uint32_t>& out);
+
   /// Derive an independent child generator; successive calls give distinct
   /// streams. Deterministic given the parent state.
   Rng fork();

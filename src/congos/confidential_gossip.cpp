@@ -43,7 +43,7 @@ void ConfidentialGossipService::deliver_local(Round now, RumorUid uid,
 }
 
 void ConfidentialGossipService::queue_direct(Round now, const sim::Rumor& rumor) {
-  auto body = std::make_shared<DirectRumorPayload>();
+  auto body = direct_pool_.acquire();
   body->rumor = rumor;
   rumor.dest.for_each([&](std::uint32_t q) {
     if (q == self_) return;

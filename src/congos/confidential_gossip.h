@@ -13,10 +13,11 @@
 #pragma once
 
 #include <functional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_map.h"
+#include "common/flat_set.h"
+#include "common/pool.h"
 #include "common/rng.h"
 #include "congos/config.h"
 #include "congos/fragment.h"
@@ -96,7 +97,7 @@ class ConfidentialGossipService {
   struct StoreEntry {
     GroupIndex num_groups = 0;
     Round expires_at = 0;
-    std::unordered_map<GroupIndex, coding::Bytes> parts;
+    FlatMap<GroupIndex, coding::Bytes> parts;
   };
   /// Per-rumor confirmation matrix: partition x group -> destinations known
   /// to have been sent that group's fragment.
@@ -110,11 +111,12 @@ class ConfidentialGossipService {
   sim::DeliveryListener* listener_;
   Hooks hooks_;
 
-  std::unordered_map<RumorUid, CacheEntry> cache_;
-  std::unordered_map<RumorUid, ConfirmMatrix> confirm_;
-  std::unordered_map<StoreKey, StoreEntry, StoreKeyHash> store_;
-  std::unordered_set<RumorUid> delivered_;
+  FlatMap<RumorUid, CacheEntry> cache_;
+  FlatMap<RumorUid, ConfirmMatrix> confirm_;
+  FlatMap<StoreKey, StoreEntry, StoreKeyHash> store_;
+  FlatSet<RumorUid> delivered_;
   std::vector<sim::Envelope> pending_direct_;
+  PayloadPool<DirectRumorPayload> direct_pool_;
   CgCounters counters_;
   Round last_gc_ = 0;
 

@@ -78,6 +78,8 @@ struct ProxyRequestPayload final : sim::Payload {
     for (const auto& f : fragments) total += core::wire_size(f);
     return total;
   }
+
+  void reuse() { fragments.clear(); }  // PayloadPool recycle hook
 };
 
 /// Proxy[l] acknowledgement (Fig. 9 last iteration round).
@@ -87,6 +89,8 @@ struct ProxyAckPayload final : sim::Payload {
   Round dline = 0;
 
   std::size_t wire_size() const override { return 8; }
+
+  void reuse() {}  // PayloadPool recycle hook
 };
 
 /// GroupDistribution[l] "partials": fragments sent to a process in their
@@ -104,6 +108,8 @@ struct PartialsPayload final : sim::Payload {
     for (const auto& f : fragments) total += core::wire_size(f);
     return total;
   }
+
+  void reuse() { fragments.clear(); }  // PayloadPool recycle hook
 };
 
 /// ConfidentialGossip's direct fallback ("shoot", Fig. 8 line 50): the whole
@@ -115,6 +121,8 @@ struct DirectRumorPayload final : sim::Payload {
   sim::Rumor rumor;
 
   std::size_t wire_size() const override { return sim::wire_size(rumor); }
+
+  void reuse() {}  // PayloadPool recycle hook; `rumor` is reassigned on reuse
 };
 
 // ---------------------------------------------------------------------------

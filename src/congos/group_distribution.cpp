@@ -71,33 +71,42 @@ void GroupDistributionService::distribute(Round now, sim::Sender& out) {
   std::erase_if(partials_,
                 [now](const Fragment& f) { return f.meta.expires_at < now; });
 
-  // Destinations still needing at least one of our fragments.
-  std::unordered_map<ProcessId, std::vector<const Fragment*>> needed;
+  // Destinations still needing at least one of our fragments. The map and
+  // its per-target lists are per-instance scratch: cleared (capacity kept)
+  // on every call rather than reallocated.
+  needed_index_.clear();
+  std::uint32_t used = 0;
   for (const auto& frag : partials_) {
     frag.meta.dest.for_each([&](std::uint32_t q) {
       if (hitset_.contains(Hit{q, frag.meta.key.rumor})) return;
-      needed[q].push_back(&frag);
+      auto [slot, inserted] = needed_index_.try_emplace(q, 0);
+      if (inserted) {
+        if (used == needed_lists_.size()) needed_lists_.emplace_back();
+        needed_lists_[used].clear();
+        slot->second = used++;
+      }
+      needed_lists_[slot->second].push_back(&frag);
     });
   }
-  if (needed.empty()) return;
+  if (needed_index_.empty()) return;
 
-  std::vector<ProcessId> candidates;
-  candidates.reserve(needed.size());
-  for (const auto& [q, _] : needed) candidates.push_back(q);
-  std::sort(candidates.begin(), candidates.end());  // determinism
+  candidates_.clear();
+  candidates_.reserve(needed_index_.size());
+  for (const auto& [q, _] : needed_index_) candidates_.push_back(q);
+  std::sort(candidates_.begin(), candidates_.end());  // determinism
 
   const std::uint64_t fanout =
       service_fanout(part_->n(), dline_, collaborators_.count(), *cfg_);
   const auto k =
-      static_cast<std::uint32_t>(std::min<std::uint64_t>(fanout, candidates.size()));
-  const auto picks = rng_->sample_without_replacement(
-      static_cast<std::uint32_t>(candidates.size()), k);
+      static_cast<std::uint32_t>(std::min<std::uint64_t>(fanout, candidates_.size()));
+  rng_->sample_without_replacement(static_cast<std::uint32_t>(candidates_.size()), k,
+                                   pick_scratch_);
 
-  for (auto idx : picks) {
-    const ProcessId target = candidates[idx];
-    auto msg = std::make_shared<PartialsPayload>();
+  for (auto idx : pick_scratch_) {
+    const ProcessId target = candidates_[idx];
+    auto msg = partials_pool_.acquire();
     msg->dline = dline_;
-    for (const Fragment* f : needed[target]) {
+    for (const Fragment* f : needed_lists_[needed_index_.find(target)->second]) {
       CONGOS_ASSERT_MSG(f->meta.dest.test(target),
                         "[GD:CONFIDENTIAL] target outside destination set");
       msg->fragments.push_back(*f);

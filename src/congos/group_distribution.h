@@ -19,10 +19,11 @@
 #pragma once
 
 #include <functional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_map.h"
+#include "common/flat_set.h"
+#include "common/pool.h"
 #include "common/rng.h"
 #include "congos/config.h"
 #include "congos/fragment.h"
@@ -85,10 +86,19 @@ class GroupDistributionService {
 
   std::vector<Fragment> waiting_;   // enqueued, not yet collected
   std::vector<Fragment> partials_;  // this block's fragments to distribute
-  std::unordered_set<FragmentKey, FragmentKeyHash> partial_keys_;
-  std::unordered_set<Hit, HitHash> hitset_;
+  FlatSet<FragmentKey, FragmentKeyHash> partial_keys_;
+  FlatSet<Hit, HitHash> hitset_;
   DynamicBitset collaborators_;
   bool status_active_ = false;
+
+  // Per-round scratch for distribute(), hoisted so the needed-map and its
+  // per-target lists keep their capacity between rounds instead of being
+  // reallocated each call (DESIGN.md section 9).
+  FlatMap<ProcessId, std::uint32_t> needed_index_;  // target -> slot in lists
+  std::vector<std::vector<const Fragment*>> needed_lists_;
+  std::vector<ProcessId> candidates_;
+  std::vector<std::uint32_t> pick_scratch_;
+  PayloadPool<PartialsPayload> partials_pool_;
 
   void begin_block(Round now);
   void distribute(Round now, sim::Sender& out);

@@ -112,7 +112,14 @@ void ProxyService::send_requests(Round now, sim::Sender& out) {
   if (!status_active_) return;
   const std::uint64_t fanout =
       service_fanout(part_->n(), dline_, collaborators_.count(), *cfg_);
-  for (auto& [group, frags] : my_rumors_) {
+  // Iterate groups in sorted order: each unsatisfied group consumes RNG
+  // draws, so the iteration order is part of the deterministic trace and
+  // must not depend on hash-container bucket layout.
+  request_groups_.clear();
+  for (const auto& [g, _] : my_rumors_) request_groups_.push_back(g);
+  std::sort(request_groups_.begin(), request_groups_.end());
+  for (const GroupIndex group : request_groups_) {
+    auto& frags = my_rumors_.find(group)->second;
     if (group_satisfied_[group]) continue;
     // Drop expired fragments.
     std::erase_if(frags, [now](const Fragment& f) { return f.meta.expires_at < now; });
@@ -127,7 +134,7 @@ void ProxyService::send_requests(Round now, sim::Sender& out) {
         std::min<std::uint64_t>(fanout, candidates.size()));
     const auto picks = rng_->sample_without_replacement(
         static_cast<std::uint32_t>(candidates.size()), k);
-    auto req = std::make_shared<ProxyRequestPayload>();
+    auto req = req_pool_.acquire();
     req->dline = dline_;
     req->fragments = frags;
     auto& targets = outstanding_[group];
@@ -171,7 +178,7 @@ void ProxyService::send_acks(Round /*now*/, sim::Sender& out) {
   requesters_to_ack_.erase(
       std::unique(requesters_to_ack_.begin(), requesters_to_ack_.end()),
       requesters_to_ack_.end());
-  auto ack = std::make_shared<ProxyAckPayload>();
+  auto ack = ack_pool_.acquire();
   ack->dline = dline_;
   for (ProcessId r : requesters_to_ack_) {
     out.send(sim::Envelope{self_, r,

@@ -23,10 +23,11 @@
 #pragma once
 
 #include <functional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_map.h"
+#include "common/flat_set.h"
+#include "common/pool.h"
 #include "common/rng.h"
 #include "congos/config.h"
 #include "congos/fragment.h"
@@ -86,23 +87,30 @@ class ProxyService {
   // Requester-side state.
   std::vector<Fragment> waiting_;  // enqueued since block start
   /// Fragments to place, keyed by target group.
-  std::unordered_map<GroupIndex, std::vector<Fragment>> my_rumors_;
-  std::unordered_map<GroupIndex, bool> group_satisfied_;
+  FlatMap<GroupIndex, std::vector<Fragment>> my_rumors_;
+  FlatMap<GroupIndex, bool> group_satisfied_;
+  /// Scratch: sorted group keys for the send_requests() pass (iteration
+  /// order feeds RNG draws, so it must be bucket-layout independent).
+  std::vector<GroupIndex> request_groups_;
   bool status_active_ = false;
   DynamicBitset failed_proxies_;
   DynamicBitset collaborators_;
   /// Requests outstanding in the current iteration, keyed by group.
-  std::unordered_map<GroupIndex, std::vector<ProcessId>> outstanding_;
+  FlatMap<GroupIndex, std::vector<ProcessId>> outstanding_;
   DynamicBitset acks_received_;
+
+  // Recycled wire payloads (DESIGN.md section 9).
+  PayloadPool<ProxyRequestPayload> req_pool_;
+  PayloadPool<ProxyAckPayload> ack_pool_;
 
   // Proxy-side state.
   std::vector<Fragment> proxy_buffer_;  // fragments cached for my own group
-  std::unordered_set<FragmentKey, FragmentKeyHash> buffered_keys_;
+  FlatSet<FragmentKey, FragmentKeyHash> buffered_keys_;
   std::vector<ProcessId> requesters_to_ack_;
 
   // Collector state.
   std::vector<Fragment> partial_rumors_;  // my-group fragments from shares
-  std::unordered_set<FragmentKey, FragmentKeyHash> partial_keys_;
+  FlatSet<FragmentKey, FragmentKeyHash> partial_keys_;
 
   void begin_block(Round now);
   void settle_acks();

@@ -65,6 +65,8 @@ void ContinuousGossipService::reset(Round now) {
   sorted_gids_.clear();
   pending_acks_.clear();
   pending_pulls_.clear();
+  batch_.reset();
+  batch_dirty_ = true;
   epoch_start_ = now;
   counter_ = 0;
 }
@@ -106,6 +108,7 @@ void ContinuousGossipService::accept(Round now, const GossipRumor& r) {
   if (r.deadline_at < now) return;  // expired in flight
   auto [it, inserted] = known_.try_emplace(r.gid);
   if (!inserted) return;  // already known
+  batch_dirty_ = true;
   sorted_gids_.insert(
       std::lower_bound(sorted_gids_.begin(), sorted_gids_.end(), r.gid), r.gid);
   Tracked& t = it->second;
@@ -131,6 +134,7 @@ void ContinuousGossipService::purge_expired(Round now) {
     CONGOS_ASSERT_MSG(it != known_.end(), "rumor index out of sync with known set");
     if (it->second.rumor.deadline_at < now) {
       known_.erase(it);
+      batch_dirty_ = true;
     } else {
       *keep++ = gid;
     }
@@ -138,21 +142,43 @@ void ContinuousGossipService::purge_expired(Round now) {
   sorted_gids_.erase(keep, sorted_gids_.end());
 }
 
+const std::shared_ptr<GossipMsg>& ContinuousGossipService::active_batch() {
+  if (batch_dirty_ || !batch_) {
+    if (!batch_ || batch_.use_count() > 1) {
+      // Someone (an inbox mid-round, a snapshot, a recorder) still reads the
+      // old object: leave it alone and draw a fresh one; the old batch
+      // returns to the pool when its last reader drops it.
+      batch_ = msg_pool_.acquire();
+    }
+    // Rebuild in place, reusing each slot's destination-bitset and body
+    // buffers via copy-assignment (a cleared slot would free them).
+    auto& rumors = batch_->rumors;
+    const std::size_t m = sorted_gids_.size();
+    if (rumors.size() > m) rumors.resize(m);
+    rumors.reserve(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      const GossipRumor& r = known_.find(sorted_gids_[i])->second.rumor;
+      if (i < rumors.size()) {
+        rumors[i] = r;
+      } else {
+        rumors.push_back(r);
+      }
+    }
+    // The memo is keyed on the rumor count, which an in-place rebuild can
+    // leave unchanged while contents differ.
+    batch_->reset_wire_memo();
+    batch_dirty_ = false;
+  }
+  return batch_;
+}
+
 void ContinuousGossipService::send_phase(Round now, sim::Sender& out) {
   purge_expired(now);
 
   // All same-round recipients (pull repliers, push targets, expander
-  // neighbors) get the same batch of active rumors in gid order, so build it
-  // once and share the payload; it is immutable once sent.
-  std::shared_ptr<GossipMsg> batch;
-  auto active_batch = [&]() -> const std::shared_ptr<GossipMsg>& {
-    if (!batch) {
-      batch = std::make_shared<GossipMsg>();
-      batch->rumors.reserve(sorted_gids_.size());
-      for (auto gid : sorted_gids_) batch->rumors.push_back(known_.find(gid)->second.rumor);
-    }
-    return batch;
-  };
+  // neighbors) share one batch of active rumors in gid order (see
+  // active_batch(): the payload object itself persists across rounds and is
+  // only rebuilt when the active set changed).
 
   // Guaranteed mode: flush receipt acks accumulated since the last round.
   if (cfg_.guaranteed && !pending_acks_.empty()) {
@@ -163,8 +189,8 @@ void ContinuousGossipService::send_phase(Round now, sim::Sender& out) {
     std::sort(origins.begin(), origins.end());
     for (ProcessId origin : origins) {
       if (!filter_.allows(origin)) continue;
-      auto ack = std::make_shared<GossipAck>();
-      ack->gids = pending_acks_[origin];
+      auto ack = ack_pool_.acquire();
+      ack->gids = pending_acks_.find(origin)->second;
       out.send(sim::Envelope{self_, origin, cfg_.tag, std::move(ack)});
     }
     pending_acks_.clear();
@@ -189,8 +215,7 @@ void ContinuousGossipService::send_phase(Round now, sim::Sender& out) {
     pending_pulls_.clear();
     const ProcessId target = peers_[rng_->next_below(peers_.size())];
     if (filter_.allows(target)) {
-      out.send(sim::Envelope{self_, target, cfg_.tag,
-                             std::make_shared<GossipPull>()});
+      out.send(sim::Envelope{self_, target, cfg_.tag, pull_pool_.acquire()});
     }
   }
 
@@ -207,9 +232,9 @@ void ContinuousGossipService::send_phase(Round now, sim::Sender& out) {
     // kEpidemicPush and the push half of kPushPull.
     const auto k = static_cast<std::uint32_t>(
         std::min<std::size_t>(static_cast<std::size_t>(cfg_.fanout), peers_.size()));
-    const auto picks =
-        rng_->sample_without_replacement(static_cast<std::uint32_t>(peers_.size()), k);
-    for (auto idx : picks) {
+    rng_->sample_without_replacement(static_cast<std::uint32_t>(peers_.size()), k,
+                                     pick_scratch_);
+    for (auto idx : pick_scratch_) {
       const ProcessId target = peers_[idx];
       if (!filter_.allows(target)) continue;
       out.send(sim::Envelope{self_, target, cfg_.tag, active_batch()});
@@ -223,7 +248,7 @@ void ContinuousGossipService::send_phase(Round now, sim::Sender& out) {
       if (t.rumor.origin != self_ || t.fallback_sent) continue;
       if (now < t.rumor.deadline_at - 1) continue;
       t.fallback_sent = true;
-      auto single = std::make_shared<GossipMsg>();
+      auto single = msg_pool_.acquire();
       single->rumors.push_back(t.rumor);
       t.rumor.dest.for_each([&](std::uint32_t q) {
         if (q == self_ || t.acked.test(q)) return;

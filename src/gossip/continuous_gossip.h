@@ -27,10 +27,11 @@
 #pragma once
 
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/bitset.h"
+#include "common/flat_map.h"
+#include "common/pool.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "gossip/filter.h"
@@ -75,6 +76,17 @@ struct GossipMsg final : sim::Payload {
     return cached_wire_size_;
   }
 
+  /// PayloadPool recycle hook: a recycled message starts empty.
+  void reuse() {
+    rumors.clear();
+    reset_wire_memo();
+  }
+
+  /// Must be called after any in-place mutation of `rumors` (the batch
+  /// rebuild reuses one message object across rounds): the count-keyed memo
+  /// cannot see content changes that keep the rumor count constant.
+  void reset_wire_memo() const { cached_for_count_ = SIZE_MAX; }
+
  private:
   mutable std::size_t cached_wire_size_ = 0;
   // Memo is invalidated when the rumor count changes; mutating a rumor
@@ -90,6 +102,8 @@ struct GossipAck final : sim::Payload {
   std::vector<std::uint64_t> gids;
 
   std::size_t wire_size() const override { return 4 + 8 * gids.size(); }
+
+  void reuse() { gids.clear(); }
 };
 
 /// Dissemination strategy.
@@ -115,6 +129,8 @@ struct GossipPull final : sim::Payload {
   GossipPull() : sim::Payload(sim::PayloadKind::kGossipPull) {}
 
   std::size_t wire_size() const override { return 4; }
+
+  void reuse() {}  // stateless; PayloadPool recycle hook
 };
 
 struct GossipConfig {
@@ -181,7 +197,7 @@ class ContinuousGossipService {
 
   std::vector<ProcessId> peers_;      // universe minus self, for sampling
   std::vector<ProcessId> neighbors_;  // expander out-neighbors (kExpander)
-  std::unordered_map<std::uint64_t, Tracked> known_;
+  FlatMap<std::uint64_t, Tracked> known_;
   /// Sorted gids of `known_`, maintained incrementally by accept() /
   /// purge_expired() / reset(). Invariant: `sorted_gids_` holds exactly the
   /// keys of `known_`, in ascending order. This replaces the per-round
@@ -190,15 +206,31 @@ class ContinuousGossipService {
   /// hence traces) deterministic.
   std::vector<std::uint64_t> sorted_gids_;
   // acks to emit next send phase: origin -> gids (guaranteed mode)
-  std::unordered_map<ProcessId, std::vector<std::uint64_t>> pending_acks_;
+  FlatMap<ProcessId, std::vector<std::uint64_t>> pending_acks_;
   // pull requests to answer next send phase (kPushPull)
   std::vector<ProcessId> pending_pulls_;
   Round epoch_start_ = 0;
   std::uint64_t counter_ = 0;
 
+  // -- allocation-free round machinery (DESIGN.md section 9) ----------------
+  // The push batch persists across rounds. While the active rumor set is
+  // unchanged (batch_dirty_ == false) the very same payload object is
+  // re-sent; when it changes, the batch is rebuilt *in place* if this
+  // service holds the only reference (use_count() == 1, guaranteed in steady
+  // state because Network::end_round() drops every inbox reference), else a
+  // fresh object is drawn from the pool and the old one recycles itself once
+  // the last reader lets go.
+  PayloadPool<GossipMsg> msg_pool_;
+  PayloadPool<GossipAck> ack_pool_;
+  PayloadPool<GossipPull> pull_pool_;
+  std::shared_ptr<GossipMsg> batch_;
+  bool batch_dirty_ = true;
+  std::vector<std::uint32_t> pick_scratch_;  // push-target sample buffer
+
   std::uint64_t next_gid(Round now);
   void accept(Round now, const GossipRumor& r);
   void purge_expired(Round now);
+  const std::shared_ptr<GossipMsg>& active_batch();
 };
 
 }  // namespace congos::gossip

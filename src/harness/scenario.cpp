@@ -152,6 +152,10 @@ Round ScenarioRun::total_rounds() const {
 
 void ScenarioRun::run_until(Round r) {
   const Round stop = std::min(r, total_rounds());
+  if (stop > impl_->engine->now()) {
+    impl_->engine->stats().reserve_rounds(
+        static_cast<std::size_t>(stop - impl_->engine->now()));
+  }
   while (impl_->engine->now() < stop) impl_->engine->step();
 }
 

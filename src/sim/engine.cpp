@@ -58,6 +58,7 @@ void Engine::crash(ProcessId p, PartialDelivery policy) {
   lifecycle_event_this_round_[p] = true;
   alive_[p] = false;
   --alive_count_;
+  alive_ids_dirty_ = true;
   if (phase_ == Phase::kAfterSends && sent_this_round_[p]) {
     // Crash after sending: the adversary controls which in-flight messages
     // survive.
@@ -78,6 +79,7 @@ void Engine::restart(ProcessId p, PartialDelivery policy) {
   lifecycle_event_this_round_[p] = true;
   alive_[p] = true;
   ++alive_count_;
+  alive_ids_dirty_ = true;
   alive_since_[p] = now_;
   // Some of the messages sent to p this round may be lost (Section 2).
   in_filtered_[p] = true;
@@ -147,6 +149,7 @@ bool Engine::restore_checkpoint(const EngineCheckpoint& cp) {
   network_.restore_sent_total(cp.network_sent_total);
   alive_ = cp.alive;
   alive_count_ = cp.alive_count;
+  alive_ids_dirty_ = true;
   alive_since_ = cp.alive_since;
   return true;
 }
@@ -157,13 +160,27 @@ void Engine::begin_round() {
   std::fill(out_filtered_.begin(), out_filtered_.end(), false);
   std::fill(in_filtered_.begin(), in_filtered_.end(), false);
   std::fill(sent_this_round_.begin(), sent_this_round_.end(), false);
-  // Dead processes never receive.
+  // Dead processes never receive. With everyone alive (the common case)
+  // there is nothing to mark.
+  if (alive_count_ == n()) return;
   for (std::size_t p = 0; p < n(); ++p) {
     if (!alive_[p]) {
       in_filtered_[p] = true;
       in_policy_[p] = PartialDelivery::kDropAll;
     }
   }
+}
+
+const std::vector<ProcessId>& Engine::alive_ids() {
+  if (alive_ids_dirty_) {
+    alive_ids_.clear();
+    alive_ids_.reserve(alive_count_);
+    for (std::size_t p = 0; p < n(); ++p) {
+      if (alive_[p]) alive_ids_.push_back(static_cast<ProcessId>(p));
+    }
+    alive_ids_dirty_ = false;
+  }
+  return alive_ids_;
 }
 
 void Engine::step() {
@@ -182,10 +199,9 @@ void Engine::step() {
   // by begin_round()).
 
   phase_ = Phase::kSending;
-  for (std::size_t p = 0; p < n(); ++p) {
-    if (!alive_[p]) continue;
+  for (const ProcessId p : alive_ids()) {
     sent_this_round_[p] = true;
-    NetworkSender sender(network_, static_cast<ProcessId>(p));
+    NetworkSender sender(network_, p);
     processes_[p]->send_phase(now_, sender);
   }
 
@@ -198,9 +214,9 @@ void Engine::step() {
                    observers_.empty() ? nullptr : &fanout);
 
   phase_ = Phase::kReceiving;
-  for (std::size_t p = 0; p < n(); ++p) {
-    if (!alive_[p]) continue;
-    processes_[p]->receive_phase(now_, network_.inbox(static_cast<ProcessId>(p)));
+  // after_sends may have crashed processes: re-query the alive list.
+  for (const ProcessId p : alive_ids()) {
+    processes_[p]->receive_phase(now_, network_.inbox(p));
   }
 
   phase_ = Phase::kRoundEnd;
@@ -215,6 +231,7 @@ void Engine::step() {
 }
 
 void Engine::run(Round rounds) {
+  stats_.reserve_rounds(static_cast<std::size_t>(rounds));
   for (Round i = 0; i < rounds; ++i) step();
 }
 

@@ -210,6 +210,11 @@ class Engine {
   std::vector<bool> alive_;
   std::size_t alive_count_ = 0;     // invariant: == count of set bits in alive_
   std::vector<Round> alive_since_;  // round the current "alive" run began
+  /// Ascending ids of alive processes, rebuilt lazily after lifecycle events
+  /// so the send/receive loops skip dead processes without scanning alive_
+  /// (and, in the common all-alive case, without any rebuild at all).
+  std::vector<ProcessId> alive_ids_;
+  bool alive_ids_dirty_ = true;
   std::vector<bool> lifecycle_event_this_round_;
   std::vector<bool> injected_this_round_;
 
@@ -224,6 +229,7 @@ class Engine {
   class DeliveryFanout;
 
   void begin_round();
+  const std::vector<ProcessId>& alive_ids();
   void notify_crash(ProcessId p, PartialDelivery policy);
   void notify_restart(ProcessId p, PartialDelivery policy);
 };

@@ -32,6 +32,19 @@ void Network::deliver(const std::vector<PartialDelivery>& out_policy,
                       const std::vector<PartialDelivery>& in_policy,
                       const std::vector<bool>& in_filtered, Rng& rng,
                       DeliveryObserver* observer) {
+  // Keep a headroom margin above the global high-water mark. Per-round
+  // inbox sizes are a binomial tail: records creep past the previous
+  // maximum by one or two, and a record round would otherwise pay a
+  // push_back reallocation. Keying on the *global* maximum (all inboxes
+  // draw from the same distribution) makes the bound converge within a few
+  // rounds instead of creeping per inbox, and the margin check plus
+  // geometric growth keeps re-reservations O(log) over the whole run -
+  // steady-state rounds stay allocation-free (tests/test_alloc.cpp pins
+  // this).
+  const std::size_t want = 2 * inbox_high_water_ + 16;
+  for (std::size_t p = 0; p < n_; ++p) {
+    if (inboxes_[p].capacity() < inbox_high_water_ + 8) inboxes_[p].reserve(want);
+  }
   for (auto& e : pending_) {
     bool keep = true;
     if (out_filtered[e.from]) {
@@ -56,7 +69,11 @@ void Network::deliver(const std::vector<PartialDelivery>& out_policy,
 }
 
 void Network::end_round() {
-  for (auto& box : inboxes_) box.clear();
+  for (std::size_t p = 0; p < n_; ++p) {
+    auto& box = inboxes_[p];
+    if (box.size() > inbox_high_water_) inbox_high_water_ = box.size();
+    box.clear();
+  }
 }
 
 }  // namespace congos::sim

@@ -82,6 +82,11 @@ class Network {
   // rounds, so after warm-up the hot path performs no queue reallocation.
   std::vector<Envelope> pending_;
   std::vector<std::vector<Envelope>> inboxes_ = std::vector<std::vector<Envelope>>(n_);
+  /// Global high-water mark of per-inbox messages received in a round.
+  /// deliver() pre-reserves every inbox against it (with headroom), so after
+  /// ramp-up a record-setting round almost never reallocates (DESIGN.md
+  /// section 9).
+  std::size_t inbox_high_water_ = 0;
   std::uint64_t sent_total_ = 0;
 };
 

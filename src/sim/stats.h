@@ -88,6 +88,14 @@ class MessageStats {
 
   void reset();
 
+  /// Pre-size the per-round histories for `rounds` additional rounds so
+  /// steady-state end_round() calls never reallocate (DESIGN.md section 9).
+  void reserve_rounds(std::size_t rounds) {
+    per_round_.reserve(per_round_.size() + rounds);
+    per_round_by_kind_.reserve(per_round_by_kind_.size() + rounds);
+    per_round_bytes_.reserve(per_round_bytes_.size() + rounds);
+  }
+
  private:
   std::array<std::uint64_t, kNumServiceKinds> current_{};
   std::array<std::uint64_t, kNumServiceKinds> totals_{};

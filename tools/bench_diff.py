@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Bench-regression gate over the BENCH_engine.json perf trajectory.
+
+The trajectory file is JSON-lines: one record per benchmark per
+check_bench.sh invocation, each carrying a git rev and a rounds_per_sec
+counter. This script groups records by rev *in file order*, takes the two
+most recent rev groups, and compares rounds_per_sec per benchmark name.
+
+Exit status:
+  0  no benchmark regressed by more than the threshold (default 10%),
+     or fewer than two rev groups exist (nothing to compare),
+     or --informational was given.
+  1  at least one benchmark regressed beyond the threshold.
+  2  usage / malformed input.
+
+Benchmarks present in only one of the two groups are reported and skipped;
+so are pairs whose bench_scale context differs (a reduced-scale CI record
+is not comparable to a full-scale local one).
+
+Usage: tools/bench_diff.py [--file BENCH_engine.json] [--threshold 0.10]
+                           [--informational] [--self-test]
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+
+def load_records(path):
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise SystemExit(f"error: {path}:{lineno}: bad JSON line: {e}")
+            if "rev" not in rec or "name" not in rec:
+                raise SystemExit(f"error: {path}:{lineno}: record lacks rev/name")
+            records.append(rec)
+    return records
+
+
+def group_by_rev(records):
+    """Rev groups in file (= chronological) order; a rev re-appearing later
+    starts a fresh group, so re-running on the same commit compares the two
+    runs rather than silently merging them."""
+    groups = []
+    for rec in records:
+        if not groups or groups[-1][0] != rec["rev"]:
+            groups.append((rec["rev"], []))
+        groups[-1][1].append(rec)
+    return groups
+
+
+def compare(base_recs, head_recs, threshold, out=sys.stdout):
+    """Returns the list of regressed benchmark names."""
+    base = {r["name"]: r for r in base_recs}
+    head = {r["name"]: r for r in head_recs}
+    regressed = []
+    for name in sorted(set(base) | set(head)):
+        if name not in base or name not in head:
+            where = "head" if name not in base else "base"
+            print(f"  {name}: only in {where} group, skipped", file=out)
+            continue
+        b, h = base[name], head[name]
+        if b.get("bench_scale", "default") != h.get("bench_scale", "default"):
+            print(
+                f"  {name}: bench_scale mismatch "
+                f"({b.get('bench_scale')} vs {h.get('bench_scale')}), skipped",
+                file=out,
+            )
+            continue
+        try:
+            b_rps = float(b["rounds_per_sec"])
+            h_rps = float(h["rounds_per_sec"])
+        except (KeyError, TypeError, ValueError):
+            print(f"  {name}: missing rounds_per_sec, skipped", file=out)
+            continue
+        if b_rps <= 0:
+            print(f"  {name}: non-positive baseline, skipped", file=out)
+            continue
+        ratio = h_rps / b_rps
+        verdict = "ok"
+        if ratio < 1.0 - threshold:
+            verdict = "REGRESSED"
+            regressed.append(name)
+        print(
+            f"  {name}: {b_rps:.3f} -> {h_rps:.3f} rounds/sec "
+            f"({(ratio - 1.0) * 100.0:+.1f}%) {verdict}",
+            file=out,
+        )
+    return regressed
+
+
+def run(path, threshold, informational):
+    if not os.path.exists(path):
+        print(f"bench_diff: {path} not found; nothing to compare")
+        return 0
+    groups = group_by_rev(load_records(path))
+    if len(groups) < 2:
+        print(f"bench_diff: fewer than two rev groups in {path}; nothing to compare")
+        return 0
+    (base_rev, base_recs), (head_rev, head_recs) = groups[-2], groups[-1]
+    print(f"bench_diff: {base_rev} (base) vs {head_rev} (head), "
+          f"threshold {threshold * 100:.0f}%")
+    regressed = compare(base_recs, head_recs, threshold)
+    if regressed:
+        print(f"bench_diff: {len(regressed)} benchmark(s) regressed "
+              f">{threshold * 100:.0f}%: {', '.join(regressed)}")
+        if informational:
+            print("bench_diff: informational mode, not failing")
+            return 0
+        return 1
+    print("bench_diff: no regression")
+    return 0
+
+
+def self_test():
+    """Synthetic-trajectory checks, including the mandatory negative test:
+    a >10% rounds_per_sec drop must exit nonzero."""
+
+    def trajectory(*lines):
+        fd, path = tempfile.mkstemp(suffix=".json")
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            for rec in lines:
+                fh.write(json.dumps(rec) + "\n")
+        return path
+
+    def rec(rev, name, rps, scale="default"):
+        return {"rev": rev, "name": name, "rounds_per_sec": rps,
+                "bench_scale": scale}
+
+    failures = []
+
+    def check(label, got, want):
+        if got != want:
+            failures.append(f"{label}: exit {got}, want {want}")
+
+    # >10% regression on one benchmark -> fail.
+    p = trajectory(rec("aaa", "BM_X/256", 100.0), rec("aaa", "BM_X/1024", 10.0),
+                   rec("bbb", "BM_X/256", 101.0), rec("bbb", "BM_X/1024", 8.5))
+    check("regression", run(p, 0.10, informational=False), 1)
+    check("regression-informational", run(p, 0.10, informational=True), 0)
+    os.unlink(p)
+
+    # 5% drop is inside the threshold -> pass.
+    p = trajectory(rec("aaa", "BM_X/256", 100.0), rec("bbb", "BM_X/256", 95.0))
+    check("within-threshold", run(p, 0.10, informational=False), 0)
+    os.unlink(p)
+
+    # Improvement -> pass.
+    p = trajectory(rec("aaa", "BM_X/256", 100.0), rec("bbb", "BM_X/256", 160.0))
+    check("improvement", run(p, 0.10, informational=False), 0)
+    os.unlink(p)
+
+    # Single rev group -> nothing to compare -> pass.
+    p = trajectory(rec("aaa", "BM_X/256", 100.0))
+    check("single-group", run(p, 0.10, informational=False), 0)
+    os.unlink(p)
+
+    # Scale mismatch is skipped, not compared -> pass.
+    p = trajectory(rec("aaa", "BM_X/256", 100.0),
+                   rec("bbb", "BM_X/256", 10.0, scale="ci-smoke"))
+    check("scale-mismatch", run(p, 0.10, informational=False), 0)
+    os.unlink(p)
+
+    # Same rev re-appearing later forms a fresh group (re-run comparison).
+    p = trajectory(rec("aaa", "BM_X/256", 100.0), rec("bbb", "BM_X/256", 99.0),
+                   rec("aaa", "BM_X/256", 50.0))
+    check("rerun-same-rev", run(p, 0.10, informational=False), 1)
+    os.unlink(p)
+
+    if failures:
+        for f in failures:
+            print(f"self-test FAILED: {f}", file=sys.stderr)
+        return 1
+    print("bench_diff self-test: all cases passed")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--file", default="BENCH_engine.json",
+                    help="JSON-lines trajectory file (default: BENCH_engine.json)")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="max tolerated fractional drop (default: 0.10)")
+    ap.add_argument("--informational", action="store_true",
+                    help="report regressions but always exit 0")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run built-in synthetic checks and exit")
+    args = ap.parse_args()
+    if not 0.0 < args.threshold < 1.0:
+        ap.error("--threshold must be in (0, 1)")
+    if args.self_test:
+        return self_test()
+    return run(args.file, args.threshold, args.informational)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,11 +37,15 @@ fi
 # and the bench scale, so trajectory lines are comparable across machines.
 THREADS="${CONGOS_BENCH_THREADS:-$(nproc 2>/dev/null || echo unknown)}"
 SCALE="${CONGOS_BENCH_SCALE:-default}"
+# CI runs a reduced-scale smoke (e.g. only /256); records made under a
+# non-default filter should set CONGOS_BENCH_SCALE too, so bench_diff.py
+# never compares them against full-scale records.
+FILTER="${CONGOS_BENCH_FILTER:-BM_HotPathRounds}"
 
 TMP_JSON="$(mktemp)"
 trap 'rm -f "$TMP_JSON"' EXIT
 
-"$BENCH_BIN" --benchmark_filter='BM_HotPathRounds' \
+"$BENCH_BIN" --benchmark_filter="$FILTER" \
   --benchmark_out="$TMP_JSON" --benchmark_out_format=json \
   --benchmark_format=console
 
@@ -65,3 +69,16 @@ jq -c --arg rev "$GIT_REV" --arg sha "$GIT_SHA" --argjson dirty "$GIT_DIRTY" \
 
 echo "appended $(jq '.benchmarks | length' "$TMP_JSON") benchmark record(s) to $OUT_FILE:"
 tail -n 2 "$OUT_FILE"
+
+# Regression gate: compare the two most recent rev groups in the trajectory.
+# CONGOS_BENCH_DIFF_MODE: strict (default, >10% drop fails), informational
+# (report only), off.
+DIFF_MODE="${CONGOS_BENCH_DIFF_MODE:-strict}"
+SCRIPT_DIR="$(dirname "$0")"
+case "$DIFF_MODE" in
+  off) ;;
+  informational)
+    python3 "$SCRIPT_DIR/bench_diff.py" --file "$OUT_FILE" --informational ;;
+  *)
+    python3 "$SCRIPT_DIR/bench_diff.py" --file "$OUT_FILE" ;;
+esac
