@@ -121,7 +121,9 @@ void ConfidentialityAuditor::on_envelope_delivered(const sim::Envelope& e, Round
     case sim::PayloadKind::kGossipAck:
     case sim::PayloadKind::kProxyAck:
     case sim::PayloadKind::kStrongAck:
-      return;  // metadata only
+    case sim::PayloadKind::kPartialsAck:
+    case sim::PayloadKind::kDirectAck:
+      return;  // metadata only (acks carry deadlines/uids, never rumor data)
     default:
       // Unknown payload type: count it; protocols with private metadata
       // payloads land here harmlessly, but a nonzero count in a CONGOS-only

@@ -15,10 +15,36 @@
 #include <unordered_map>
 #include <vector>
 
+#include "congos/config.h"
 #include "sim/engine.h"
+#include "sim/faults.h"
 #include "sim/process.h"
 
 namespace congos::audit {
+
+/// Fault/retransmission delivery contract (DESIGN.md section 10).
+///
+/// Against a lossy link the deterministic QoD guarantee (Definition 1)
+/// survives only when the stack retransmits and the fault mix stays within
+/// bounds; outside the bounds the auditor must *detect* violations - the
+/// report below never relaxes its classification based on the fault config.
+/// Per-envelope drop probability up to which retransmission restores QoD.
+inline constexpr double kGuaranteedLossThreshold = 0.10;
+
+/// True iff Definition 1 is still owed under `faults`: faults off, or
+/// retransmission on with drop <= kGuaranteedLossThreshold, no partitions,
+/// and every possible link delay budgeted for (max_delay <= max_link_delay).
+inline bool delivery_guaranteed(const sim::FaultConfig& faults,
+                                const core::RetransmitConfig& retransmit) {
+  if (!faults.enabled()) return true;
+  if (!retransmit.enabled) return false;
+  if (faults.partitions_enabled()) return false;
+  if (faults.drop_rate > kGuaranteedLossThreshold) return false;
+  if (faults.delay_rate > 0.0 && faults.max_delay > retransmit.max_link_delay) {
+    return false;
+  }
+  return true;
+}
 
 struct QodReport {
   std::uint64_t rumors = 0;

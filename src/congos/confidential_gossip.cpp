@@ -4,6 +4,7 @@
 
 #include "common/assert.h"
 #include "common/math.h"
+#include "congos/retransmit.h"
 
 namespace congos::core {
 
@@ -42,16 +43,53 @@ void ConfidentialGossipService::deliver_local(Round now, RumorUid uid,
   }
 }
 
-void ConfidentialGossipService::queue_direct(Round now, const sim::Rumor& rumor) {
+void ConfidentialGossipService::queue_direct(Round now, const sim::Rumor& rumor,
+                                             const DynamicBitset* skip) {
   auto body = direct_pool_.acquire();
   body->rumor = rumor;
   rumor.dest.for_each([&](std::uint32_t q) {
     if (q == self_) return;
+    if (skip != nullptr && skip->test(q)) return;
     pending_direct_.push_back(sim::Envelope{
         self_, q, sim::ServiceTag{sim::ServiceKind::kFallback, 0}, body});
     ++counters_.shoot_messages;
   });
   (void)now;
+}
+
+bool ConfidentialGossipService::all_destinations_acked(const CacheEntry& entry) const {
+  bool all = true;
+  entry.rumor.dest.for_each([&](std::uint32_t q) {
+    if (q != self_ && !entry.acked.test(q)) all = false;
+  });
+  return all;
+}
+
+void ConfidentialGossipService::arm_fallback(CacheEntry& entry, Round now) {
+  if (!cfg_->retransmit.enabled) {
+    entry.next_shot = entry.shoot_at;  // classic fire-once shoot
+    return;
+  }
+  entry.acked = DynamicBitset(entry.rumor.dest.size());
+  const Round target = entry.shoot_at - cfg_->retransmit.max_link_delay;
+  entry.next_shot = retransmit_first(now + 1, target, cfg_->retransmit.budget);
+}
+
+void ConfidentialGossipService::fire_fallback(CacheEntry& entry, Round now) {
+  ++counters_.shoots;
+  if (!cfg_->retransmit.enabled) {
+    queue_direct(now, entry.rumor);
+    entry.confirmed = true;  // nothing more to do for this rumor
+    return;
+  }
+  queue_direct(now, entry.rumor, &entry.acked);
+  const Round target = entry.shoot_at - cfg_->retransmit.max_link_delay;
+  const Round next = retransmit_next(now, target);
+  if (next == kNoRound) {
+    entry.confirmed = true;  // schedule exhausted: the deadline is upon us
+  } else {
+    entry.next_shot = next;
+  }
 }
 
 void ConfidentialGossipService::inject(Round now, const sim::Rumor& rumor) {
@@ -63,13 +101,26 @@ void ConfidentialGossipService::inject(Round now, const sim::Rumor& rumor) {
     // Too-short deadline (paper: dline <= 48) or tau >= n/log^2 n
     // (Theorem 16 first case): send directly to the destination set.
     ++counters_.injected_direct;
-    queue_direct(now, rumor);
+    if (!cfg_->retransmit.enabled) {
+      queue_direct(now, rumor);
+      return;
+    }
+    // Lossy-link mode: the one direct burst is no longer a guarantee. Track
+    // the rumor like a fallback entry - send now, then retry unacked
+    // destinations on the deadline-aware schedule.
+    CacheEntry entry;
+    entry.rumor = rumor;
+    entry.shoot_at = now + rumor.deadline;
+    arm_fallback(entry, now);
+    queue_direct(now, rumor, &entry.acked);
+    cache_.emplace(rumor.uid, std::move(entry));
     return;
   }
 
   CacheEntry entry;
   entry.rumor = rumor;
   entry.shoot_at = now + rumor.deadline;
+  arm_fallback(entry, now);
   cache_.emplace(rumor.uid, std::move(entry));
 
   const Round expires_at = now + dline;
@@ -97,12 +148,12 @@ void ConfidentialGossipService::send_phase(Round now, sim::Sender& out) {
   for (auto& e : pending_direct_) out.send(std::move(e));
   pending_direct_.clear();
 
-  // Deadline fallback ("shoot"): send unconfirmed rumors directly.
+  // Deadline fallback ("shoot"): send unconfirmed rumors directly. With
+  // retransmission enabled the shoot starts early and re-fires until every
+  // destination acknowledged or the schedule runs out at the deadline.
   for (auto& [uid, entry] : cache_) {
-    if (entry.confirmed || entry.shoot_at != now) continue;
-    ++counters_.shoots;
-    queue_direct(now, entry.rumor);
-    entry.confirmed = true;  // nothing more to do for this rumor
+    if (entry.confirmed || entry.next_shot != now) continue;
+    fire_fallback(entry, now);
   }
   for (auto& e : pending_direct_) out.send(std::move(e));
   pending_direct_.clear();
@@ -140,7 +191,22 @@ void ConfidentialGossipService::on_partials(Round now, const PartialsPayload& pa
 void ConfidentialGossipService::on_direct(Round now, const DirectRumorPayload& direct) {
   CONGOS_ASSERT_MSG(direct.rumor.dest.test(self_),
                     "received a direct rumor while not in its destination set");
+  // Duplicate-safe: deliver_local() early-returns on an already-delivered
+  // uid, so late/duplicated copies and retransmissions are absorbed here.
   deliver_local(now, direct.rumor.uid, direct.rumor.data, false);
+}
+
+void ConfidentialGossipService::on_direct_ack(RumorUid uid, ProcessId from) {
+  auto it = cache_.find(uid);
+  if (it == cache_.end() || it->second.confirmed) return;
+  CacheEntry& entry = it->second;
+  if (entry.acked.size() == 0 || from >= entry.acked.size()) return;
+  if (entry.acked.test(from)) return;  // duplicate ack (dup faults / retries)
+  entry.acked.set(from);
+  if (all_destinations_acked(entry)) {
+    entry.confirmed = true;
+    ++counters_.confirmed;
+  }
 }
 
 void ConfidentialGossipService::add_fragment_for_reassembly(Round now,

@@ -73,6 +73,9 @@ class ConfidentialGossipService {
   void on_partials(Round now, const PartialsPayload& partials);
   /// Fallback direct rumor.
   void on_direct(Round now, const DirectRumorPayload& direct);
+  /// Receipt ack for a direct send (retransmission mode): `from` confirmed
+  /// the rumor, so the fallback stops re-firing towards it.
+  void on_direct_ack(RumorUid uid, ProcessId from);
   /// AllGossip distribution report (confirmation metadata).
   void on_report(Round now, const DistributionReportBody& report);
 
@@ -82,7 +85,15 @@ class ConfidentialGossipService {
   struct CacheEntry {
     sim::Rumor rumor;
     Round shoot_at = 0;
+    /// Next round the deadline fallback fires. Without retransmission this
+    /// equals shoot_at (the classic fire-once shoot); with it, the schedule
+    /// of congos/retransmit.h starts early and re-fires until every
+    /// destination acked or the rumor expired.
+    Round next_shot = kNoRound;
     bool confirmed = false;
+    /// Destinations that acknowledged a direct send (retransmission mode
+    /// only; empty otherwise).
+    DynamicBitset acked;
   };
   struct StoreKey {
     RumorUid uid;
@@ -122,7 +133,16 @@ class ConfidentialGossipService {
 
   void deliver_local(Round now, RumorUid uid, const coding::Bytes& data,
                      bool reassembled);
-  void queue_direct(Round now, const sim::Rumor& rumor);
+  /// Queues direct sends to the rumor's destinations; `skip` (may be null)
+  /// suppresses destinations that already acknowledged.
+  void queue_direct(Round now, const sim::Rumor& rumor,
+                    const DynamicBitset* skip = nullptr);
+  /// Arms entry.next_shot per the retransmission schedule (or the classic
+  /// fire-once shoot when retransmission is off).
+  void arm_fallback(CacheEntry& entry, Round now);
+  /// Fires one fallback attempt and advances/retires the schedule.
+  void fire_fallback(CacheEntry& entry, Round now);
+  bool all_destinations_acked(const CacheEntry& entry) const;
   void add_fragment_for_reassembly(Round now, const Fragment& frag);
   void check_confirmed(RumorUid uid);
   void gc(Round now);

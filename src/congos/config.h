@@ -14,6 +14,29 @@
 
 namespace congos::core {
 
+/// Ack/retransmit hardening for lossy links (DESIGN.md section 10). Off by
+/// default: the paper's reliable network needs none of it, and the golden
+/// traces pin the faults-off behavior. When enabled, Partials and direct
+/// fallback sends are acknowledged, the deadline fallback fires early and
+/// re-fires on a schedule whose gaps halve towards the deadline (see
+/// congos/retransmit.h), and GroupDistribution only counts a destination as
+/// "hit" once the destination acknowledged the partials - so confirmations
+/// stay truthful under message loss.
+struct RetransmitConfig {
+  bool enabled = false;
+  /// log2 of the fallback lead: the first direct shot fires 2^budget rounds
+  /// before the rumor expires, giving budget unacknowledged retries with
+  /// geometrically shrinking gaps. The retry count a rumor actually gets is
+  /// derived from its rounds-to-deadline (a shorter deadline affords fewer).
+  int budget = 3;
+  /// Worst-case link delay the protocol assumes (mirror FaultConfig::
+  /// max_delay): the fallback schedule targets deadline - max_link_delay so
+  /// even a maximally late final retry still lands in time.
+  Round max_link_delay = 0;
+
+  friend bool operator==(const RetransmitConfig&, const RetransmitConfig&) = default;
+};
+
 struct CongosConfig {
   /// Collusion tolerance tau (Section 6): rumors are split into tau+1
   /// fragments and partitions have tau+1 groups. tau = 1 is plain CONGOS
@@ -65,6 +88,9 @@ struct CongosConfig {
 
   /// Deterministic seed for the shared partition family.
   std::uint64_t partition_seed = 0x5eed0fc04605ULL;
+
+  /// Lossy-link hardening knobs (inert by default).
+  RetransmitConfig retransmit;
 };
 
 /// Per-process behaviour (Section 7, "Open questions: malicious users").

@@ -90,6 +90,7 @@ void CongosProcess::build_services() {
       std::move(hooks));
 
   instances_.clear();
+  pending_acks_.clear();  // queued acks are volatile state, lost on restart
 }
 
 CongosProcess::Instance& CongosProcess::instance(Round dline) {
@@ -161,6 +162,10 @@ void CongosProcess::inject(const sim::Rumor& rumor) {
 
 void CongosProcess::send_phase(Round now, sim::Sender& out) {
   now_ = now;
+  // Receipt acks queued during the previous receive phase go out first
+  // (retransmission mode; empty otherwise).
+  for (auto& a : pending_acks_) out.send(std::move(a));
+  pending_acks_.clear();
   cg_->send_phase(now, out);
   for (auto& [dline, inst] : instances_) {
     for (auto& p : inst.proxies) p->send_phase(now, out);
@@ -199,15 +204,42 @@ void CongosProcess::receive_phase(Round now, std::span<const sim::Envelope> inbo
         break;
       }
       case sim::ServiceKind::kGroupDistribution: {
-        CONGOS_ASSERT_MSG(e.body->kind() == sim::PayloadKind::kPartials,
-                          "unknown group-distribution payload");
-        cg_->on_partials(now, static_cast<const PartialsPayload&>(*e.body));
+        if (e.body->kind() == sim::PayloadKind::kPartials) {
+          const auto& partials = static_cast<const PartialsPayload&>(*e.body);
+          cg_->on_partials(now, partials);
+          if (cfg_->retransmit.enabled) {
+            auto ack = partials_ack_pool_.acquire();
+            ack->dline = partials.dline;
+            pending_acks_.push_back(sim::Envelope{
+                id(), e.from,
+                sim::ServiceTag{sim::ServiceKind::kGroupDistribution, e.tag.partition},
+                std::move(ack)});
+          }
+        } else if (e.body->kind() == sim::PayloadKind::kPartialsAck) {
+          const auto& ack = static_cast<const PartialsAckPayload&>(*e.body);
+          gd(ack.dline, e.tag.partition)->on_partials_ack(now, e.from);
+        } else {
+          CONGOS_ASSERT_MSG(false, "unknown group-distribution payload");
+        }
         break;
       }
       case sim::ServiceKind::kFallback: {
-        CONGOS_ASSERT_MSG(e.body->kind() == sim::PayloadKind::kDirectRumor,
-                          "unknown fallback payload");
-        cg_->on_direct(now, static_cast<const DirectRumorPayload&>(*e.body));
+        if (e.body->kind() == sim::PayloadKind::kDirectRumor) {
+          const auto& direct = static_cast<const DirectRumorPayload&>(*e.body);
+          cg_->on_direct(now, direct);
+          if (cfg_->retransmit.enabled) {
+            auto ack = direct_ack_pool_.acquire();
+            ack->rumor = direct.rumor.uid;
+            pending_acks_.push_back(sim::Envelope{
+                id(), e.from, sim::ServiceTag{sim::ServiceKind::kFallback, 0},
+                std::move(ack)});
+          }
+        } else if (e.body->kind() == sim::PayloadKind::kDirectAck) {
+          const auto& ack = static_cast<const DirectAckPayload&>(*e.body);
+          cg_->on_direct_ack(ack.rumor, e.from);
+        } else {
+          CONGOS_ASSERT_MSG(false, "unknown fallback payload");
+        }
         break;
       }
       default:
@@ -263,6 +295,7 @@ struct CongosProcessSnapshot final : sim::ProcessSnapshot {
   };
   std::map<Round, Inst> instances;
   std::unique_ptr<ConfidentialGossipService> cg;
+  std::vector<sim::Envelope> pending_acks;
 };
 }  // namespace
 
@@ -282,6 +315,8 @@ std::unique_ptr<sim::ProcessSnapshot> CongosProcess::snapshot() const {
     for (const auto& g : inst.gds) copy.gds.push_back(*g);
   }
   s->cg = std::make_unique<ConfidentialGossipService>(*cg_);
+  s->pending_acks = pending_acks_;  // shallow payload sharing is fine: sent
+                                    // payloads are immutable once queued
   return s;
 }
 
@@ -312,12 +347,19 @@ bool CongosProcess::restore(const sim::ProcessSnapshot& snap, Round /*now*/) {
     instances_.emplace(dline, std::move(live));
   }
   cg_ = std::make_unique<ConfidentialGossipService>(*s->cg);
+  pending_acks_ = s->pending_acks;
   return true;
 }
 
 std::uint64_t CongosProcess::filter_drops() const {
   std::uint64_t total = all_gossip_->filter_drops();
   for (const auto& gg : group_gossip_) total += gg->filter_drops();
+  return total;
+}
+
+std::uint64_t CongosProcess::duplicates_suppressed() const {
+  std::uint64_t total = all_gossip_->duplicates_suppressed();
+  for (const auto& gg : group_gossip_) total += gg->duplicates_suppressed();
   return total;
 }
 

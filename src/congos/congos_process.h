@@ -49,6 +49,9 @@ class CongosProcess final : public sim::Process {
   const CgCounters& counters() const { return cg_->counters(); }
   /// Total messages dropped by the group filters (must be 0; bug canary).
   std::uint64_t filter_drops() const;
+  /// Gossip rumors absorbed by gid-idempotence across all gossip instances
+  /// (re-pushes, fault-layer duplicates, retransmissions).
+  std::uint64_t duplicates_suppressed() const;
   Round alive_since() const { return wakeup_; }
 
   /// Builds the shared partition family for a system of n processes.
@@ -78,6 +81,12 @@ class CongosProcess final : public sim::Process {
   std::unique_ptr<gossip::ContinuousGossipService> all_gossip_;
   std::map<Round, Instance> instances_;  // keyed by deadline class
   std::unique_ptr<ConfidentialGossipService> cg_;
+
+  /// Receipt acks queued during receive_phase (retransmission mode only),
+  /// flushed at the start of the next send_phase.
+  std::vector<sim::Envelope> pending_acks_;
+  PayloadPool<PartialsAckPayload> partials_ack_pool_;
+  PayloadPool<DirectAckPayload> direct_ack_pool_;
 
   Instance& instance(Round dline);
   ProxyService* proxy(Round dline, PartitionIndex l);

@@ -125,6 +125,33 @@ struct DirectRumorPayload final : sim::Payload {
   void reuse() {}  // PayloadPool recycle hook; `rumor` is reassigned on reuse
 };
 
+/// Receipt acknowledgement for a PartialsPayload (retransmission mode,
+/// DESIGN.md section 10). Metadata only: the deadline class routes the ack
+/// back to the sender's GroupDistribution[l] instance; the sender already
+/// knows which hits it has in flight towards the acking process.
+struct PartialsAckPayload final : sim::Payload {
+  PartialsAckPayload() : sim::Payload(sim::PayloadKind::kPartialsAck) {}
+
+  Round dline = 0;
+
+  std::size_t wire_size() const override { return 8; }
+
+  void reuse() {}  // PayloadPool recycle hook
+};
+
+/// Receipt acknowledgement for a DirectRumorPayload (retransmission mode).
+/// Carries only the rumor id - the same identifier the confirmation
+/// machinery already ships in the clear.
+struct DirectAckPayload final : sim::Payload {
+  DirectAckPayload() : sim::Payload(sim::PayloadKind::kDirectAck) {}
+
+  RumorUid rumor;
+
+  std::size_t wire_size() const override { return 12; }
+
+  void reuse() {}  // PayloadPool recycle hook
+};
+
 // ---------------------------------------------------------------------------
 // Gossip rumor bodies (carried inside gossip::GossipMsg)
 // ---------------------------------------------------------------------------

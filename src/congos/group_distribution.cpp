@@ -32,6 +32,7 @@ void GroupDistributionService::reset(Round /*now*/) {
   partials_.clear();
   partial_keys_.clear();
   hitset_.clear();
+  pending_unacked_.clear();
   collaborators_.reset_all();
   status_active_ = false;
 }
@@ -47,6 +48,7 @@ void GroupDistributionService::begin_block(Round now) {
   partials_.clear();
   partial_keys_.clear();
   hitset_.clear();
+  pending_unacked_.clear();
   status_active_ = false;
 
   // Activation requires ~2*dline/3 rounds of continuous uptime (Fig. 10),
@@ -102,20 +104,41 @@ void GroupDistributionService::distribute(Round now, sim::Sender& out) {
   rng_->sample_without_replacement(static_cast<std::uint32_t>(candidates_.size()), k,
                                    pick_scratch_);
 
+  const bool ack_gated = cfg_->retransmit.enabled;
   for (auto idx : pick_scratch_) {
     const ProcessId target = candidates_[idx];
     auto msg = partials_pool_.acquire();
     msg->dline = dline_;
+    std::vector<Hit>* pending = nullptr;
+    if (ack_gated) {
+      // Lossy-link mode: a send is not a hit until the target acks it. The
+      // target stays in the needed set meanwhile, so the next iteration's
+      // sampling naturally retransmits; overwriting (not appending) keeps the
+      // pending list equal to the latest message's contents.
+      pending = &pending_unacked_[target];
+      pending->clear();
+    }
     for (const Fragment* f : needed_lists_[needed_index_.find(target)->second]) {
       CONGOS_ASSERT_MSG(f->meta.dest.test(target),
                         "[GD:CONFIDENTIAL] target outside destination set");
       msg->fragments.push_back(*f);
-      hitset_.insert(Hit{target, f->meta.key.rumor});
+      if (ack_gated) {
+        pending->push_back(Hit{target, f->meta.key.rumor});
+      } else {
+        hitset_.insert(Hit{target, f->meta.key.rumor});
+      }
     }
     out.send(sim::Envelope{
         self_, target, sim::ServiceTag{sim::ServiceKind::kGroupDistribution, partition_},
         std::move(msg)});
   }
+}
+
+void GroupDistributionService::on_partials_ack(Round /*now*/, ProcessId from) {
+  auto it = pending_unacked_.find(from);
+  if (it == pending_unacked_.end()) return;
+  for (const auto& hit : it->second) hitset_.insert(hit);
+  pending_unacked_.erase(it);
 }
 
 void GroupDistributionService::inject_share(Round now) {

@@ -67,6 +67,12 @@ class GroupDistributionService {
   /// Intra-group hitSet share delivered by GroupGossip[l].
   void on_share(Round now, const HitSetShareBody& share);
 
+  /// Receipt ack for a partials message (retransmission mode): the hits sent
+  /// to `from` graduate from pending to the hitSet. Until then the
+  /// destination stays targetable, so the next distribute() round is the
+  /// retransmission - confirmations only ever report *acknowledged* hits.
+  void on_partials_ack(Round now, ProcessId from);
+
   bool active() const { return status_active_; }
   Round dline() const { return dline_; }
   std::size_t hitset_size() const { return hitset_.size(); }
@@ -88,6 +94,10 @@ class GroupDistributionService {
   std::vector<Fragment> partials_;  // this block's fragments to distribute
   FlatSet<FragmentKey, FragmentKeyHash> partial_keys_;
   FlatSet<Hit, HitHash> hitset_;
+  /// Retransmission mode only: hits sent but not yet acknowledged, keyed by
+  /// destination. Cleared at block boundaries (unacked sends of a finished
+  /// block were lost for good - the fallback covers those rumors).
+  FlatMap<ProcessId, std::vector<Hit>> pending_unacked_;
   DynamicBitset collaborators_;
   bool status_active_ = false;
 

@@ -149,6 +149,31 @@ void ProxyService::send_requests(Round now, sim::Sender& out) {
   }
 }
 
+void ProxyService::resend_requests(Round now, sim::Sender& out) {
+  if (!status_active_ || outstanding_.empty()) return;
+  request_groups_.clear();
+  for (const auto& [g, _] : outstanding_) request_groups_.push_back(g);
+  std::sort(request_groups_.begin(), request_groups_.end());
+  for (const GroupIndex group : request_groups_) {
+    if (group_satisfied_[group]) continue;
+    auto rit = my_rumors_.find(group);
+    if (rit == my_rumors_.end()) continue;
+    auto& frags = rit->second;
+    std::erase_if(frags, [now](const Fragment& f) { return f.meta.expires_at < now; });
+    if (frags.empty()) continue;
+    auto req = req_pool_.acquire();
+    req->dline = dline_;
+    req->fragments = frags;
+    for (const ProcessId target : outstanding_.find(group)->second) {
+      if (acks_received_.test(target)) continue;  // already confirmed receipt
+      CONGOS_ASSERT_MSG(part_->group_of(target) == group,
+                        "[PROXY:CONFIDENTIAL] target outside fragment group");
+      out.send(sim::Envelope{self_, target,
+                             sim::ServiceTag{sim::ServiceKind::kProxy, partition_}, req});
+    }
+  }
+}
+
 void ProxyService::inject_share(Round now) {
   // A process participates in the intra-group exchange when it has its own
   // cross-group fragments in flight (status active) or is holding fragments
@@ -198,11 +223,12 @@ void ProxyService::send_phase(Round now, sim::Sender& out) {
   if (io == 0) {
     settle_acks();  // evaluate the previous iteration's acknowledgements
     send_requests(now, out);
-  } else if (io == 1) {
-    inject_share(now);
   } else if (io == iter_len_ - 1) {
     send_acks(now, out);
+  } else if (cfg_->retransmit.enabled && io == iter_len_ / 2) {
+    resend_requests(now, out);
   }
+  if (io == 1) inject_share(now);
 }
 
 void ProxyService::on_request(Round now, const ProxyRequestPayload& req,

@@ -115,6 +115,10 @@ class ProxyService {
   void begin_block(Round now);
   void settle_acks();
   void send_requests(Round now, sim::Sender& out);
+  /// Retransmission mode only: re-sends this iteration's outstanding requests
+  /// mid-iteration, so a single dropped request no longer costs the whole
+  /// iteration (the proxy side is idempotent; acks still settle at round 0).
+  void resend_requests(Round now, sim::Sender& out);
   void inject_share(Round now);
   void send_acks(Round now, sim::Sender& out);
 };

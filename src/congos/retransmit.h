@@ -1,0 +1,39 @@
+// Deadline-aware retransmission schedule (DESIGN.md section 10).
+//
+// A transmission that must be acknowledged before an absolute `deadline`
+// round is retried with gaps that halve towards the deadline: starting from
+// a first attempt at deadline - 2^budget, the k-th retry fires at
+// deadline - 2^(budget-k), i.e. ..., deadline-4, deadline-2, deadline-1.
+// The schedule front-loads patience (early attempts have the whole remaining
+// window to be confirmed through the normal pipeline) and back-loads urgency
+// (the last retries are adjacent to the deadline), and the number of
+// attempts a rumor actually gets is derived from its rounds-to-deadline:
+// min(budget, log2(deadline - now)) + 1.
+//
+// Pure functions of (now, deadline, budget): no state, no RNG - the
+// schedule is deterministic and identical on every replay.
+#pragma once
+
+#include <algorithm>
+
+#include "common/types.h"
+
+namespace congos::core {
+
+/// Round of the first attempt: deadline - 2^budget, clamped to `now` (a
+/// short deadline simply affords fewer retries).
+inline Round retransmit_first(Round now, Round deadline, int budget) {
+  const int shift = std::clamp(budget, 0, 62);
+  const Round lead = Round{1} << shift;
+  return std::max(now, deadline - lead);
+}
+
+/// Round of the attempt after one fired at `current`, halving the remaining
+/// gap; kNoRound when the schedule is exhausted (gap <= 1).
+inline Round retransmit_next(Round current, Round deadline) {
+  const Round gap = deadline - current;
+  if (gap <= 1) return kNoRound;
+  return deadline - gap / 2;
+}
+
+}  // namespace congos::core

@@ -107,7 +107,13 @@ std::uint64_t ContinuousGossipService::inject(Round now, sim::PayloadPtr body,
 void ContinuousGossipService::accept(Round now, const GossipRumor& r) {
   if (r.deadline_at < now) return;  // expired in flight
   auto [it, inserted] = known_.try_emplace(r.gid);
-  if (!inserted) return;  // already known
+  if (!inserted) {
+    // Already known: re-pushed by a peer, duplicated by the fault layer, or a
+    // retransmission. Gids make suppression exact - nothing downstream ever
+    // sees the same rumor twice from this service.
+    ++duplicates_suppressed_;
+    return;
+  }
   batch_dirty_ = true;
   sorted_gids_.insert(
       std::lower_bound(sorted_gids_.begin(), sorted_gids_.end(), r.gid), r.gid);

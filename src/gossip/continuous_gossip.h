@@ -177,6 +177,10 @@ class ContinuousGossipService {
 
   std::size_t known_active(Round now) const;
   std::uint64_t filter_drops() const { return filter_.drops(); }
+  /// Incoming rumors absorbed by gid-idempotence (re-pushes, fault-layer
+  /// duplicates, retransmissions). Survives reset(): it describes the
+  /// experiment, not protocol state.
+  std::uint64_t duplicates_suppressed() const { return duplicates_suppressed_; }
   const sim::ServiceTag& tag() const { return cfg_.tag; }
   const DynamicBitset& universe() const { return cfg_.universe; }
 
@@ -211,6 +215,7 @@ class ContinuousGossipService {
   std::vector<ProcessId> pending_pulls_;
   Round epoch_start_ = 0;
   std::uint64_t counter_ = 0;
+  std::uint64_t duplicates_suppressed_ = 0;
 
   // -- allocation-free round machinery (DESIGN.md section 9) ----------------
   // The push batch persists across rounds. While the active rumor set is

@@ -21,6 +21,10 @@ void fill_result_summary(replay::ReproFile* file, const ScenarioResult& r) {
   file->qod_late = r.qod.late;
   file->qod_missing = r.qod.missing;
   file->qod_data_mismatches = r.qod.data_mismatches;
+  for (std::size_t f = 0; f < sim::kNumFaultKinds; ++f) {
+    file->faults_by_kind[f] = r.faults_by_kind[f];
+  }
+  file->duplicates_suppressed = r.duplicates_suppressed;
 }
 
 }  // namespace

@@ -93,6 +93,7 @@ ScenarioRun::ScenarioRun(const ScenarioConfig& cfg)
 
   impl_->engine = std::make_unique<sim::Engine>(std::move(procs), seeder.next());
   sim::Engine& engine = *impl_->engine;
+  if (cfg_.faults.enabled()) engine.network().set_faults(cfg_.faults);
 
   impl_->confidentiality = std::make_unique<audit::ConfidentialityAuditor>(
       cfg_.n, impl_->partitions.get());
@@ -187,6 +188,11 @@ ScenarioResult ScenarioRun::finalize() const {
         stats.total_bytes(static_cast<sim::ServiceKind>(k));
   }
 
+  for (std::size_t f = 0; f < sim::kNumFaultKinds; ++f) {
+    result.faults_by_kind[f] = stats.faults(static_cast<sim::FaultKind>(f));
+  }
+  result.fault_total = stats.fault_total();
+
   result.qod = impl_->qod.finalize(engine.now());
   result.leaks = impl_->confidentiality->leaks();
   result.foreign_fragments =
@@ -219,6 +225,7 @@ ScenarioResult ScenarioRun::finalize() const {
       result.cg_injected_direct += c.injected_direct;
       result.cg_reassembled += c.reassembled;
       result.filter_drops += cp.filter_drops();
+      result.duplicates_suppressed += cp.duplicates_suppressed();
     }
   }
   return result;

@@ -36,6 +36,11 @@ struct ScenarioConfig {
   Protocol protocol = Protocol::kCongos;
   core::CongosConfig congos;
 
+  /// Link-fault injection (sim::Network adversary dimension). Disabled by
+  /// default; when enabled, see audit::delivery_guaranteed() for whether the
+  /// QoD contract still holds for the combination with congos.retransmit.
+  sim::FaultConfig faults;
+
   WorkloadKind workload = WorkloadKind::kContinuous;
   adversary::Continuous::Options continuous;
   adversary::Theorem1::Options theorem1;
@@ -100,6 +105,12 @@ struct ScenarioResult {
   std::uint64_t injected = 0;
   std::uint64_t crashes = 0;
   std::uint64_t restarts = 0;
+
+  // link faults (all zero when faults are disabled)
+  std::uint64_t faults_by_kind[sim::kNumFaultKinds] = {};
+  std::uint64_t fault_total = 0;
+  /// Incoming gossip rumors absorbed by gid-idempotence (CONGOS only).
+  std::uint64_t duplicates_suppressed = 0;
 
   // confidentiality
   std::uint64_t leaks = 0;              // Definition-2 violations

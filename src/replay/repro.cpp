@@ -148,6 +148,42 @@ bool get_crash_senders(ByteReader& r, adversary::CrashSenders::Options* o) {
                       static_cast<std::uint8_t>(sim::PartialDelivery::kRandom));
 }
 
+// v2 additions: the link-fault plan and the retransmission knobs are part of
+// the execution's pure-function inputs, so replay must restore both.
+void put_faults(ByteWriter& w, const sim::FaultConfig& f) {
+  w.f64(f.drop_rate);
+  w.f64(f.dup_rate);
+  w.f64(f.delay_rate);
+  w.i64(f.max_delay);
+  w.i64(f.partition_period);
+  w.i64(f.partition_duration);
+  w.u64(f.seed);
+}
+
+bool get_faults(ByteReader& r, sim::FaultConfig* f) {
+  f->drop_rate = r.f64();
+  f->dup_rate = r.f64();
+  f->delay_rate = r.f64();
+  f->max_delay = r.i64();
+  f->partition_period = r.i64();
+  f->partition_duration = r.i64();
+  f->seed = r.u64();
+  return r.ok();
+}
+
+void put_retransmit(ByteWriter& w, const core::RetransmitConfig& rt) {
+  w.boolean(rt.enabled);
+  w.u32(static_cast<std::uint32_t>(rt.budget));
+  w.i64(rt.max_link_delay);
+}
+
+bool get_retransmit(ByteReader& r, core::RetransmitConfig* rt) {
+  rt->enabled = r.boolean();
+  rt->budget = static_cast<int>(r.u32());
+  rt->max_link_delay = r.i64();
+  return r.ok();
+}
+
 void put_config(ByteWriter& w, const harness::ScenarioConfig& cfg) {
   w.u64(cfg.n);
   w.u64(cfg.seed);
@@ -168,9 +204,13 @@ void put_config(ByteWriter& w, const harness::ScenarioConfig& cfg) {
   w.u32(static_cast<std::uint32_t>(cfg.baseline_fanout));
   w.boolean(cfg.audit_confidentiality);
   w.i64(cfg.min_drain);
+  // v2 extension (after every v1 field, so v1 readers of old files and this
+  // reader of v1 files agree on the prefix).
+  put_faults(w, cfg.faults);
+  put_retransmit(w, cfg.congos.retransmit);
 }
 
-bool get_config(ByteReader& r, harness::ScenarioConfig* cfg) {
+bool get_config(ByteReader& r, harness::ScenarioConfig* cfg, std::uint32_t version) {
   cfg->n = r.u64();
   cfg->seed = r.u64();
   cfg->rounds = r.i64();
@@ -202,6 +242,10 @@ bool get_config(ByteReader& r, harness::ScenarioConfig* cfg) {
   cfg->baseline_fanout = static_cast<int>(r.u32());
   cfg->audit_confidentiality = r.boolean();
   cfg->min_drain = r.i64();
+  if (version >= 2) {
+    if (!get_faults(r, &cfg->faults)) return false;
+    if (!get_retransmit(r, &cfg->congos.retransmit)) return false;
+  }
   return r.ok();
 }
 
@@ -271,6 +315,10 @@ std::vector<std::uint8_t> encode(const ReproFile& file) {
   w.u64(file.qod_late);
   w.u64(file.qod_missing);
   w.u64(file.qod_data_mismatches);
+  for (std::size_t f = 0; f < sim::kNumFaultKinds; ++f) {
+    w.u64(file.faults_by_kind[f]);
+  }
+  w.u64(file.duplicates_suppressed);
   w.str(file.trace_tail);
 
   std::vector<std::uint8_t> bytes = w.take();
@@ -304,13 +352,13 @@ bool decode(const std::vector<std::uint8_t>& bytes, ReproFile* out,
     return false;
   }
   const std::uint32_t version = r.u32();
-  if (version != kReproVersion) {
+  if (version < 1 || version > kReproVersion) {
     set_error(error, "unsupported .repro format version");
     return false;
   }
 
   ReproFile file;
-  if (!get_config(r, &file.config)) {
+  if (!get_config(r, &file.config, version)) {
     set_error(error, "malformed scenario config section");
     return false;
   }
@@ -343,6 +391,12 @@ bool decode(const std::vector<std::uint8_t>& bytes, ReproFile* out,
   file.qod_late = r.u64();
   file.qod_missing = r.u64();
   file.qod_data_mismatches = r.u64();
+  if (version >= 2) {
+    for (std::size_t f = 0; f < sim::kNumFaultKinds; ++f) {
+      file.faults_by_kind[f] = r.u64();
+    }
+    file.duplicates_suppressed = r.u64();
+  }
   file.trace_tail = r.str();
   if (!r.ok()) {
     set_error(error, "malformed trailer section");

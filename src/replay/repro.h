@@ -30,7 +30,10 @@
 namespace congos::replay {
 
 inline constexpr std::uint32_t kReproMagic = 0x50524743;  // "CGRP" little-endian
-inline constexpr std::uint32_t kReproVersion = 1;
+/// Version 2 added the link-fault config, the retransmission config and the
+/// fault counter totals; decode() still accepts version-1 files (their fault
+/// fields default to "off"/zero).
+inline constexpr std::uint32_t kReproVersion = 2;
 
 /// One adversary decision, in execution order. Crash/restart decisions carry
 /// the partial-delivery policy; injections carry the rumor identity and its
@@ -78,6 +81,11 @@ struct ReproFile {
   std::uint64_t qod_late = 0;
   std::uint64_t qod_missing = 0;
   std::uint64_t qod_data_mismatches = 0;
+
+  /// v2: link-fault counter totals of the original run (zero for v1 files
+  /// and fault-free runs). Indexed by sim::FaultKind.
+  std::uint64_t faults_by_kind[sim::kNumFaultKinds] = {};
+  std::uint64_t duplicates_suppressed = 0;
 
   /// Human-readable TraceLog tail of the original run (empty when tracing
   /// was off). Never parsed — for eyes only.

@@ -115,7 +115,7 @@ EngineCheckpoint Engine::save_checkpoint() const {
   cp.started = started_;
   cp.rng = rng_;
   cp.stats = stats_;
-  cp.network_sent_total = network_.messages_sent_total();
+  cp.network = network_.checkpoint();
   cp.alive = alive_;
   cp.alive_count = alive_count_;
   cp.alive_since = alive_since_;
@@ -146,7 +146,7 @@ bool Engine::restore_checkpoint(const EngineCheckpoint& cp) {
   started_ = cp.started;
   rng_ = cp.rng;
   stats_ = cp.stats;
-  network_.restore_sent_total(cp.network_sent_total);
+  network_.restore(cp.network);
   alive_ = cp.alive;
   alive_count_ = cp.alive_count;
   alive_ids_dirty_ = true;

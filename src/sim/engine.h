@@ -97,7 +97,7 @@ struct EngineCheckpoint {
   bool started = false;
   Rng rng{0};
   MessageStats stats;
-  std::uint64_t network_sent_total = 0;
+  NetworkCheckpoint network;
   std::vector<bool> alive;
   std::size_t alive_count = 0;
   std::vector<Round> alive_since;

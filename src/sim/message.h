@@ -58,6 +58,8 @@ enum class PayloadKind : std::uint8_t {
   kProxyAck,      // Proxy[l] acknowledgement
   kPartials,      // GroupDistribution[l] "partials"
   kDirectRumor,   // ConfidentialGossip deadline fallback ("shoot")
+  kPartialsAck,   // receipt ack for kPartials (retransmission mode only)
+  kDirectAck,     // receipt ack for kDirectRumor (retransmission mode only)
 
   // CONGOS gossip rumor bodies (carried inside kGossipMsg)
   kFragment,            // one XOR share, intra-group dissemination

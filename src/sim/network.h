@@ -1,10 +1,17 @@
-// Synchronous reliable point-to-point network (Section 2).
+// Synchronous point-to-point network (Section 2).
 //
-// Messages sent in round t are received in round t. Messages between two
+// By default the network is *reliable*, exactly as the paper assumes:
+// messages sent in round t are received in round t, and messages between two
 // processes that are alive for the whole round are never lost. When a process
 // crashes mid-round, an adversary-chosen subset of its outgoing messages is
 // delivered; symmetrically for the inbound messages of a process that
 // restarts mid-round.
+//
+// set_faults() breaks the reliability assumption deliberately: a seeded
+// FaultConfig adds per-envelope drop / duplication / bounded delay and
+// transient bidirectional partitions on top of the crash/restart filters
+// (DESIGN.md section 10). Fault randomness lives in a dedicated Rng so the
+// faults-off path stays byte-identical to the reliable network.
 #pragma once
 
 #include <span>
@@ -12,6 +19,7 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "sim/faults.h"
 #include "sim/message.h"
 #include "sim/stats.h"
 
@@ -35,9 +43,43 @@ enum class PartialDelivery : std::uint8_t {
   kRandom,      // each in-flight message delivered with probability 1/2
 };
 
+/// An envelope the fault layer held back, due for delivery in round `due`.
+struct DelayedEnvelope {
+  Envelope env;
+  Round due = 0;
+};
+
+/// All round-boundary network state a checkpoint must capture. sent_total_
+/// alone is not enough: rewinding past a record-setting round must also
+/// rewind the inbox high-water mark (or replayed runs reserve differently
+/// and the allocation trace diverges), and under faults the in-flight
+/// delayed queue, the fault counters' source clock and the fault Rng all
+/// shape future deliveries.
+struct NetworkCheckpoint {
+  std::uint64_t sent_total = 0;
+  std::size_t inbox_high_water = 0;
+  Round round = 0;
+  std::vector<DelayedEnvelope> delayed;
+  Rng fault_rng{0};
+};
+
 class Network {
  public:
   explicit Network(std::size_t n, MessageStats* stats) : n_(n), stats_(stats) {}
+
+  /// Arm the link-fault layer. Resets the dedicated fault Rng from
+  /// cfg.seed; call before the first round (or right after restoring a
+  /// checkpoint taken before the first round).
+  void set_faults(const FaultConfig& cfg) {
+    faults_ = cfg;
+    faults_enabled_ = cfg.enabled();
+    fault_rng_ = Rng(cfg.seed);
+  }
+  const FaultConfig& faults() const { return faults_; }
+  bool faults_enabled() const { return faults_enabled_; }
+
+  /// Envelopes currently held back by the fault layer (delays/duplicates).
+  std::size_t in_flight_delayed() const { return delayed_.size(); }
 
   std::size_t n() const { return n_; }
 
@@ -70,12 +112,22 @@ class Network {
 
   std::uint64_t messages_sent_total() const { return sent_total_; }
 
-  /// Checkpoint support: rewind the sent counter to a value captured at a
-  /// round boundary (pending queue and inboxes are empty there, so the
-  /// counter is the only state worth restoring).
-  void restore_sent_total(std::uint64_t total) { sent_total_ = total; }
+  /// Checkpoint support. At a round boundary the pending queue and inboxes
+  /// are empty, but the counters, the high-water mark, the round clock and
+  /// (under faults) the delayed queue and fault Rng all carry state forward;
+  /// restore() rewinds every one of them.
+  NetworkCheckpoint checkpoint() const;
+  void restore(const NetworkCheckpoint& cp);
 
  private:
+  /// Applies the fault plan to a kept envelope. Returns true when the
+  /// envelope should be delivered this round; may schedule delayed copies.
+  bool apply_faults(const Envelope& e);
+  /// Delivers delayed envelopes that came due, compacting the queue.
+  void release_delayed(const std::vector<PartialDelivery>& in_policy,
+                       const std::vector<bool>& in_filtered,
+                       DeliveryObserver* observer);
+
   std::size_t n_;
   MessageStats* stats_;
   // pending_ and the inboxes are cleared - never deallocated - between
@@ -88,6 +140,18 @@ class Network {
   /// section 9).
   std::size_t inbox_high_water_ = 0;
   std::uint64_t sent_total_ = 0;
+
+  // -- link-fault layer (inert unless set_faults() armed it) -----------------
+  FaultConfig faults_;
+  bool faults_enabled_ = false;
+  Rng fault_rng_{0};
+  /// Envelopes held back by delay/duplication faults, in scheduling order
+  /// (FIFO per due round: earlier-submitted envelopes release first).
+  std::vector<DelayedEnvelope> delayed_;
+  /// Round clock mirroring Engine::now(): deliver() runs during round
+  /// `round_`, end_round() advances it. Owned here so delayed releases do
+  /// not change any public signature on the reliable path.
+  Round round_ = 0;
 };
 
 }  // namespace congos::sim

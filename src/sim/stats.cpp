@@ -5,6 +5,16 @@
 
 namespace congos::sim {
 
+const char* to_string(FaultKind f) {
+  switch (f) {
+    case FaultKind::kDropped: return "dropped";
+    case FaultKind::kDuplicated: return "duplicated";
+    case FaultKind::kDelayed: return "delayed";
+    case FaultKind::kPartitioned: return "partitioned";
+  }
+  return "?";
+}
+
 void MessageStats::end_round(Round t) {
   std::uint64_t round_total = 0;
   per_round_by_kind_.push_back(current_);

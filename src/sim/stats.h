@@ -17,6 +17,18 @@ namespace congos::sim {
 
 constexpr std::size_t kNumServiceKinds = 7;
 
+/// What the link-fault layer did to an envelope (src/sim/faults.h). Counted
+/// here so the tallies ride the existing stats checkpoint/rewind machinery.
+enum class FaultKind : std::uint8_t {
+  kDropped,      // lost to random per-envelope loss
+  kDuplicated,   // an extra delayed copy was scheduled
+  kDelayed,      // held back 1..max_delay rounds
+  kPartitioned,  // lost crossing an active transient cut
+};
+constexpr std::size_t kNumFaultKinds = 4;
+
+const char* to_string(FaultKind f);
+
 class MessageStats {
  public:
   /// Record one sent message of `bytes` serialized size (counted even if
@@ -25,6 +37,11 @@ class MessageStats {
     current_[static_cast<std::size_t>(kind)] += 1;
     current_bytes_ += bytes;
     bytes_by_kind_[static_cast<std::size_t>(kind)] += bytes;
+  }
+
+  /// Record one fault-layer event against the envelope's service.
+  void note_fault(FaultKind f, ServiceKind kind) {
+    faults_[static_cast<std::size_t>(f)][static_cast<std::size_t>(kind)] += 1;
   }
 
   /// Close the accounting for round `t`.
@@ -69,6 +86,24 @@ class MessageStats {
   /// Total messages of one kind over rounds >= start.
   std::uint64_t total_from(Round start, ServiceKind kind) const;
 
+  // -- link faults ------------------------------------------------------------
+
+  std::uint64_t faults(FaultKind f) const {
+    std::uint64_t total = 0;
+    for (std::uint64_t c : faults_[static_cast<std::size_t>(f)]) total += c;
+    return total;
+  }
+  std::uint64_t faults(FaultKind f, ServiceKind kind) const {
+    return faults_[static_cast<std::size_t>(f)][static_cast<std::size_t>(kind)];
+  }
+  std::uint64_t fault_total() const {
+    std::uint64_t total = 0;
+    for (std::size_t f = 0; f < kNumFaultKinds; ++f) {
+      total += faults(static_cast<FaultKind>(f));
+    }
+    return total;
+  }
+
   // -- communication complexity (bytes) --------------------------------------
 
   std::uint64_t total_bytes() const { return total_bytes_; }
@@ -111,6 +146,9 @@ class MessageStats {
   std::uint64_t max_bytes_ = 0;
   std::array<std::uint64_t, kNumServiceKinds> bytes_by_kind_{};
   std::vector<std::uint64_t> per_round_bytes_;
+  /// fault kind x service kind tallies (src/sim/faults.h). Value state like
+  /// everything else here: copied into checkpoints and rewound with them.
+  std::array<std::array<std::uint64_t, kNumServiceKinds>, kNumFaultKinds> faults_{};
 };
 
 }  // namespace congos::sim

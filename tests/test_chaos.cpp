@@ -1,0 +1,309 @@
+// Chaos grid (DESIGN.md section 10 acceptance): the QoD contract under link
+// faults. With retransmission on and loss within the guaranteed envelope,
+// delivery still meets every deadline across a seed grid; past the envelope
+// the auditors *detect* the violations (never mask them) and the failing run
+// dumps a .repro artifact that replays to the identical failure. The
+// confidentiality auditor must hold in every fault configuration - faults
+// may lose or duplicate fragments, never leak them.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "audit/qod.h"
+#include "harness/record.h"
+#include "harness/scenario.h"
+#include "replay/repro.h"
+
+namespace congos {
+namespace {
+
+using harness::Protocol;
+using harness::run_recorded;
+using harness::run_scenario;
+using harness::ScenarioConfig;
+using harness::scenario_failed;
+
+/// Small-but-real CONGOS scenario: big enough that every service (gossip,
+/// proxy, group distribution, fallback) carries traffic, small enough that a
+/// grid of them stays test-sized.
+ScenarioConfig chaos_config(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.n = 16;
+  cfg.seed = seed;
+  cfg.rounds = 128;
+  cfg.protocol = Protocol::kCongos;
+  cfg.continuous.inject_prob = 0.02;
+  cfg.continuous.deadlines = {64};
+  return cfg;
+}
+
+/// At n=16 the tau >= n/log^2 n cutoff makes CONGOS degenerate (everything
+/// ships on the direct path). This variant disables the cutoff so the full
+/// four-service pipeline - gossip, proxy, group distribution, fallback -
+/// actually runs under faults.
+ScenarioConfig pipeline_config(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.n = 32;
+  cfg.seed = seed;
+  cfg.rounds = 160;
+  cfg.protocol = Protocol::kCongos;
+  cfg.congos.allow_degenerate = false;
+  cfg.continuous.inject_prob = 0.01;
+  cfg.continuous.dest_min = 2;
+  cfg.continuous.dest_max = 5;
+  cfg.continuous.deadlines = {64};
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// The delivery_guaranteed contract itself
+// ---------------------------------------------------------------------------
+
+TEST(DeliveryContract, ClassifiesFaultRegimes) {
+  sim::FaultConfig f;
+  core::RetransmitConfig rt;
+
+  // Reliable network: guaranteed with or without retransmission.
+  EXPECT_TRUE(audit::delivery_guaranteed(f, rt));
+
+  // Any loss without retransmission voids the guarantee.
+  f.drop_rate = 0.05;
+  EXPECT_FALSE(audit::delivery_guaranteed(f, rt));
+
+  // Loss within the threshold, retransmission on: guaranteed.
+  rt.enabled = true;
+  EXPECT_TRUE(audit::delivery_guaranteed(f, rt));
+
+  // Loss above the threshold: not guaranteed even with retransmission.
+  f.drop_rate = audit::kGuaranteedLossThreshold + 0.01;
+  EXPECT_FALSE(audit::delivery_guaranteed(f, rt));
+  f.drop_rate = audit::kGuaranteedLossThreshold;
+  EXPECT_TRUE(audit::delivery_guaranteed(f, rt));
+
+  // Partitions void the guarantee regardless of retransmission.
+  f.partition_period = 16;
+  f.partition_duration = 4;
+  EXPECT_FALSE(audit::delivery_guaranteed(f, rt));
+  f.partition_period = f.partition_duration = 0;
+
+  // Delays are guaranteed only when the protocol's assumed link delay
+  // covers the fault layer's actual maximum.
+  f.delay_rate = 0.25;
+  f.max_delay = 3;
+  rt.max_link_delay = 2;
+  EXPECT_FALSE(audit::delivery_guaranteed(f, rt));
+  rt.max_link_delay = 3;
+  EXPECT_TRUE(audit::delivery_guaranteed(f, rt));
+}
+
+// ---------------------------------------------------------------------------
+// Guaranteed regime: loss within the envelope, retransmission on
+// ---------------------------------------------------------------------------
+
+TEST(ChaosGrid, DropWithinThresholdDeliversAcrossSeeds) {
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    ScenarioConfig cfg = chaos_config(seed);
+    cfg.faults.drop_rate = 0.08;
+    cfg.faults.seed = 0xfa071 + seed;
+    cfg.congos.retransmit.enabled = true;
+    cfg.congos.retransmit.budget = 3;
+    ASSERT_TRUE(audit::delivery_guaranteed(cfg.faults, cfg.congos.retransmit));
+
+    const auto r = run_scenario(cfg);
+    EXPECT_GT(r.injected, 0u) << "seed " << seed;
+    EXPECT_GT(r.fault_total, 0u) << "seed " << seed << ": no faults fired";
+    EXPECT_TRUE(r.qod.ok()) << "seed " << seed << " late=" << r.qod.late
+                            << " missing=" << r.qod.missing;
+    EXPECT_EQ(r.leaks, 0u) << "seed " << seed;
+    EXPECT_EQ(r.foreign_fragments, 0u) << "seed " << seed;
+  }
+}
+
+TEST(ChaosGrid, PipelineDropWithinThresholdDelivers) {
+  // Same regime, but through the full service pipeline: the ack-gated
+  // GroupDistribution hitset, the proxy mid-iteration resend and the
+  // deadline-aware fallback schedule are what keep QoD intact here.
+  ScenarioConfig cfg = pipeline_config(14);
+  cfg.faults.drop_rate = 0.08;
+  cfg.congos.retransmit.enabled = true;
+  cfg.congos.retransmit.budget = 3;
+  ASSERT_TRUE(audit::delivery_guaranteed(cfg.faults, cfg.congos.retransmit));
+
+  const auto r = run_scenario(cfg);
+  EXPECT_GT(r.injected, 0u);
+  EXPECT_GT(r.fault_total, 0u);
+  EXPECT_TRUE(r.qod.ok()) << "late=" << r.qod.late << " missing=" << r.qod.missing;
+  EXPECT_EQ(r.leaks, 0u);
+  EXPECT_EQ(r.foreign_fragments, 0u);
+}
+
+TEST(ChaosGrid, BoundedDelayWithMatchedLinkAssumptionDelivers) {
+  ScenarioConfig cfg = chaos_config(21);
+  cfg.faults.delay_rate = 0.15;
+  cfg.faults.max_delay = 2;
+  cfg.congos.retransmit.enabled = true;
+  cfg.congos.retransmit.budget = 3;
+  cfg.congos.retransmit.max_link_delay = 2;
+  ASSERT_TRUE(audit::delivery_guaranteed(cfg.faults, cfg.congos.retransmit));
+
+  const auto r = run_scenario(cfg);
+  EXPECT_GT(r.injected, 0u);
+  EXPECT_GT(r.faults_by_kind[static_cast<std::size_t>(sim::FaultKind::kDelayed)], 0u);
+  EXPECT_TRUE(r.qod.ok()) << "late=" << r.qod.late << " missing=" << r.qod.missing;
+  EXPECT_EQ(r.leaks, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Past the envelope: violations are detected and reproducible, never masked
+// ---------------------------------------------------------------------------
+
+TEST(ChaosGrid, ExcessLossIsDetectedAndReproReplaysToSameFailure) {
+  ScenarioConfig cfg = chaos_config(31);
+  cfg.faults.drop_rate = 0.5;  // far past the guaranteed envelope
+  EXPECT_FALSE(audit::delivery_guaranteed(cfg.faults, cfg.congos.retransmit));
+
+  const auto rec = run_recorded(cfg, "chaos-excess-loss", "drop past threshold");
+  EXPECT_TRUE(scenario_failed(rec.result))
+      << "50% loss without retransmission must violate QoD, not be masked";
+  EXPECT_GT(rec.result.qod.missing + rec.result.qod.late, 0u);
+  EXPECT_EQ(rec.result.leaks, 0u) << "loss must never become a leak";
+
+  // The artifact must survive a disk round-trip and replay byte-identically
+  // to the same failure - that is what makes a chaos-grid hit debuggable.
+  const std::string path = ::testing::TempDir() + "/chaos_excess_loss.repro";
+  ASSERT_TRUE(replay::write_file(path, rec.repro));
+  replay::ReproFile loaded;
+  std::string err;
+  ASSERT_TRUE(replay::read_file(path, &loaded, &err)) << err;
+  EXPECT_EQ(loaded.config.faults, cfg.faults);
+  EXPECT_EQ(loaded.qod_missing, rec.result.qod.missing);
+
+  const auto report = harness::replay_file(loaded);
+  EXPECT_TRUE(report.verified());
+  EXPECT_EQ(report.result.qod.missing, rec.result.qod.missing);
+  EXPECT_EQ(report.result.qod.late, rec.result.qod.late);
+  EXPECT_TRUE(scenario_failed(report.result));
+  std::remove(path.c_str());
+}
+
+TEST(ChaosGrid, PartitionOutageIsDetected) {
+  // A partition long enough to swallow a whole deadline window must surface
+  // as missing rumors (detected), with confidentiality intact.
+  ScenarioConfig cfg = chaos_config(41);
+  cfg.faults.partition_period = 64;
+  cfg.faults.partition_duration = 48;
+  cfg.congos.retransmit.enabled = true;  // retransmission must not mask it
+  EXPECT_FALSE(audit::delivery_guaranteed(cfg.faults, cfg.congos.retransmit));
+
+  const auto r = run_scenario(cfg);
+  EXPECT_GT(r.injected, 0u);
+  EXPECT_GT(r.faults_by_kind[static_cast<std::size_t>(sim::FaultKind::kPartitioned)], 0u);
+  EXPECT_FALSE(r.qod.ok()) << "a 48/64 partition cannot meet every deadline";
+  EXPECT_EQ(r.leaks, 0u);
+  EXPECT_EQ(r.foreign_fragments, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Confidentiality under every fault mix (duplication may re-deliver a
+// fragment; it must never widen who learns it)
+// ---------------------------------------------------------------------------
+
+TEST(ChaosGrid, ConfidentialityHoldsInEveryFaultConfig) {
+  struct Mix {
+    const char* name;
+    sim::FaultConfig faults;
+  };
+  std::vector<Mix> mixes;
+  {
+    Mix m{"heavy-drop", {}};
+    m.faults.drop_rate = 0.3;
+    mixes.push_back(m);
+  }
+  {
+    Mix m{"dup-and-delay", {}};
+    m.faults.dup_rate = 0.2;
+    m.faults.delay_rate = 0.25;
+    m.faults.max_delay = 3;
+    mixes.push_back(m);
+  }
+  {
+    Mix m{"partition", {}};
+    m.faults.partition_period = 16;
+    m.faults.partition_duration = 4;
+    mixes.push_back(m);
+  }
+  {
+    Mix m{"kitchen-sink", {}};
+    m.faults.drop_rate = 0.1;
+    m.faults.dup_rate = 0.1;
+    m.faults.delay_rate = 0.2;
+    m.faults.max_delay = 2;
+    m.faults.partition_period = 32;
+    m.faults.partition_duration = 4;
+    mixes.push_back(m);
+  }
+  for (const auto& mix : mixes) {
+    for (const bool retransmit : {false, true}) {
+      ScenarioConfig cfg = chaos_config(51);
+      cfg.faults = mix.faults;
+      cfg.congos.retransmit.enabled = retransmit;
+      const auto r = run_scenario(cfg);
+      EXPECT_GT(r.injected, 0u) << mix.name;
+      EXPECT_EQ(r.leaks, 0u) << mix.name << " retransmit=" << retransmit;
+      EXPECT_EQ(r.foreign_fragments, 0u)
+          << mix.name << " retransmit=" << retransmit;
+      // QoD deliberately unasserted: these mixes sit outside the guaranteed
+      // envelope, and the auditor's job there is detection, not success.
+    }
+  }
+}
+
+TEST(ChaosGrid, CollusionToleranceSurvivesDupAndDelay) {
+  // tau-collusion with duplication: the fault layer re-delivers fragments,
+  // and a curious coalition of tau processes must still learn nothing
+  // (Lemma 14). Duplicated fragments reach the same receiver twice, never a
+  // new one, so the knowledge sets are unchanged.
+  ScenarioConfig cfg;
+  cfg.n = 32;
+  cfg.seed = 61;
+  cfg.rounds = 192;
+  cfg.protocol = Protocol::kCongos;
+  cfg.congos.tau = 2;
+  cfg.congos.allow_degenerate = false;
+  cfg.continuous.inject_prob = 0.01;
+  cfg.continuous.dest_min = 2;
+  cfg.continuous.dest_max = 5;
+  cfg.continuous.deadlines = {64};
+  cfg.faults.dup_rate = 0.25;
+  cfg.faults.delay_rate = 0.25;
+  cfg.faults.max_delay = 3;
+  cfg.congos.retransmit.enabled = true;
+  cfg.congos.retransmit.max_link_delay = 3;
+
+  const auto r = run_scenario(cfg);
+  EXPECT_GT(r.injected, 0u);
+  EXPECT_GT(r.faults_by_kind[static_cast<std::size_t>(sim::FaultKind::kDuplicated)], 0u);
+  EXPECT_EQ(r.leaks, 0u);
+  EXPECT_EQ(r.foreign_fragments, 0u);
+  EXPECT_GT(r.weakest_coalition, static_cast<std::size_t>(cfg.congos.tau));
+}
+
+// ---------------------------------------------------------------------------
+// Gossip idempotence: duplicated rumors are absorbed, and counted
+// ---------------------------------------------------------------------------
+
+TEST(ChaosGrid, DuplicatesAreSuppressedByGidIdempotence) {
+  // Needs the pipeline config: on the degenerate direct path no rumor ever
+  // rides a gossip message, so there would be nothing to suppress.
+  ScenarioConfig cfg = pipeline_config(71);
+  cfg.faults.dup_rate = 0.3;
+  cfg.faults.max_delay = 2;
+  const auto r = run_scenario(cfg);
+  EXPECT_GT(r.faults_by_kind[static_cast<std::size_t>(sim::FaultKind::kDuplicated)], 0u);
+  EXPECT_GT(r.duplicates_suppressed, 0u)
+      << "duplicated gossip must be absorbed by the gid index";
+  EXPECT_EQ(r.leaks, 0u);
+}
+
+}  // namespace
+}  // namespace congos

@@ -1,0 +1,458 @@
+// Link-fault injection layer (DESIGN.md section 10): spec parsing, the
+// partition hash schedule, the deadline-aware retransmission schedule, and
+// the Network-level fault semantics (drop/dup/delay/partition, counters,
+// delayed-queue release and checkpoint rewind).
+#include "sim/faults.h"
+
+#include <gtest/gtest.h>
+
+#include "congos/retransmit.h"
+#include "sim/network.h"
+#include "test_util.h"
+
+namespace congos::sim {
+namespace {
+
+using testutil::IntPayload;
+using testutil::make_msg;
+
+// ---------------------------------------------------------------------------
+// FaultConfig spec parsing and rendering
+// ---------------------------------------------------------------------------
+
+TEST(FaultSpec, ParsesFullSpec) {
+  FaultConfig cfg;
+  std::string err;
+  ASSERT_TRUE(parse_fault_spec("drop:0.05,dup:0.01,delay:3,delay-rate:0.5,"
+                               "partition:16/4,seed:7",
+                               &cfg, &err))
+      << err;
+  EXPECT_DOUBLE_EQ(cfg.drop_rate, 0.05);
+  EXPECT_DOUBLE_EQ(cfg.dup_rate, 0.01);
+  EXPECT_DOUBLE_EQ(cfg.delay_rate, 0.5);
+  EXPECT_EQ(cfg.max_delay, 3);
+  EXPECT_EQ(cfg.partition_period, 16);
+  EXPECT_EQ(cfg.partition_duration, 4);
+  EXPECT_EQ(cfg.seed, 7u);
+  EXPECT_TRUE(cfg.enabled());
+  EXPECT_TRUE(cfg.partitions_enabled());
+}
+
+TEST(FaultSpec, DelayAloneImpliesDefaultDelayRate) {
+  FaultConfig cfg;
+  std::string err;
+  ASSERT_TRUE(parse_fault_spec("delay:2", &cfg, &err)) << err;
+  EXPECT_EQ(cfg.max_delay, 2);
+  EXPECT_DOUBLE_EQ(cfg.delay_rate, 0.25);
+}
+
+TEST(FaultSpec, DelayRateOverridesTheDefault) {
+  FaultConfig cfg;
+  std::string err;
+  ASSERT_TRUE(parse_fault_spec("delay:2,delay-rate:0.9", &cfg, &err)) << err;
+  EXPECT_DOUBLE_EQ(cfg.delay_rate, 0.9);
+  ASSERT_TRUE(parse_fault_spec("delay-rate:0.9,delay:2", &cfg, &err)) << err;
+  EXPECT_DOUBLE_EQ(cfg.delay_rate, 0.9) << "order must not matter";
+}
+
+TEST(FaultSpec, RejectsMalformedSpecs) {
+  FaultConfig cfg;
+  std::string err;
+  EXPECT_FALSE(parse_fault_spec("gremlins:1", &cfg, &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(parse_fault_spec("drop:1.5", &cfg, &err));
+  EXPECT_FALSE(parse_fault_spec("drop:-0.1", &cfg, &err));
+  EXPECT_FALSE(parse_fault_spec("delay:0", &cfg, &err));
+  EXPECT_FALSE(parse_fault_spec("partition:4/8", &cfg, &err));  // duration > period
+  EXPECT_FALSE(parse_fault_spec("partition:4/0", &cfg, &err));
+  EXPECT_FALSE(parse_fault_spec("drop", &cfg, &err));
+}
+
+TEST(FaultSpec, DescribeDisabledIsOff) {
+  EXPECT_EQ(describe(FaultConfig{}), "off");
+}
+
+TEST(FaultSpec, DescribeRoundTrips) {
+  const char* specs[] = {
+      "drop:0.05",
+      "drop:0.1,dup:0.02,delay:4,delay-rate:0.25",
+      "delay:2",
+      "partition:16/4",
+      "drop:0.5,partition:8/2,seed:42",
+  };
+  for (const char* spec : specs) {
+    FaultConfig cfg;
+    std::string err;
+    ASSERT_TRUE(parse_fault_spec(spec, &cfg, &err)) << spec << ": " << err;
+    FaultConfig back;
+    ASSERT_TRUE(parse_fault_spec(describe(cfg), &back, &err))
+        << describe(cfg) << ": " << err;
+    EXPECT_EQ(cfg, back) << spec << " -> " << describe(cfg);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Partition schedule (pure hash, no RNG state)
+// ---------------------------------------------------------------------------
+
+TEST(Partitions, ActiveWindowFollowsThePeriod) {
+  FaultConfig cfg;
+  cfg.partition_period = 8;
+  cfg.partition_duration = 3;
+  for (Round r = 0; r < 32; ++r) {
+    EXPECT_EQ(partition_active(cfg, r), r % 8 < 3) << "round " << r;
+  }
+  EXPECT_FALSE(partition_active(FaultConfig{}, 0));
+}
+
+TEST(Partitions, SideIsDeterministicAndEpochDependent) {
+  // Same (seed, epoch, p) always hashes to the same side; across epochs the
+  // split re-shuffles (some process must change sides over a few epochs).
+  bool some_flip = false;
+  for (ProcessId p = 0; p < 16; ++p) {
+    const int side = partition_side(1, 0, p);
+    EXPECT_EQ(partition_side(1, 0, p), side);
+    EXPECT_TRUE(side == 0 || side == 1);
+    for (std::uint64_t epoch = 1; epoch < 4; ++epoch) {
+      if (partition_side(1, epoch, p) != side) some_flip = true;
+    }
+  }
+  EXPECT_TRUE(some_flip);
+}
+
+TEST(Partitions, CutIsSymmetricAndOnlyCrossSide) {
+  FaultConfig cfg;
+  cfg.partition_period = 4;
+  cfg.partition_duration = 4;  // always active
+  cfg.seed = 3;
+  constexpr ProcessId kN = 16;
+  bool saw_cut = false, saw_pass = false;
+  for (ProcessId a = 0; a < kN; ++a) {
+    for (ProcessId b = 0; b < kN; ++b) {
+      const bool cut = partition_cuts(cfg, 0, a, b);
+      EXPECT_EQ(cut, partition_cuts(cfg, 0, b, a)) << a << "->" << b;
+      EXPECT_EQ(cut, partition_side(cfg.seed, 0, a) != partition_side(cfg.seed, 0, b));
+      (cut ? saw_cut : saw_pass) = true;
+    }
+  }
+  // With 16 processes and a fair hash both sides are non-empty; if this ever
+  // fires the hash degenerated into a constant.
+  EXPECT_TRUE(saw_cut);
+  EXPECT_TRUE(saw_pass);
+  // Outside the active window nothing is cut.
+  cfg.partition_duration = 1;
+  EXPECT_FALSE(partition_cuts(cfg, 1, 0, 1));
+}
+
+// ---------------------------------------------------------------------------
+// Deadline-aware retransmission schedule
+// ---------------------------------------------------------------------------
+
+TEST(Retransmit, FirstAttemptLeadsByTwoToTheBudget) {
+  EXPECT_EQ(core::retransmit_first(0, 100, 4), 84);
+  EXPECT_EQ(core::retransmit_first(0, 100, 0), 99);
+  EXPECT_EQ(core::retransmit_first(90, 100, 4), 90);   // clamped to now
+  EXPECT_EQ(core::retransmit_first(0, 100, -5), 99);   // clamped budget
+  EXPECT_EQ(core::retransmit_first(0, 100, 200), 0);   // huge lead -> now
+}
+
+TEST(Retransmit, GapsHalveTowardsTheDeadline) {
+  Round at = core::retransmit_first(0, 100, 4);
+  std::vector<Round> fired;
+  while (at != kNoRound) {
+    fired.push_back(at);
+    at = core::retransmit_next(at, 100);
+  }
+  EXPECT_EQ(fired, (std::vector<Round>{84, 92, 96, 98, 99}));
+}
+
+TEST(Retransmit, ScheduleExhaustsAtTheDeadline) {
+  EXPECT_EQ(core::retransmit_next(99, 100), kNoRound);
+  EXPECT_EQ(core::retransmit_next(100, 100), kNoRound);
+  EXPECT_EQ(core::retransmit_next(98, 100), 99);
+}
+
+// ---------------------------------------------------------------------------
+// Network-level fault semantics
+// ---------------------------------------------------------------------------
+
+struct FaultNetFixture : ::testing::Test {
+  static constexpr std::size_t kN = 4;
+  MessageStats stats;
+  Network net{kN, &stats};
+  Rng rng{99};
+  std::vector<PartialDelivery> out_policy =
+      std::vector<PartialDelivery>(kN, PartialDelivery::kDeliverAll);
+  std::vector<bool> out_filtered = std::vector<bool>(kN, false);
+  std::vector<PartialDelivery> in_policy =
+      std::vector<PartialDelivery>(kN, PartialDelivery::kDeliverAll);
+  std::vector<bool> in_filtered = std::vector<bool>(kN, false);
+  std::vector<Envelope> observed;
+
+  struct Recorder final : DeliveryObserver {
+    explicit Recorder(std::vector<Envelope>& sink) : sink(sink) {}
+    void on_delivered(const Envelope& e) override { sink.push_back(e); }
+    std::vector<Envelope>& sink;
+  };
+
+  void deliver() {
+    Recorder recorder(observed);
+    net.deliver(out_policy, out_filtered, in_policy, in_filtered, rng, &recorder);
+  }
+};
+
+TEST_F(FaultNetFixture, DisabledByDefault) {
+  EXPECT_FALSE(net.faults_enabled());
+  EXPECT_EQ(net.in_flight_delayed(), 0u);
+}
+
+TEST_F(FaultNetFixture, DropRateOneLosesEverythingButCountsSends) {
+  FaultConfig cfg;
+  cfg.drop_rate = 1.0;
+  net.set_faults(cfg);
+  net.submit(make_msg(0, 1, 1, ServiceKind::kProxy));
+  net.submit(make_msg(2, 3, 2, ServiceKind::kProxy));
+  deliver();
+  EXPECT_EQ(net.inbox(1).size(), 0u);
+  EXPECT_EQ(net.inbox(3).size(), 0u);
+  EXPECT_TRUE(observed.empty());
+  // Definition 3 counts sends; faults happen after the send was counted.
+  EXPECT_EQ(net.messages_sent_total(), 2u);
+  EXPECT_EQ(stats.faults(FaultKind::kDropped), 2u);
+  EXPECT_EQ(stats.faults(FaultKind::kDropped, ServiceKind::kProxy), 2u);
+  EXPECT_EQ(stats.fault_total(), 2u);
+}
+
+TEST_F(FaultNetFixture, DelayedEnvelopeArrivesExactlyMaxDelayLater) {
+  FaultConfig cfg;
+  cfg.delay_rate = 1.0;
+  cfg.max_delay = 1;  // lateness is deterministically 1
+  net.set_faults(cfg);
+  net.submit(make_msg(0, 1, 7));
+  deliver();
+  EXPECT_EQ(net.inbox(1).size(), 0u);
+  EXPECT_EQ(net.in_flight_delayed(), 1u);
+  EXPECT_EQ(stats.faults(FaultKind::kDelayed), 1u);
+  net.end_round();
+
+  deliver();  // round 1: the envelope comes due
+  ASSERT_EQ(net.inbox(1).size(), 1u);
+  EXPECT_EQ(net.in_flight_delayed(), 0u);
+  ASSERT_EQ(observed.size(), 1u);
+  const auto* p = dynamic_cast<const IntPayload*>(net.inbox(1)[0].body.get());
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->value, 7);
+}
+
+TEST_F(FaultNetFixture, DelayedReleaseKeepsSubmissionOrder) {
+  FaultConfig cfg;
+  cfg.delay_rate = 1.0;
+  cfg.max_delay = 1;
+  net.set_faults(cfg);
+  net.submit(make_msg(0, 1, 10));
+  net.submit(make_msg(2, 1, 11));
+  deliver();
+  net.end_round();
+  deliver();
+  ASSERT_EQ(net.inbox(1).size(), 2u);
+  const auto* a = dynamic_cast<const IntPayload*>(net.inbox(1)[0].body.get());
+  const auto* b = dynamic_cast<const IntPayload*>(net.inbox(1)[1].body.get());
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->value, 10);
+  EXPECT_EQ(b->value, 11);
+}
+
+TEST_F(FaultNetFixture, DelayedReleasePrecedesSameRoundTraffic) {
+  // Round 0 delays everything by exactly one round.
+  FaultConfig delaying;
+  delaying.delay_rate = 1.0;
+  delaying.max_delay = 1;
+  net.set_faults(delaying);
+  net.submit(make_msg(0, 1, 1));
+  deliver();
+  net.end_round();
+  // Round 1: swap to a config that keeps the fault layer armed (so the
+  // delayed queue still releases) but touches nothing - the partition window
+  // covered only round 0, which is already over.
+  FaultConfig inert;
+  inert.partition_period = 1 << 20;
+  inert.partition_duration = 1;
+  net.set_faults(inert);
+  net.submit(make_msg(2, 1, 2));
+  deliver();
+  ASSERT_EQ(net.inbox(1).size(), 2u);
+  const auto* first = dynamic_cast<const IntPayload*>(net.inbox(1)[0].body.get());
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->value, 1) << "late envelope must release ahead of new traffic";
+}
+
+TEST_F(FaultNetFixture, DelayedEnvelopeLostToReceiverFilterAtRelease) {
+  FaultConfig cfg;
+  cfg.delay_rate = 1.0;
+  cfg.max_delay = 1;
+  net.set_faults(cfg);
+  net.submit(make_msg(0, 1, 1));
+  deliver();
+  net.end_round();
+  // Receiver is filtered (restarting) in the release round: the envelope is
+  // conservatively dropped even under kRandom - the fault layer must never
+  // consume engine randomness.
+  in_filtered[1] = true;
+  in_policy[1] = PartialDelivery::kRandom;
+  const auto rng_before = rng;
+  deliver();
+  EXPECT_EQ(net.inbox(1).size(), 0u);
+  EXPECT_EQ(net.in_flight_delayed(), 0u);
+  Rng probe = rng_before;
+  EXPECT_EQ(rng.next(), probe.next())
+      << "release path consumed an engine-RNG draw";
+}
+
+TEST_F(FaultNetFixture, DuplicateIsDeliveredNowAndAgainLater) {
+  FaultConfig cfg;
+  cfg.dup_rate = 1.0;
+  cfg.max_delay = 1;
+  net.set_faults(cfg);
+  net.submit(make_msg(0, 1, 5));
+  deliver();
+  ASSERT_EQ(net.inbox(1).size(), 1u);  // on-time copy
+  EXPECT_EQ(net.in_flight_delayed(), 1u);
+  EXPECT_EQ(stats.faults(FaultKind::kDuplicated), 1u);
+  net.end_round();
+  deliver();
+  ASSERT_EQ(net.inbox(1).size(), 1u);  // late copy
+  const auto* p = dynamic_cast<const IntPayload*>(net.inbox(1)[0].body.get());
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->value, 5);
+  EXPECT_EQ(observed.size(), 2u);
+}
+
+TEST_F(FaultNetFixture, PartitionCutsBothDirectionsAndExpires) {
+  FaultConfig cfg;
+  cfg.partition_period = 2;
+  cfg.partition_duration = 1;  // active in even rounds only
+  // Find a seed whose epoch-0 hash splits {0..3}; deterministic search.
+  ProcessId a = 0, b = 0;
+  for (std::uint64_t s = 1; s < 64; ++s) {
+    for (ProcessId p = 1; p < kN; ++p) {
+      if (partition_side(s, 0, 0) != partition_side(s, 0, p)) {
+        cfg.seed = s;
+        a = 0;
+        b = p;
+        break;
+      }
+    }
+    if (cfg.seed == s) break;
+  }
+  ASSERT_NE(a, b) << "no splitting seed found in 64 tries";
+  net.set_faults(cfg);
+
+  net.submit(make_msg(a, b, 1));
+  net.submit(make_msg(b, a, 2));
+  deliver();  // round 0: partition active
+  EXPECT_EQ(net.inbox(a).size(), 0u);
+  EXPECT_EQ(net.inbox(b).size(), 0u);
+  EXPECT_EQ(stats.faults(FaultKind::kPartitioned), 2u);
+  net.end_round();
+
+  net.submit(make_msg(a, b, 3));
+  deliver();  // round 1: partition healed
+  EXPECT_EQ(net.inbox(b).size(), 1u);
+  EXPECT_EQ(stats.faults(FaultKind::kPartitioned), 2u);
+}
+
+TEST_F(FaultNetFixture, SameSeedSameFaultPattern) {
+  FaultConfig cfg;
+  cfg.drop_rate = 0.3;
+  cfg.delay_rate = 0.2;
+  cfg.max_delay = 2;
+  cfg.dup_rate = 0.1;
+  cfg.seed = 1234;
+
+  auto run = [&](std::vector<int>* delivered_values) {
+    MessageStats st;
+    Network n2{kN, &st};
+    Rng r2{99};
+    n2.set_faults(cfg);
+    for (Round round = 0; round < 6; ++round) {
+      for (int i = 0; i < 10; ++i) {
+        n2.submit(make_msg(0, 1, static_cast<int>(round) * 100 + i));
+      }
+      n2.deliver(out_policy, out_filtered, in_policy, in_filtered, r2, nullptr);
+      for (const auto& e : n2.inbox(1)) {
+        const auto* p = dynamic_cast<const IntPayload*>(e.body.get());
+        ASSERT_NE(p, nullptr);
+        delivered_values->push_back(p->value);
+      }
+      n2.end_round();
+    }
+  };
+  std::vector<int> first, second;
+  run(&first);
+  run(&second);
+  EXPECT_EQ(first, second);
+  EXPECT_LT(first.size(), 60u) << "some envelope should have been dropped";
+  EXPECT_FALSE(first.empty());
+}
+
+TEST_F(FaultNetFixture, CheckpointRewindsDelayedQueueAndFaultRng) {
+  FaultConfig cfg;
+  cfg.drop_rate = 0.3;
+  cfg.delay_rate = 0.3;
+  cfg.max_delay = 2;
+  cfg.seed = 77;
+  net.set_faults(cfg);
+
+  auto play_round = [&](Round round, std::vector<int>* sink) {
+    for (int i = 0; i < 8; ++i) {
+      net.submit(make_msg(0, 1, static_cast<int>(round) * 100 + i));
+    }
+    net.deliver(out_policy, out_filtered, in_policy, in_filtered, rng, nullptr);
+    if (sink != nullptr) {
+      for (const auto& e : net.inbox(1)) {
+        const auto* p = dynamic_cast<const IntPayload*>(e.body.get());
+        sink->push_back(p->value);
+      }
+    }
+    net.end_round();
+  };
+
+  for (Round r = 0; r < 3; ++r) play_round(r, nullptr);
+  const NetworkCheckpoint cp = net.checkpoint();
+  const Rng rng_cp = rng;  // the engine RNG is checkpointed by the engine
+  EXPECT_EQ(cp.round, 3);
+
+  std::vector<int> first;
+  for (Round r = 3; r < 6; ++r) play_round(r, &first);
+
+  net.restore(cp);
+  rng = rng_cp;
+  std::vector<int> second;
+  for (Round r = 3; r < 6; ++r) play_round(r, &second);
+
+  EXPECT_EQ(first, second)
+      << "restore() must rewind the delayed queue and the fault Rng";
+  EXPECT_EQ(net.messages_sent_total(), cp.sent_total + 24);
+}
+
+TEST_F(FaultNetFixture, FaultsOffConsumesNoEngineRandomness) {
+  // The faults-off hot path must be byte-identical to a build without the
+  // fault layer: no extra RNG draws, no counter movement.
+  net.submit(make_msg(0, 1, 1));
+  const Rng rng_before = rng;
+  deliver();
+  Rng probe = rng_before;
+  EXPECT_EQ(rng.next(), probe.next());
+  EXPECT_EQ(stats.fault_total(), 0u);
+  EXPECT_EQ(net.inbox(1).size(), 1u);
+}
+
+TEST(FaultKindNames, AllNamed) {
+  for (std::size_t f = 0; f < kNumFaultKinds; ++f) {
+    EXPECT_STRNE(to_string(static_cast<FaultKind>(f)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace congos::sim

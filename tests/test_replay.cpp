@@ -104,6 +104,13 @@ ReproFile sample_file() {
   f.config.churn->crash_prob = 0.01;
   f.config.measure_from = 96;
   f.config.lazy_fraction = 0.125;
+  f.config.faults.drop_rate = 0.05;
+  f.config.faults.delay_rate = 0.25;
+  f.config.faults.max_delay = 2;
+  f.config.faults.seed = 31337;
+  f.config.congos.retransmit.enabled = true;
+  f.config.congos.retransmit.budget = 4;
+  f.config.congos.retransmit.max_link_delay = 2;
   f.label = "unit";
   f.reason = "encode/decode round trip";
   f.decisions.push_back(
@@ -115,6 +122,9 @@ ReproFile sample_file() {
   f.trace_hash = 0xFEEDFACE;
   f.total_messages = 1000;
   f.leaks = 1;
+  f.faults_by_kind[0] = 17;
+  f.faults_by_kind[2] = 4;
+  f.duplicates_suppressed = 9;
   f.trace_tail = "round 3: crash p7\n";
   return f;
 }
@@ -146,7 +156,97 @@ TEST(ReproFile, EncodeDecodeRoundTrip) {
   EXPECT_EQ(g.trace_hash, f.trace_hash);
   EXPECT_EQ(g.total_messages, f.total_messages);
   EXPECT_EQ(g.leaks, f.leaks);
+  EXPECT_EQ(g.config.faults, f.config.faults);
+  EXPECT_EQ(g.config.congos.retransmit, f.config.congos.retransmit);
+  for (std::size_t k = 0; k < sim::kNumFaultKinds; ++k) {
+    EXPECT_EQ(g.faults_by_kind[k], f.faults_by_kind[k]) << "kind " << k;
+  }
+  EXPECT_EQ(g.duplicates_suppressed, f.duplicates_suppressed);
   EXPECT_EQ(g.trace_tail, f.trace_tail);
+}
+
+TEST(ReproFile, AcceptsVersion1Artifacts) {
+  // A byte-exact v1 artifact (written before the fault layer existed): the
+  // v2 decoder must accept it, defaulting the fault plan to "off" and the
+  // fault counters to zero. This pins the v1 wire layout - if decode's
+  // backward-compatibility path regresses, this is the test that fires.
+  ByteWriter w;
+  w.u32(replay::kReproMagic);
+  w.u32(1);  // version 1
+  // config (v1 layout: everything up to min_drain, nothing after)
+  w.u64(8);               // n
+  w.u64(5);               // seed
+  w.i64(32);              // rounds
+  w.u8(0);                // protocol = kCongos
+  w.u32(1);               // congos.tau
+  w.f64(1.0);             // congos.partition_c
+  w.f64(48.0);            // congos.fanout_exponent
+  w.f64(1.0);             // congos.fanout_c
+  w.u32(2);               // congos.gossip_fanout
+  w.u8(0);                // congos.gossip_strategy
+  w.i64(48);              // congos.direct_threshold
+  w.i64(1024);            // congos.max_effective_deadline
+  w.f64(2.0 / 3.0);       // congos.gd_alive_factor
+  w.boolean(true);        // congos.allow_degenerate
+  w.u64(7);               // congos.partition_seed
+  w.u8(1);                // workload = kContinuous
+  w.f64(0.02);            // continuous.inject_prob
+  w.u64(2);               // continuous.dest_min
+  w.u64(8);               // continuous.dest_max
+  w.vec_i64({64});        // continuous.deadlines
+  w.u64(16);              // continuous.payload_len
+  w.i64(-1);              // continuous.last_injection_round
+  w.boolean(false);       // continuous.opaque_ids
+  w.f64(4.0);             // theorem1.x
+  w.i64(64);              // theorem1.dmax
+  w.u64(16);              // theorem1.payload_len
+  w.boolean(false);       // no churn
+  w.boolean(false);       // no crash_on_service
+  w.boolean(false);       // no crash_senders
+  w.i64(0);               // measure_from
+  w.f64(0.0);             // lazy_fraction
+  w.u32(3);               // baseline_fanout
+  w.boolean(true);        // audit_confidentiality
+  w.i64(0);               // min_drain
+  // trailer (v1 layout: no fault counters)
+  w.str("v1-artifact");
+  w.str("compat pin");
+  w.u64(0);               // decisions
+  w.vec_u64({1, 2, 3});   // round_deliveries
+  w.u64(0xABCD);          // trace_hash
+  w.u64(10);              // total_messages
+  w.u64(100);             // total_bytes
+  w.u64(1);               // injected
+  w.u64(0);               // crashes
+  w.u64(0);               // restarts
+  w.u64(0);               // leaks
+  w.u64(0);               // foreign_fragments
+  w.u64(1);               // qod_delivered_on_time
+  w.u64(0);               // qod_late
+  w.u64(0);               // qod_missing
+  w.u64(0);               // qod_data_mismatches
+  w.str("");              // trace_tail
+  auto bytes = w.take();
+  const std::uint64_t sum = replay::fnv1a(bytes.data(), bytes.size());
+  for (int b = 0; b < 8; ++b) {
+    bytes.push_back(static_cast<std::uint8_t>(sum >> (8 * b)));
+  }
+
+  ReproFile out;
+  std::string error;
+  ASSERT_TRUE(replay::decode(bytes, &out, &error)) << error;
+  EXPECT_EQ(out.config.n, 8u);
+  EXPECT_EQ(out.config.rounds, 32);
+  EXPECT_EQ(out.label, "v1-artifact");
+  EXPECT_EQ(out.round_deliveries, (std::vector<std::uint64_t>{1, 2, 3}));
+  // The v2 fields default to "fault layer off, nothing counted".
+  EXPECT_FALSE(out.config.faults.enabled());
+  EXPECT_EQ(out.config.faults, sim::FaultConfig{});
+  EXPECT_FALSE(out.config.congos.retransmit.enabled);
+  for (std::size_t k = 0; k < sim::kNumFaultKinds; ++k) {
+    EXPECT_EQ(out.faults_by_kind[k], 0u);
+  }
+  EXPECT_EQ(out.duplicates_suppressed, 0u);
 }
 
 TEST(ReproFile, RejectsCorruptionEverywhere) {
@@ -446,6 +546,49 @@ TEST(Checkpoint, RestoreCanRepeat) {
   ASSERT_EQ(all.size(), 40u);
   const std::vector<std::uint64_t> tail1(all.begin() + 20, all.end());
   EXPECT_EQ(tail0, tail1);
+}
+
+TEST(Checkpoint, RewindUnderFaultsReproducesTheTail) {
+  // Regression for the restore_sent_total bug: a checkpoint must rewind ALL
+  // round-boundary network state - under faults that includes the in-flight
+  // delayed queue and the dedicated fault Rng. If either is missed, the tail
+  // after a rewind delivers a different envelope stream.
+  ScenarioConfig cfg = small_config(37, Protocol::kCongos);
+  cfg.faults.drop_rate = 0.1;
+  cfg.faults.dup_rate = 0.1;
+  cfg.faults.delay_rate = 0.2;
+  cfg.faults.max_delay = 2;
+  cfg.congos.retransmit.enabled = true;
+  cfg.congos.retransmit.max_link_delay = 2;
+
+  harness::ScenarioRun run(cfg);
+  const Round mid = run.total_rounds() / 2;
+  run.run_until(mid);
+
+  sim::Engine& eng = run.engine();
+  ASSERT_TRUE(eng.network().faults_enabled());
+  const sim::EngineCheckpoint cp = eng.save_checkpoint();
+  ASSERT_TRUE(cp.complete);
+
+  replay::DecisionRecorder first;
+  eng.add_observer(&first);
+  run.run_all();
+  const std::vector<std::uint64_t> tail = first.round_deliveries();
+  const std::uint64_t faults_after =
+      eng.stats().fault_total();
+
+  ASSERT_TRUE(eng.restore_checkpoint(cp));
+  EXPECT_EQ(eng.now(), mid);
+  EXPECT_EQ(eng.network().in_flight_delayed(), cp.network.delayed.size());
+
+  replay::DecisionRecorder second;
+  eng.add_observer(&second);
+  run.run_all();
+  EXPECT_EQ(second.round_deliveries(), tail)
+      << "delayed queue or fault Rng not rewound";
+  EXPECT_EQ(eng.stats().fault_total(), faults_after)
+      << "fault counters not rewound with the stats checkpoint";
+  EXPECT_GT(faults_after, 0u);
 }
 
 /// A process without snapshot support: checkpoints of engines containing it

@@ -41,6 +41,7 @@ const char kUsage[] = R"(congos_replay - deterministic .repro re-execution
                    the tail and require identical per-round counts
   --rewind-round=R checkpoint round for --verify-rewind (default: halfway)
   --schedule       print the recorded adversary decision trace and exit
+  --show-faults    print the recorded link-fault plan and fault counters, exit
   --show-trace     print the recorded TraceLog tail and exit
   --help           this text
 )";
@@ -73,6 +74,29 @@ void print_schedule(const replay::ReproFile& file) {
                   static_cast<long long>(d.round), kind_name(d.kind), d.process,
                   static_cast<int>(d.policy));
     }
+  }
+}
+
+void print_faults(const replay::ReproFile& file) {
+  std::printf("fault plan       : %s\n", sim::describe(file.config.faults).c_str());
+  const auto& rt = file.config.congos.retransmit;
+  if (rt.enabled) {
+    std::printf("retransmission   : on (budget %d, max link delay %lld)\n",
+                rt.budget, static_cast<long long>(rt.max_link_delay));
+  } else {
+    std::printf("retransmission   : off\n");
+  }
+  std::printf("fault events     : ");
+  for (std::size_t f = 0; f < sim::kNumFaultKinds; ++f) {
+    std::printf("%s%llu %s", f == 0 ? "" : ", ",
+                static_cast<unsigned long long>(file.faults_by_kind[f]),
+                sim::to_string(static_cast<sim::FaultKind>(f)));
+  }
+  std::printf("\nduplicates       : %llu suppressed by gossip idempotence\n",
+              static_cast<unsigned long long>(file.duplicates_suppressed));
+  if (!file.config.faults.enabled()) {
+    std::printf("(fault layer was off for this run - a v1 artifact reads the "
+                "same way)\n");
   }
 }
 
@@ -187,7 +211,7 @@ int main(int argc, char** argv) {
   }
   const auto unknown = flags.unknown_keys(
       {"until-round", "diff-golden", "dump-state", "verify-rewind",
-       "rewind-round", "schedule", "show-trace", "help"});
+       "rewind-round", "schedule", "show-faults", "show-trace", "help"});
   if (!unknown.empty()) return fail_usage("unknown flag --" + unknown.front());
   if (flags.positional().size() != 1) {
     return fail_usage("expected exactly one FILE.repro argument");
@@ -216,6 +240,10 @@ int main(int argc, char** argv) {
 
   if (flags.get_bool("schedule", false)) {
     print_schedule(file);
+    return 0;
+  }
+  if (flags.get_bool("show-faults", false)) {
+    print_faults(file);
     return 0;
   }
   if (flags.get_bool("show-trace", false)) {

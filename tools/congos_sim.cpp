@@ -9,6 +9,7 @@
 //   congos_sim --protocol=plain-gossip --n=32          # watch it leak
 //   congos_sim --protocol=congos --expander --csv
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -16,6 +17,7 @@
 #include "common/flags.h"
 #include "harness/record.h"
 #include "harness/scenario.h"
+#include "sim/faults.h"
 #include "sim/trace.h"
 
 using namespace congos;
@@ -36,6 +38,14 @@ const char kUsage[] = R"(congos_sim - confidential continuous gossip simulator
   --expander       deterministic expander gossip instead of epidemic push
   --gossip-fanout=F  black-box gossip fan-out               (default 3)
   --churn=P        per-round crash probability (restart 0.05)
+  --faults=SPEC    link-fault plan: comma-separated key:value pairs, e.g.
+                   drop:0.05,delay:2 - keys: drop/dup (probabilities),
+                   delay:K (max lateness), delay-rate:P, partition:PERIOD/DUR,
+                   seed:S. CONGOS_FAULTS env is the fallback when unset.
+  --retransmit     deadline-aware ack/retransmit hardening (congos only);
+                   --retransmit-budget=B (default 3) and
+                   --max-link-delay=K (default: the fault plan's delay bound)
+                   tune the schedule
   --lazy=F         fraction of freeloading processes (congos only)
   --measure-from=R exclude rounds < R from peak statistics  (default 2*D)
   --no-audit       skip the confidentiality auditor (faster)
@@ -61,8 +71,8 @@ int main(int argc, char** argv) {
   const auto unknown = flags.unknown_keys(
       {"protocol", "n", "rounds", "seed", "deadline", "inject-prob", "dest-min",
        "dest-max", "tau", "no-degenerate", "expander", "gossip-fanout", "churn",
-       "lazy", "measure-from", "no-audit", "record-repro", "csv", "trace",
-       "help"});
+       "faults", "retransmit", "retransmit-budget", "max-link-delay", "lazy",
+       "measure-from", "no-audit", "record-repro", "csv", "trace", "help"});
   if (!unknown.empty()) return fail_usage("unknown flag --" + unknown.front());
 
   harness::ScenarioConfig cfg;
@@ -106,6 +116,31 @@ int main(int argc, char** argv) {
     cfg.churn->crash_prob = churn;
     cfg.churn->restart_prob = 0.05;
     cfg.churn->min_alive = std::max<std::size_t>(2, cfg.n / 8);
+  }
+
+  std::string fault_spec = flags.get("faults", "");
+  if (fault_spec.empty()) {
+    const char* env = std::getenv("CONGOS_FAULTS");
+    if (env != nullptr) fault_spec = env;
+  }
+  if (!fault_spec.empty()) {
+    std::string err;
+    if (!sim::parse_fault_spec(fault_spec, &cfg.faults, &err)) {
+      return fail_usage("bad --faults spec: " + err);
+    }
+  }
+  if (flags.get_bool("retransmit", false)) {
+    cfg.congos.retransmit.enabled = true;
+    cfg.congos.retransmit.budget =
+        static_cast<int>(flags.get_int("retransmit-budget", 3));
+    // Default the delay budget to the fault plan's own bound, so "turn on
+    // retransmission" alone is already sized to the configured faults.
+    const Round default_mld =
+        (cfg.faults.delay_rate > 0.0 || cfg.faults.dup_rate > 0.0)
+            ? cfg.faults.max_delay
+            : 0;
+    cfg.congos.retransmit.max_link_delay =
+        flags.get_int("max-link-delay", default_mld);
   }
 
   sim::TraceLog trace;
@@ -186,6 +221,25 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.cg_confirmed),
                 static_cast<unsigned long long>(r.cg_shoots),
                 static_cast<unsigned long long>(r.cg_injected_direct));
+  }
+  if (cfg.faults.enabled()) {
+    std::printf("faults           : %s\n", sim::describe(cfg.faults).c_str());
+    std::printf("fault events     : %llu dropped, %llu duplicated, %llu delayed, "
+                "%llu partitioned; %llu dup rumors suppressed\n",
+                static_cast<unsigned long long>(
+                    r.faults_by_kind[static_cast<int>(sim::FaultKind::kDropped)]),
+                static_cast<unsigned long long>(
+                    r.faults_by_kind[static_cast<int>(sim::FaultKind::kDuplicated)]),
+                static_cast<unsigned long long>(
+                    r.faults_by_kind[static_cast<int>(sim::FaultKind::kDelayed)]),
+                static_cast<unsigned long long>(
+                    r.faults_by_kind[static_cast<int>(sim::FaultKind::kPartitioned)]),
+                static_cast<unsigned long long>(r.duplicates_suppressed));
+    std::printf("retransmission   : %s (QoD contract %s)\n",
+                cfg.congos.retransmit.enabled ? "on" : "off",
+                audit::delivery_guaranteed(cfg.faults, cfg.congos.retransmit)
+                    ? "guaranteed"
+                    : "not guaranteed - violations are detected, never masked");
   }
   std::printf("verdict          : %s\n", ok ? "OK" : "VIOLATIONS DETECTED");
   return ok ? 0 : 1;
