@@ -6,14 +6,8 @@
 
 namespace congos::baseline {
 
-namespace {
-/// Ack payload: rumor uids received.
-struct StrongAckPayload final : sim::Payload {
-  StrongAckPayload() : sim::Payload(sim::PayloadKind::kStrongAck) {}
-
-  std::vector<RumorUid> uids;
-};
-}  // namespace
+// StrongAckPayload moved to baseline/baseline_payload.h so the wire codec
+// (and the byte accounting) can see it.
 
 void StrongConfidentialProcess::on_restart(Round /*now*/) {
   known_.clear();

@@ -16,6 +16,7 @@
 #include "common/types.h"
 #include "sim/message.h"
 #include "sim/rumor.h"
+#include "wire/wire.h"
 
 namespace congos::core {
 
@@ -54,10 +55,82 @@ struct Fragment {
   coding::Bytes data;
 };
 
-/// Serialized size of a fragment: key (12 + 2 + 2) + destination bitset +
-/// expiry/class (16) + group count (2) + share bytes.
-inline std::size_t wire_size(const Fragment& f) {
-  return 16 + f.meta.dest.byte_size() + 16 + 2 + f.data.size();
+/// v1 wire fields of a fragment's metadata (codec walk, src/wire/wire.h).
+template <class S, wire::SameBase<FragmentMeta> M>
+void wire_fields(S& s, M& m) {
+  s.varint32(m.key.rumor.source);
+  s.varint(m.key.rumor.seq);
+  s.varint32(m.key.partition);
+  s.varint32(m.key.group);
+  s.bitset(m.dest);
+  s.zigzag(m.expires_at);
+  s.zigzag(m.dline);
+  s.varint32(m.num_groups);
+}
+
+template <class S, wire::SameBase<Fragment> F>
+void wire_fields(S& s, F& f) {
+  wire_fields(s, f.meta);
+  s.bytes(f.data);
+}
+
+/// THE fragment layout, documented once (previously a comment and a formula
+/// drifted independently: the comment said "key 12 + 2 + 2 ... group count
+/// 2" while partition/group/num_groups are 32-bit GroupIndex/PartitionIndex
+/// values, and the formula counted the group-count field at the wrong
+/// width). Modeled fixed-width layout, matching the codec's field walk above
+/// field for field:
+///
+///   uid 12 + partition 4 + group 4 + expires_at 8 + dline 8 + num_groups 4
+///   (= kFragmentMetaModeledBytes) + destination bitset + share bytes.
+///
+/// The group-count field is counted exactly once, here.
+inline constexpr std::uint64_t kFragmentMetaModeledBytes = 12 + 4 + 4 + 8 + 8 + 4;
+
+inline std::uint64_t modeled_size(const Fragment& f) {
+  return kFragmentMetaModeledBytes + f.meta.dest.byte_size() + f.data.size();
+}
+
+/// Batched fragment framing (DESIGN.md section 11): consecutive fragments of
+/// the same rumor share all rumor-level metadata, so after the first one a
+/// flag byte 1 means "inherit the previous fragment's uid / destination set
+/// / expiry / deadline class / group count" and only (partition, group,
+/// data) are re-encoded. Proxy requests and partials batches are mostly runs
+/// of same-rumor fragments, which is where the real bytes shrink. Flag
+/// values > 1, or flag 1 on the first fragment, are decode errors.
+template <class S, class V>
+void wire_fragment_batch(S& s, V& fragments) {
+  s.seq(fragments);
+  const Fragment* prev = nullptr;
+  for (auto& f : fragments) {
+    if (!s.ok()) return;
+    std::uint8_t share = 0;
+    if constexpr (!S::kReading) {
+      share = (prev != nullptr && f.meta.key.rumor == prev->meta.key.rumor &&
+               f.meta.dest == prev->meta.dest &&
+               f.meta.expires_at == prev->meta.expires_at &&
+               f.meta.dline == prev->meta.dline &&
+               f.meta.num_groups == prev->meta.num_groups)
+                  ? 1
+                  : 0;
+    }
+    s.u8(share);
+    if constexpr (S::kReading) {
+      if (!s.ok() || share > 1 || (share == 1 && prev == nullptr)) {
+        s.fail();
+        return;
+      }
+      if (share == 1) f.meta = prev->meta;
+    }
+    if (share == 1) {
+      s.varint32(f.meta.key.partition);
+      s.varint32(f.meta.key.group);
+    } else {
+      wire_fields(s, f.meta);
+    }
+    s.bytes(f.data);
+    prev = &f;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -73,11 +146,8 @@ struct ProxyRequestPayload final : sim::Payload {
   Round dline = 0;  // deadline class, for routing to the right instance
   std::vector<Fragment> fragments;
 
-  std::size_t wire_size() const override {
-    std::size_t total = 12;
-    for (const auto& f : fragments) total += core::wire_size(f);
-    return total;
-  }
+  std::uint64_t encoded_size() const override;  // defined after the walks
+  std::uint64_t modeled_size() const override;
 
   void reuse() { fragments.clear(); }  // PayloadPool recycle hook
 };
@@ -88,7 +158,8 @@ struct ProxyAckPayload final : sim::Payload {
 
   Round dline = 0;
 
-  std::size_t wire_size() const override { return 8; }
+  std::uint64_t encoded_size() const override;
+  std::uint64_t modeled_size() const override { return 8; }
 
   void reuse() {}  // PayloadPool recycle hook
 };
@@ -103,11 +174,8 @@ struct PartialsPayload final : sim::Payload {
   Round dline = 0;
   std::vector<Fragment> fragments;
 
-  std::size_t wire_size() const override {
-    std::size_t total = 12;
-    for (const auto& f : fragments) total += core::wire_size(f);
-    return total;
-  }
+  std::uint64_t encoded_size() const override;
+  std::uint64_t modeled_size() const override;
 
   void reuse() { fragments.clear(); }  // PayloadPool recycle hook
 };
@@ -120,7 +188,8 @@ struct DirectRumorPayload final : sim::Payload {
 
   sim::Rumor rumor;
 
-  std::size_t wire_size() const override { return sim::wire_size(rumor); }
+  std::uint64_t encoded_size() const override;
+  std::uint64_t modeled_size() const override { return sim::modeled_size(rumor); }
 
   void reuse() {}  // PayloadPool recycle hook; `rumor` is reassigned on reuse
 };
@@ -134,7 +203,8 @@ struct PartialsAckPayload final : sim::Payload {
 
   Round dline = 0;
 
-  std::size_t wire_size() const override { return 8; }
+  std::uint64_t encoded_size() const override;
+  std::uint64_t modeled_size() const override { return 8; }
 
   void reuse() {}  // PayloadPool recycle hook
 };
@@ -147,7 +217,8 @@ struct DirectAckPayload final : sim::Payload {
 
   RumorUid rumor;
 
-  std::size_t wire_size() const override { return 12; }
+  std::uint64_t encoded_size() const override;
+  std::uint64_t modeled_size() const override { return 12; }
 
   void reuse() {}  // PayloadPool recycle hook
 };
@@ -163,7 +234,8 @@ struct FragmentBody final : sim::Payload {
 
   Fragment fragment;
 
-  std::size_t wire_size() const override { return core::wire_size(fragment); }
+  std::uint64_t encoded_size() const override;
+  std::uint64_t modeled_size() const override { return core::modeled_size(fragment); }
 };
 
 /// Proxy[l] intra-group share (Fig. 9 round 2): fragments received as a
@@ -178,11 +250,8 @@ struct ProxyShareBody final : sim::Payload {
   std::vector<Fragment> proxied;          // fragments of the *receiving* group
   std::vector<ProcessId> failed_proxies;  // per other-group flattened
 
-  std::size_t wire_size() const override {
-    std::size_t total = 20 + 4 * failed_proxies.size();
-    for (const auto& f : proxied) total += core::wire_size(f);
-    return total;
-  }
+  std::uint64_t encoded_size() const override;
+  std::uint64_t modeled_size() const override;
 };
 
 /// One hitSet entry: fragment of rumor `rumor` was sent to process `target`.
@@ -204,7 +273,8 @@ struct HitSetShareBody final : sim::Payload {
   ProcessId from = kNoProcess;
   std::vector<Hit> hits;
 
-  std::size_t wire_size() const override { return 20 + 16 * hits.size(); }
+  std::uint64_t encoded_size() const override;
+  std::uint64_t modeled_size() const override;
 };
 
 /// AllGossip distribution report (Fig. 10 line 36): sanitized hitSet - which
@@ -219,7 +289,8 @@ struct DistributionReportBody final : sim::Payload {
   Round dline = 0;
   std::vector<Hit> hits;
 
-  std::size_t wire_size() const override { return 20 + 16 * hits.size(); }
+  std::uint64_t encoded_size() const override;
+  std::uint64_t modeled_size() const override;
 };
 
 /// Splits rumor data into `num_groups` fragments for partition `l`.
@@ -227,5 +298,170 @@ struct DistributionReportBody final : sim::Payload {
 std::vector<Fragment> split_rumor(const sim::Rumor& rumor, PartitionIndex l,
                                   GroupIndex num_groups, Round expires_at, Round dline,
                                   Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Codec field walks (one per payload kind) and the size overrides they drive.
+// The walks live below the payload classes (complete types); encoded_size()
+// definitions live below the walks (ordinary name lookup at definition).
+// ---------------------------------------------------------------------------
+
+template <class S, wire::SameBase<ProxyRequestPayload> P>
+void wire_fields(S& s, P& p) {
+  s.zigzag(p.dline);
+  wire_fragment_batch(s, p.fragments);
+}
+
+template <class S, wire::SameBase<ProxyAckPayload> P>
+void wire_fields(S& s, P& p) {
+  s.zigzag(p.dline);
+}
+
+template <class S, wire::SameBase<PartialsPayload> P>
+void wire_fields(S& s, P& p) {
+  s.zigzag(p.dline);
+  wire_fragment_batch(s, p.fragments);
+}
+
+template <class S, wire::SameBase<DirectRumorPayload> P>
+void wire_fields(S& s, P& p) {
+  wire_fields(s, p.rumor);
+}
+
+template <class S, wire::SameBase<PartialsAckPayload> P>
+void wire_fields(S& s, P& p) {
+  s.zigzag(p.dline);
+}
+
+template <class S, wire::SameBase<DirectAckPayload> P>
+void wire_fields(S& s, P& p) {
+  s.varint32(p.rumor.source);
+  s.varint(p.rumor.seq);
+}
+
+template <class S, wire::SameBase<FragmentBody> P>
+void wire_fields(S& s, P& p) {
+  wire_fields(s, p.fragment);
+}
+
+template <class S, wire::SameBase<Hit> H>
+void wire_fields(S& s, H& h) {
+  s.varint32(h.target);
+  s.varint32(h.rumor.source);
+  s.varint(h.rumor.seq);
+}
+
+template <class S, wire::SameBase<ProxyShareBody> P>
+void wire_fields(S& s, P& p) {
+  s.zigzag(p.dline);
+  s.varint(p.block);
+  s.varint32(p.from);
+  wire_fragment_batch(s, p.proxied);
+  s.seq(p.failed_proxies);
+  for (auto& q : p.failed_proxies) {
+    if (!s.ok()) return;
+    s.varint32(q);
+  }
+}
+
+template <class S, wire::SameBase<HitSetShareBody> P>
+void wire_fields(S& s, P& p) {
+  s.zigzag(p.dline);
+  s.varint(p.block);
+  s.varint32(p.from);
+  s.seq(p.hits);
+  for (auto& h : p.hits) {
+    if (!s.ok()) return;
+    wire_fields(s, h);
+  }
+}
+
+template <class S, wire::SameBase<DistributionReportBody> P>
+void wire_fields(S& s, P& p) {
+  s.varint32(p.reporter);
+  s.varint32(p.partition);
+  s.varint32(p.group);
+  s.zigzag(p.dline);
+  s.seq(p.hits);
+  for (auto& h : p.hits) {
+    if (!s.ok()) return;
+    wire_fields(s, h);
+  }
+}
+
+/// Modeled fixed-width size of one hitSet entry: target (4) + uid (12).
+inline constexpr std::uint64_t kHitModeledBytes = 16;
+
+template <class P>
+std::uint64_t sized_by_walk(const P& p) {
+  wire::SizeSink s;
+  wire_fields(s, p);
+  return s.size();
+}
+
+inline std::uint64_t ProxyRequestPayload::encoded_size() const {
+  return sized_by_walk(*this);
+}
+inline std::uint64_t ProxyRequestPayload::modeled_size() const {
+  std::uint64_t total = 12;  // dline (8) + fragment count (4)
+  for (const auto& f : fragments) total += core::modeled_size(f);
+  return total;
+}
+
+inline std::uint64_t ProxyAckPayload::encoded_size() const {
+  return sized_by_walk(*this);
+}
+
+inline std::uint64_t PartialsPayload::encoded_size() const {
+  return sized_by_walk(*this);
+}
+inline std::uint64_t PartialsPayload::modeled_size() const {
+  // Identical accounting to ProxyRequestPayload: same layout, and the old
+  // estimates drifting apart is exactly what the codec cross-check flags.
+  std::uint64_t total = 12;
+  for (const auto& f : fragments) total += core::modeled_size(f);
+  return total;
+}
+
+inline std::uint64_t DirectRumorPayload::encoded_size() const {
+  return sized_by_walk(*this);
+}
+
+inline std::uint64_t PartialsAckPayload::encoded_size() const {
+  return sized_by_walk(*this);
+}
+
+inline std::uint64_t DirectAckPayload::encoded_size() const {
+  return sized_by_walk(*this);
+}
+
+inline std::uint64_t FragmentBody::encoded_size() const {
+  return sized_by_walk(*this);
+}
+
+inline std::uint64_t ProxyShareBody::encoded_size() const {
+  return sized_by_walk(*this);
+}
+inline std::uint64_t ProxyShareBody::modeled_size() const {
+  // dline (8) + block (8) + from (4) + two counts (4 + 4) + entries.
+  std::uint64_t total = 28 + 4 * failed_proxies.size();
+  for (const auto& f : proxied) total += core::modeled_size(f);
+  return total;
+}
+
+inline std::uint64_t HitSetShareBody::encoded_size() const {
+  return sized_by_walk(*this);
+}
+inline std::uint64_t HitSetShareBody::modeled_size() const {
+  // dline (8) + block (8) + from (4) + count (4) + hits.
+  return 24 + kHitModeledBytes * hits.size();
+}
+
+inline std::uint64_t DistributionReportBody::encoded_size() const {
+  return sized_by_walk(*this);
+}
+inline std::uint64_t DistributionReportBody::modeled_size() const {
+  // reporter (4) + partition (4) + group (4) + dline (8) + count (4) + hits.
+  return 24 + kHitModeledBytes * hits.size();
+}
 
 }  // namespace congos::core

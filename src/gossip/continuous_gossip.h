@@ -37,6 +37,7 @@
 #include "gossip/filter.h"
 #include "sim/message.h"
 #include "sim/process.h"
+#include "wire/wire.h"
 
 namespace congos::gossip {
 
@@ -50,31 +51,24 @@ struct GossipRumor {
   sim::PayloadPtr body;
 };
 
-/// Serialized size of one gossip rumor record: gid (8) + origin (4) +
-/// deadline (8) + destination bitset + opaque body.
-inline std::size_t wire_size(const GossipRumor& r) {
-  return 8 + 4 + 8 + r.dest.byte_size() + (r.body ? r.body->wire_size() : 0);
+/// Modeled (fixed-width) size of one gossip rumor record: gid (8) + origin
+/// (4) + deadline (8) + destination bitset + opaque body.
+inline std::uint64_t modeled_size(const GossipRumor& r) {
+  return 8 + 4 + 8 + r.dest.byte_size() + (r.body ? r.body->modeled_size() : 0);
 }
 
 /// Wire payload: a batch of rumors pushed to one peer. One batch is shared
 /// between every same-round recipient (push targets, pull repliers, expander
-/// neighbors), so the serialized size is memoized: the payload is immutable
-/// once handed to a Sender, and wire_size() is re-queried per recipient by
-/// the byte accounting.
+/// neighbors), so both serialized sizes are memoized: the payload is
+/// immutable once handed to a Sender, and encoded_size()/modeled_size() are
+/// re-queried per recipient by the byte accounting.
 struct GossipMsg final : sim::Payload {
   GossipMsg() : sim::Payload(sim::PayloadKind::kGossipMsg) {}
 
   std::vector<GossipRumor> rumors;
 
-  std::size_t wire_size() const override {
-    if (cached_for_count_ != rumors.size()) {
-      std::size_t total = 4;  // count
-      for (const auto& r : rumors) total += gossip::wire_size(r);
-      cached_wire_size_ = total;
-      cached_for_count_ = rumors.size();
-    }
-    return cached_wire_size_;
-  }
+  std::uint64_t encoded_size() const override;  // defined after the walk
+  std::uint64_t modeled_size() const override;
 
   /// PayloadPool recycle hook: a recycled message starts empty.
   void reuse() {
@@ -88,9 +82,12 @@ struct GossipMsg final : sim::Payload {
   void reset_wire_memo() const { cached_for_count_ = SIZE_MAX; }
 
  private:
-  mutable std::size_t cached_wire_size_ = 0;
+  void refresh_size_memo() const;  // defined after the walk
+
+  mutable std::uint64_t cached_encoded_size_ = 0;
+  mutable std::uint64_t cached_modeled_size_ = 0;
   // Memo is invalidated when the rumor count changes; mutating a rumor
-  // in place after a wire_size() query is still forbidden (see the class
+  // in place after a size query is still forbidden (see the class
   // comment: payloads are immutable once handed to a Sender).
   mutable std::size_t cached_for_count_ = SIZE_MAX;
 };
@@ -101,7 +98,8 @@ struct GossipAck final : sim::Payload {
 
   std::vector<std::uint64_t> gids;
 
-  std::size_t wire_size() const override { return 4 + 8 * gids.size(); }
+  std::uint64_t encoded_size() const override;
+  std::uint64_t modeled_size() const override { return 4 + 8 * gids.size(); }
 
   void reuse() { gids.clear(); }
 };
@@ -128,10 +126,93 @@ enum class GossipStrategy : std::uint8_t { kEpidemicPush, kExpander, kPushPull }
 struct GossipPull final : sim::Payload {
   GossipPull() : sim::Payload(sim::PayloadKind::kGossipPull) {}
 
-  std::size_t wire_size() const override { return 4; }
+  std::uint64_t encoded_size() const override { return 0; }  // stateless body
+  std::uint64_t modeled_size() const override { return 4; }
 
   void reuse() {}  // stateless; PayloadPool recycle hook
 };
+
+// ---------------------------------------------------------------------------
+// Codec field walks (src/wire/wire.h). Batches delta-encode their gids: the
+// sorted_gids_ invariant keeps batch rumors in ascending gid order, so the
+// per-rumor gid shrinks from 8 modeled bytes to (usually) 1 actual byte.
+// ---------------------------------------------------------------------------
+
+/// Fields of one rumor record, gid excluded (the containing batch encodes
+/// gids as deltas).
+template <class S, wire::SameBase<GossipRumor> R>
+void wire_rumor_fields(S& s, R& r) {
+  s.varint32(r.origin);
+  s.zigzag(r.deadline_at);
+  s.bitset(r.dest);
+  s.nested(r.body);
+}
+
+template <class S, wire::SameBase<GossipMsg> M>
+void wire_fields(S& s, M& m) {
+  s.seq(m.rumors);
+  std::uint64_t prev = 0;
+  for (auto& r : m.rumors) {
+    if (!s.ok()) return;
+    if constexpr (S::kReading) {
+      std::uint64_t delta = 0;
+      s.varint(delta);
+      r.gid = prev + delta;  // unsigned wrap-around restores any gid
+    } else {
+      s.varint(r.gid - prev);  // small for sorted batches; lossless regardless
+    }
+    prev = r.gid;
+    wire_rumor_fields(s, r);
+  }
+}
+
+/// Ack gids are in arbitrary arrival order, so deltas are zigzag-signed.
+template <class S, wire::SameBase<GossipAck> A>
+void wire_fields(S& s, A& a) {
+  s.seq(a.gids);
+  std::uint64_t prev = 0;
+  for (auto& g : a.gids) {
+    if (!s.ok()) return;
+    if constexpr (S::kReading) {
+      std::int64_t delta = 0;
+      s.zigzag(delta);
+      g = prev + static_cast<std::uint64_t>(delta);
+    } else {
+      s.zigzag(static_cast<std::int64_t>(g - prev));
+    }
+    prev = g;
+  }
+}
+
+template <class S, wire::SameBase<GossipPull> P>
+void wire_fields(S&, P&) {}  // stateless
+
+inline void GossipMsg::refresh_size_memo() const {
+  if (cached_for_count_ == rumors.size()) return;
+  wire::SizeSink actual;
+  wire_fields(actual, *this);
+  cached_encoded_size_ = actual.size();
+  std::uint64_t modeled = 4;  // count
+  for (const auto& r : rumors) modeled += gossip::modeled_size(r);
+  cached_modeled_size_ = modeled;
+  cached_for_count_ = rumors.size();
+}
+
+inline std::uint64_t GossipMsg::encoded_size() const {
+  refresh_size_memo();
+  return cached_encoded_size_;
+}
+
+inline std::uint64_t GossipMsg::modeled_size() const {
+  refresh_size_memo();
+  return cached_modeled_size_;
+}
+
+inline std::uint64_t GossipAck::encoded_size() const {
+  wire::SizeSink s;
+  wire_fields(s, *this);
+  return s.size();
+}
 
 struct GossipConfig {
   sim::ServiceTag tag;      // kGroupGossip/partition or kAllGossip

@@ -4,6 +4,7 @@
 
 #include "common/assert.h"
 #include "sim/trace.h"
+#include "wire/wire.h"
 
 namespace congos::harness {
 
@@ -25,6 +26,9 @@ void fill_result_summary(replay::ReproFile* file, const ScenarioResult& r) {
     file->faults_by_kind[f] = r.faults_by_kind[f];
   }
   file->duplicates_suppressed = r.duplicates_suppressed;
+  // v3: total_bytes above is only comparable across runs serialized with the
+  // same wire codec version, so the artifact records which one it was.
+  file->wire_codec_version = wire::kWireFormatVersion;
 }
 
 }  // namespace

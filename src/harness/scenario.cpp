@@ -183,6 +183,13 @@ ScenarioResult ScenarioRun::finalize() const {
 
   result.max_bytes_per_round = stats.max_bytes_from(cfg_.measure_from);
   result.total_bytes = stats.total_bytes();
+  result.total_bytes_modeled = stats.total_modeled_bytes();
+  // Satellite of the wire-codec PR: assert the aggregation path never
+  // narrows (stats accumulates in u64; the result fields must match).
+  static_assert(std::is_same_v<decltype(result.total_bytes), std::uint64_t>);
+  static_assert(std::is_same_v<
+                std::remove_reference_t<decltype(result.total_bytes_by_kind[0])>,
+                std::uint64_t>);
   for (std::size_t k = 0; k < sim::kNumServiceKinds; ++k) {
     result.total_bytes_by_kind[k] =
         stats.total_bytes(static_cast<sim::ServiceKind>(k));

@@ -319,6 +319,7 @@ std::vector<std::uint8_t> encode(const ReproFile& file) {
     w.u64(file.faults_by_kind[f]);
   }
   w.u64(file.duplicates_suppressed);
+  w.u32(file.wire_codec_version);  // v3
   w.str(file.trace_tail);
 
   std::vector<std::uint8_t> bytes = w.take();
@@ -396,6 +397,9 @@ bool decode(const std::vector<std::uint8_t>& bytes, ReproFile* out,
       file.faults_by_kind[f] = r.u64();
     }
     file.duplicates_suppressed = r.u64();
+  }
+  if (version >= 3) {
+    file.wire_codec_version = r.u32();
   }
   file.trace_tail = r.str();
   if (!r.ok()) {

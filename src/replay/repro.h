@@ -31,9 +31,11 @@ namespace congos::replay {
 
 inline constexpr std::uint32_t kReproMagic = 0x50524743;  // "CGRP" little-endian
 /// Version 2 added the link-fault config, the retransmission config and the
-/// fault counter totals; decode() still accepts version-1 files (their fault
-/// fields default to "off"/zero).
-inline constexpr std::uint32_t kReproVersion = 2;
+/// fault counter totals; version 3 added the wire codec version the original
+/// run's byte accounting used. decode() still accepts version-1 and
+/// version-2 files (their fault fields default to "off"/zero and their
+/// wire_codec_version to 0 = "pre-codec modeled sizes").
+inline constexpr std::uint32_t kReproVersion = 3;
 
 /// One adversary decision, in execution order. Crash/restart decisions carry
 /// the partial-delivery policy; injections carry the rumor identity and its
@@ -86,6 +88,12 @@ struct ReproFile {
   /// and fault-free runs). Indexed by sim::FaultKind.
   std::uint64_t faults_by_kind[sim::kNumFaultKinds] = {};
   std::uint64_t duplicates_suppressed = 0;
+
+  /// v3: wire::kWireFormatVersion at record time. total_bytes above is only
+  /// comparable across runs that serialized with the same codec version;
+  /// 0 means the file predates the wire codec (byte counts are the old
+  /// fixed-width model).
+  std::uint32_t wire_codec_version = 0;
 
   /// Human-readable TraceLog tail of the original run (empty when tracing
   /// was off). Never parsed — for eyes only.

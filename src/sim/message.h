@@ -9,9 +9,15 @@
 // payloads without any protocol cooperating.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "common/types.h"
+
+namespace congos::wire {
+class WriteSink;
+class ReadSink;
+}  // namespace congos::wire
 
 namespace congos::sim {
 
@@ -76,14 +82,27 @@ enum class PayloadKind : std::uint8_t {
 /// Base class for all message payloads. Payloads are immutable once sent and
 /// shared between the network queue, the inboxes and the auditors.
 ///
-/// wire_size() estimates the serialized byte size of the payload, enabling
-/// the *communication* complexity accounting the paper discusses in Section 7
-/// (bits per round, as opposed to Definition 3's messages per round).
+/// Two byte-size accessors drive the *communication* complexity accounting
+/// the paper discusses in Section 7 (bits per round, as opposed to
+/// Definition 3's messages per round):
+///
+///   * encoded_size() is the ACTUAL serialized size of the body under the
+///     versioned wire codec (src/wire): exactly the bytes encode_envelope()
+///     emits, computed by walking the same field template with a counting
+///     sink (wire::SizeSink) — so it cannot drift from the encoder.
+///   * modeled_size() is the legacy fixed-width size model (explicit-width
+///     ints, no varint/delta compression). It is kept so experiments can
+///     report the modeled-vs-actual delta (exp_bytes), i.e. what the
+///     compact encoding buys.
+///
+/// The kOpaque defaults (8 bytes) cover test doubles the codec never
+/// serializes; wire::encode_payload() refuses kOpaque bodies.
 struct Payload {
   constexpr explicit Payload(PayloadKind kind = PayloadKind::kOpaque)
       : kind_(kind) {}
   virtual ~Payload() = default;
-  virtual std::size_t wire_size() const { return 8; }
+  virtual std::uint64_t encoded_size() const { return 8; }
+  virtual std::uint64_t modeled_size() const { return 8; }
 
   PayloadKind kind() const { return kind_; }
 
@@ -91,10 +110,24 @@ struct Payload {
   PayloadKind kind_;
 };
 
-/// Serialized size of an envelope: addressing/tag header plus body.
+/// Envelope header size under the legacy fixed-width model (addressing/tag
+/// header). The actual v1 frame header is varint-encoded and checksummed —
+/// see wire::encoded_envelope_size() — so real headers are usually larger
+/// (checksum) but addressing shrinks; this constant only feeds the modeled
+/// side of the modeled-vs-actual audit.
 constexpr std::size_t kEnvelopeHeaderBytes = 12;
 
 using PayloadPtr = std::shared_ptr<const Payload>;
+
+/// Codec hooks for nested payloads (rumor bodies carried inside gossip
+/// batches). Declared here — next to PayloadPtr, below the concrete payload
+/// types — to break the layering cycle: the wire sink templates call them by
+/// argument-dependent lookup, and their definitions live in
+/// src/wire/payload_codec.cpp (link congos_wire), where every payload type
+/// is visible. A null body encodes as one kOpaque kind byte and decodes back
+/// to nullptr.
+void wire_encode_nested(wire::WriteSink& s, const PayloadPtr& p);
+void wire_decode_nested(wire::ReadSink& s, PayloadPtr& p);
 
 struct Envelope {
   ProcessId from = kNoProcess;

@@ -10,6 +10,7 @@
 
 #include "common/bitset.h"
 #include "common/types.h"
+#include "wire/wire.h"
 
 namespace congos::sim {
 
@@ -41,10 +42,23 @@ struct Rumor {
 Rumor make_rumor(ProcessId source, std::uint64_t seq, std::vector<std::uint8_t> data,
                  Round deadline, DynamicBitset dest);
 
-/// Serialized size of a rumor: uid (12) + deadline (8) + destination bitset
-/// + payload bytes.
-inline std::size_t wire_size(const Rumor& r) {
-  return 12 + 8 + r.dest.byte_size() + r.data.size();
+/// v1 wire fields of a rumor (codec walk, see src/wire/wire.h).
+template <class S, wire::SameBase<Rumor> R>
+void wire_fields(S& s, R& r) {
+  s.varint32(r.uid.source);
+  s.varint(r.uid.seq);
+  s.zigzag(r.deadline);
+  s.zigzag(r.injected_at);
+  s.bitset(r.dest);
+  s.bytes(r.data);
+}
+
+/// Modeled (fixed-width) serialized size of a rumor: uid (12) + deadline (8)
+/// + injected_at (8) + destination bitset + payload bytes. The old estimate
+/// forgot injected_at, which rides the wire (receivers need it to evaluate
+/// active_at); the codec cross-check in test_wire_size caught it.
+inline std::uint64_t modeled_size(const Rumor& r) {
+  return 12 + 8 + 8 + r.dest.byte_size() + r.data.size();
 }
 
 }  // namespace congos::sim

@@ -1,0 +1,111 @@
+#include "wire/envelope.h"
+
+#include "wire/payload_codec.h"
+
+namespace congos::wire {
+
+namespace {
+
+void set_error(std::string* error, const char* msg) {
+  if (error != nullptr) *error = msg;
+}
+
+}  // namespace
+
+bool encode_envelope(const sim::Envelope& e, Round round,
+                     std::vector<std::uint8_t>* out) {
+  WriteSink s;
+  FrameHeader h = make_frame_header(e, round);
+  frame_header_fields(s, h);
+
+  WriteSink body;
+  if (e.body != nullptr) {
+    if (!encode_payload(body, *e.body) || !body.ok()) return false;
+  }
+  s.varint(body.data().size());
+  s.append(body.data());
+  if (!s.ok()) return false;
+
+  s.u64le(fnv1a(s.data().data(), s.data().size()));
+  *out = s.take();
+  return true;
+}
+
+bool decode_envelope(const std::uint8_t* data, std::size_t len,
+                     DecodedEnvelope* out, std::string* error) {
+  if (len < kChecksumBytes + 1) {
+    set_error(error, "frame too short");
+    return false;
+  }
+  const std::size_t body_len = len - kChecksumBytes;
+  std::uint64_t stored = 0;
+  for (std::size_t b = 0; b < kChecksumBytes; ++b) {
+    stored |= static_cast<std::uint64_t>(data[body_len + b]) << (8 * b);
+  }
+  if (fnv1a(data, body_len) != stored) {
+    set_error(error, "checksum mismatch (truncated or corrupted frame)");
+    return false;
+  }
+
+  ReadSink s(data, body_len);
+  FrameHeader h;
+  frame_header_fields(s, h);
+  if (!s.ok()) {
+    set_error(error, "malformed frame header");
+    return false;
+  }
+  if (h.version != kWireFormatVersion) {
+    set_error(error, "unsupported wire format version");
+    return false;
+  }
+  if (h.payload_kind > static_cast<std::uint8_t>(sim::PayloadKind::kStrongAck)) {
+    set_error(error, "unknown payload kind");
+    return false;
+  }
+  if (h.service_kind > static_cast<std::uint8_t>(sim::ServiceKind::kOther)) {
+    set_error(error, "unknown service kind");
+    return false;
+  }
+
+  std::uint64_t blen = 0;
+  s.varint(blen);
+  if (!s.ok() || blen != s.remaining()) {
+    set_error(error, "body length mismatch");
+    return false;
+  }
+
+  sim::PayloadPtr body;
+  if (h.payload_kind == static_cast<std::uint8_t>(sim::PayloadKind::kOpaque)) {
+    if (blen != 0) {
+      set_error(error, "opaque frame with non-empty body");
+      return false;
+    }
+  } else {
+    const std::size_t body_start = s.pos();
+    body = decode_payload(s, static_cast<sim::PayloadKind>(h.payload_kind));
+    if (body == nullptr || !s.ok()) {
+      set_error(error, "malformed payload body");
+      return false;
+    }
+    if (s.pos() - body_start != blen) {
+      set_error(error, "payload body under-consumed");
+      return false;
+    }
+  }
+
+  out->version = h.version;
+  out->round = h.round;
+  out->env.from = h.from;
+  out->env.to = h.to;
+  out->env.tag.kind = static_cast<sim::ServiceKind>(h.service_kind);
+  out->env.tag.partition = h.partition;
+  out->env.body = std::move(body);
+  return true;
+}
+
+bool decode_envelope(const std::vector<std::uint8_t>& bytes, DecodedEnvelope* out,
+                     std::string* error) {
+  return decode_envelope(bytes.data(), bytes.size(), out, error);
+}
+
+}  // namespace congos::wire

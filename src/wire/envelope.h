@@ -1,0 +1,100 @@
+// Envelope frame: the versioned, checksummed on-wire form of one
+// sim::Envelope (DESIGN.md section 11).
+//
+// v1 layout (all multi-byte ints varint unless noted):
+//
+//   u8      format version (wire::kWireFormatVersion)
+//   u8      payload kind   (sim::PayloadKind)
+//   u8      service kind   (sim::ServiceKind)
+//   varint  partition      (ServiceTag::partition)
+//   varint  from
+//   varint  to
+//   zigzag  round          (send round; the simulator's clock)
+//   varint  body length
+//   ...     body           (the payload's wire_fields walk)
+//   u64le   FNV-1a checksum over every preceding byte
+//
+// encoded_envelope_size() is header-only and allocation-free so
+// sim::Network can account actual bytes per submit without linking the
+// codec; encode/decode live in congos_wire.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/message.h"
+#include "wire/wire.h"
+
+namespace congos::wire {
+
+inline constexpr std::size_t kChecksumBytes = 8;
+
+/// The addressing header of a frame, decomposed so one walk template drives
+/// encode, decode and size.
+struct FrameHeader {
+  std::uint8_t version = kWireFormatVersion;
+  std::uint8_t payload_kind = 0;
+  std::uint8_t service_kind = 0;
+  PartitionIndex partition = 0;
+  ProcessId from = kNoProcess;
+  ProcessId to = kNoProcess;
+  Round round = 0;
+};
+
+template <class S, SameBase<FrameHeader> H>
+void frame_header_fields(S& s, H& h) {
+  s.u8(h.version);
+  s.u8(h.payload_kind);
+  s.u8(h.service_kind);
+  s.varint32(h.partition);
+  s.varint32(h.from);
+  s.varint32(h.to);
+  s.zigzag(h.round);
+}
+
+inline FrameHeader make_frame_header(const sim::Envelope& e, Round round) {
+  FrameHeader h;
+  h.payload_kind = static_cast<std::uint8_t>(
+      e.body ? e.body->kind() : sim::PayloadKind::kOpaque);
+  h.service_kind = static_cast<std::uint8_t>(e.tag.kind);
+  h.partition = e.tag.partition;
+  h.from = e.from;
+  h.to = e.to;
+  h.round = round;
+  return h;
+}
+
+/// Exact serialized size of the v1 frame for `e` sent in `round`: what
+/// encode_envelope() would produce. Allocation-free (SizeSink + the
+/// payloads' memoized encoded_size()), which is what lets Network::submit
+/// account actual bytes inside the zero-alloc steady-state round.
+inline std::uint64_t encoded_envelope_size(const sim::Envelope& e, Round round) {
+  SizeSink s;
+  FrameHeader h = make_frame_header(e, round);
+  frame_header_fields(s, h);
+  const std::uint64_t body = e.body ? e.body->encoded_size() : 0;
+  s.varint(body);
+  return s.size() + body + kChecksumBytes;
+}
+
+struct DecodedEnvelope {
+  sim::Envelope env;
+  Round round = 0;
+  std::uint8_t version = 0;
+};
+
+/// Serializes one envelope. Returns false (out untouched beyond clearing)
+/// for bodies the codec cannot express (kOpaque test doubles).
+bool encode_envelope(const sim::Envelope& e, Round round,
+                     std::vector<std::uint8_t>* out);
+
+/// Parses bytes produced by encode_envelope(). Rejects bad checksums,
+/// unknown versions, out-of-range enum tags, body under/overruns and
+/// trailing garbage; `error` (when non-null) describes the first problem.
+bool decode_envelope(const std::uint8_t* data, std::size_t len,
+                     DecodedEnvelope* out, std::string* error = nullptr);
+bool decode_envelope(const std::vector<std::uint8_t>& bytes, DecodedEnvelope* out,
+                     std::string* error = nullptr);
+
+}  // namespace congos::wire

@@ -1,0 +1,149 @@
+#include "wire/payload_codec.h"
+
+#include <memory>
+
+#include "baseline/baseline_payload.h"
+#include "congos/fragment.h"
+#include "gossip/continuous_gossip.h"
+
+namespace congos::wire {
+
+bool encode_payload(WriteSink& s, const sim::Payload& p) {
+  using sim::PayloadKind;
+  switch (p.kind()) {
+    case PayloadKind::kOpaque:
+      return false;  // test doubles carry no wire format
+    case PayloadKind::kGossipMsg:
+      wire_fields(s, static_cast<const gossip::GossipMsg&>(p));
+      return true;
+    case PayloadKind::kGossipAck:
+      wire_fields(s, static_cast<const gossip::GossipAck&>(p));
+      return true;
+    case PayloadKind::kGossipPull:
+      wire_fields(s, static_cast<const gossip::GossipPull&>(p));
+      return true;
+    case PayloadKind::kProxyRequest:
+      wire_fields(s, static_cast<const core::ProxyRequestPayload&>(p));
+      return true;
+    case PayloadKind::kProxyAck:
+      wire_fields(s, static_cast<const core::ProxyAckPayload&>(p));
+      return true;
+    case PayloadKind::kPartials:
+      wire_fields(s, static_cast<const core::PartialsPayload&>(p));
+      return true;
+    case PayloadKind::kDirectRumor:
+      wire_fields(s, static_cast<const core::DirectRumorPayload&>(p));
+      return true;
+    case PayloadKind::kPartialsAck:
+      wire_fields(s, static_cast<const core::PartialsAckPayload&>(p));
+      return true;
+    case PayloadKind::kDirectAck:
+      wire_fields(s, static_cast<const core::DirectAckPayload&>(p));
+      return true;
+    case PayloadKind::kFragment:
+      wire_fields(s, static_cast<const core::FragmentBody&>(p));
+      return true;
+    case PayloadKind::kProxyShare:
+      wire_fields(s, static_cast<const core::ProxyShareBody&>(p));
+      return true;
+    case PayloadKind::kHitSetShare:
+      wire_fields(s, static_cast<const core::HitSetShareBody&>(p));
+      return true;
+    case PayloadKind::kDistributionReport:
+      wire_fields(s, static_cast<const core::DistributionReportBody&>(p));
+      return true;
+    case PayloadKind::kBaselineRumor:
+      wire_fields(s, static_cast<const baseline::BaselineRumorPayload&>(p));
+      return true;
+    case PayloadKind::kBaselineBatch:
+      wire_fields(s, static_cast<const baseline::BaselineBatchPayload&>(p));
+      return true;
+    case PayloadKind::kStrongAck:
+      wire_fields(s, static_cast<const baseline::StrongAckPayload&>(p));
+      return true;
+  }
+  return false;
+}
+
+namespace {
+
+template <class P>
+sim::PayloadPtr decode_as(ReadSink& s) {
+  auto p = std::make_shared<P>();
+  wire_fields(s, *p);
+  if (!s.ok()) return nullptr;
+  return p;
+}
+
+}  // namespace
+
+sim::PayloadPtr decode_payload(ReadSink& s, sim::PayloadKind kind) {
+  using sim::PayloadKind;
+  switch (kind) {
+    case PayloadKind::kOpaque:
+      break;  // not decodable; fail below
+    case PayloadKind::kGossipMsg:
+      return decode_as<gossip::GossipMsg>(s);
+    case PayloadKind::kGossipAck:
+      return decode_as<gossip::GossipAck>(s);
+    case PayloadKind::kGossipPull:
+      return decode_as<gossip::GossipPull>(s);
+    case PayloadKind::kProxyRequest:
+      return decode_as<core::ProxyRequestPayload>(s);
+    case PayloadKind::kProxyAck:
+      return decode_as<core::ProxyAckPayload>(s);
+    case PayloadKind::kPartials:
+      return decode_as<core::PartialsPayload>(s);
+    case PayloadKind::kDirectRumor:
+      return decode_as<core::DirectRumorPayload>(s);
+    case PayloadKind::kPartialsAck:
+      return decode_as<core::PartialsAckPayload>(s);
+    case PayloadKind::kDirectAck:
+      return decode_as<core::DirectAckPayload>(s);
+    case PayloadKind::kFragment:
+      return decode_as<core::FragmentBody>(s);
+    case PayloadKind::kProxyShare:
+      return decode_as<core::ProxyShareBody>(s);
+    case PayloadKind::kHitSetShare:
+      return decode_as<core::HitSetShareBody>(s);
+    case PayloadKind::kDistributionReport:
+      return decode_as<core::DistributionReportBody>(s);
+    case PayloadKind::kBaselineRumor:
+      return decode_as<baseline::BaselineRumorPayload>(s);
+    case PayloadKind::kBaselineBatch:
+      return decode_as<baseline::BaselineBatchPayload>(s);
+    case PayloadKind::kStrongAck:
+      return decode_as<baseline::StrongAckPayload>(s);
+  }
+  s.fail();
+  return nullptr;
+}
+
+}  // namespace congos::wire
+
+namespace congos::sim {
+
+// Nested-payload hooks declared in sim/message.h. Framing: one PayloadKind
+// byte, then the body fields; a null body is a single kOpaque byte.
+
+void wire_encode_nested(wire::WriteSink& s, const PayloadPtr& p) {
+  s.u8(static_cast<std::uint8_t>(p ? p->kind() : PayloadKind::kOpaque));
+  if (p != nullptr && !wire::encode_payload(s, *p)) s.fail();
+}
+
+void wire_decode_nested(wire::ReadSink& s, PayloadPtr& p) {
+  std::uint8_t kind = 0;
+  s.u8(kind);
+  if (!s.ok() || kind > static_cast<std::uint8_t>(PayloadKind::kStrongAck)) {
+    s.fail();
+    p = nullptr;
+    return;
+  }
+  if (kind == static_cast<std::uint8_t>(PayloadKind::kOpaque)) {
+    p = nullptr;  // null body
+    return;
+  }
+  p = wire::decode_payload(s, static_cast<PayloadKind>(kind));
+}
+
+}  // namespace congos::sim

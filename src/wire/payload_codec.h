@@ -1,0 +1,21 @@
+// Per-kind payload encode/decode dispatch: the one switch over
+// sim::PayloadKind (both directions), used by the envelope codec and the
+// round-trip tests. Body layouts themselves live as wire_fields walks next
+// to each payload type.
+#pragma once
+
+#include "sim/message.h"
+#include "wire/wire.h"
+
+namespace congos::wire {
+
+/// Appends the body fields of `p` (kind tag excluded — the envelope frame
+/// or the nested-payload framing carries it). Returns false for kinds the
+/// codec cannot serialize (kOpaque).
+bool encode_payload(WriteSink& s, const sim::Payload& p);
+
+/// Decodes a body of `kind` from `s`. Returns nullptr (with s failed) on
+/// malformed input or un-decodable kinds.
+sim::PayloadPtr decode_payload(ReadSink& s, sim::PayloadKind kind);
+
+}  // namespace congos::wire

@@ -39,7 +39,9 @@ TEST(Golden, AggregatesAcrossProtocolsViaSweep) {
   EXPECT_EQ(congos.qod.delivered_on_time, 381u);
   EXPECT_EQ(congos.total_messages, 104665u);
   EXPECT_EQ(congos.max_per_round, 3240u);
-  EXPECT_EQ(congos.total_bytes, 1086917669u);
+  // Byte pin re-measured when total_bytes switched from the fixed-width
+  // size model to actual wire-codec frame sizes (src/wire).
+  EXPECT_EQ(congos.total_bytes, 246330656u);
   EXPECT_EQ(congos.leaks, 0u);
   EXPECT_EQ(congos.cg_shoots, 0u);
 

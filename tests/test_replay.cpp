@@ -162,6 +162,7 @@ TEST(ReproFile, EncodeDecodeRoundTrip) {
     EXPECT_EQ(g.faults_by_kind[k], f.faults_by_kind[k]) << "kind " << k;
   }
   EXPECT_EQ(g.duplicates_suppressed, f.duplicates_suppressed);
+  EXPECT_EQ(g.wire_codec_version, f.wire_codec_version);
   EXPECT_EQ(g.trace_tail, f.trace_tail);
 }
 
@@ -247,6 +248,8 @@ TEST(ReproFile, AcceptsVersion1Artifacts) {
     EXPECT_EQ(out.faults_by_kind[k], 0u);
   }
   EXPECT_EQ(out.duplicates_suppressed, 0u);
+  // ...and the v3 field to "pre-codec".
+  EXPECT_EQ(out.wire_codec_version, 0u);
 }
 
 TEST(ReproFile, RejectsCorruptionEverywhere) {

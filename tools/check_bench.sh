@@ -47,6 +47,11 @@ fi
 # and the bench scale, so trajectory lines are comparable across machines.
 THREADS="${CONGOS_BENCH_THREADS:-$(nproc 2>/dev/null || echo unknown)}"
 SCALE="${CONGOS_BENCH_SCALE:-default}"
+# Wire codec version (src/wire/wire.h): byte-accounting work in the hot path
+# depends on the envelope format, so records stamp which codec produced them.
+WIRE_VERSION="$(sed -n 's/^inline constexpr std::uint8_t kWireFormatVersion = \([0-9]*\);.*/\1/p' \
+  "$(dirname "$0")/../src/wire/wire.h" 2>/dev/null || true)"
+WIRE_VERSION="${WIRE_VERSION:-unknown}"
 # CI runs a reduced-scale smoke (e.g. only /256); records made under a
 # non-default filter should set CONGOS_BENCH_SCALE too, so bench_diff.py
 # never compares them against full-scale records.
@@ -70,11 +75,12 @@ fi
 
 # One compact line per benchmark: name, real/cpu time, rounds/sec, context.
 jq -c --arg rev "$GIT_REV" --arg sha "$GIT_SHA" --argjson dirty "$GIT_DIRTY" \
-  --arg threads "$THREADS" --arg scale "$SCALE" \
+  --arg threads "$THREADS" --arg scale "$SCALE" --arg wire "$WIRE_VERSION" \
   '.context.date as $date | .benchmarks[] |
    {date: $date, rev: $rev, sha: $sha, dirty: $dirty, name: .name,
     real_time_ms: .real_time, cpu_time_ms: .cpu_time,
-    rounds_per_sec: .rounds_per_sec, threads: $threads, bench_scale: $scale}' \
+    rounds_per_sec: .rounds_per_sec, threads: $threads, bench_scale: $scale,
+    wire_codec_version: $wire}' \
   "$TMP_JSON" >> "$OUT_FILE"
 
 echo "appended $(jq '.benchmarks | length' "$TMP_JSON") benchmark record(s) to $OUT_FILE:"

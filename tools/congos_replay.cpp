@@ -23,6 +23,7 @@
 #include "harness/record.h"
 #include "replay/repro.h"
 #include "sim/engine.h"
+#include "wire/wire.h"
 
 using namespace congos;
 
@@ -237,6 +238,15 @@ int main(int argc, char** argv) {
               "%016" PRIx64 "\n",
               file.decisions.size(), file.round_deliveries.size(),
               file.trace_hash);
+  if (file.wire_codec_version == 0) {
+    std::printf("wire codec       : pre-codec (byte totals use the old "
+                "fixed-width model)\n");
+  } else {
+    std::printf("wire codec       : v%u%s\n", file.wire_codec_version,
+                file.wire_codec_version == wire::kWireFormatVersion
+                    ? ""
+                    : " (DIFFERS from this build - byte totals not comparable)");
+  }
 
   if (flags.get_bool("schedule", false)) {
     print_schedule(file);
