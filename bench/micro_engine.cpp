@@ -42,16 +42,30 @@ BENCHMARK(BM_PlainGossipRun)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
 // (tools/check_bench.sh): simulated rounds per second of the full message
 // hot path (gossip dispatch + delivery + confidentiality audit) at n=1024.
 // `rounds_per_sec` is the figure of merit; it must not regress across PRs.
+// The engine thread count comes from CONGOS_ENGINE_THREADS (check_bench.sh
+// defaults it to 4 and stamps it into every record).
 void BM_HotPathRounds(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   harness::ScenarioConfig cfg;
   cfg.n = n;
   cfg.rounds = 32;
   cfg.protocol = harness::Protocol::kPlainGossip;
-  cfg.continuous.inject_prob = 0.02;
-  cfg.continuous.deadlines = {16};
+  // Workload scaling with n. Up to 1024 this is the historical configuration
+  // (records comparable back through the trajectory). Above it the
+  // per-process injection probability shrinks so the *absolute* injection
+  // rate (~20 rumors/round) stays constant — the engine scales, the rumor
+  // load does not. Above 4096 even one saturated rumor means every process
+  // gossips every round (~3n envelopes/round), so the largest configuration
+  // switches to a sparse regime — quadratically scaled injection and a short
+  // deadline — measuring per-round engine overhead at scale instead of an
+  // epidemic flood.
+  const double scale = 1024.0 / static_cast<double>(n);
+  cfg.continuous.inject_prob =
+      n <= 1024 ? 0.02 : (n <= 4096 ? 0.02 * scale : 0.02 * scale * scale);
+  const Round deadline = n <= 4096 ? 16 : 8;
+  cfg.continuous.deadlines = {deadline};
   const double rounds_per_iter =
-      static_cast<double>(cfg.rounds + 16 + 2);  // incl. drain window
+      static_cast<double>(cfg.rounds + deadline + 2);  // incl. drain window
   for (auto _ : state) {
     auto r = harness::run_scenario(cfg);
     benchmark::DoNotOptimize(r);
@@ -60,7 +74,12 @@ void BM_HotPathRounds(benchmark::State& state) {
       rounds_per_iter * static_cast<double>(state.iterations()),
       benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_HotPathRounds)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HotPathRounds)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(65536)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_CongosRun(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

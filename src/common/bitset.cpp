@@ -69,6 +69,15 @@ DynamicBitset& DynamicBitset::operator-=(const DynamicBitset& o) {
   return *this;
 }
 
+DynamicBitset& DynamicBitset::or_complement(const DynamicBitset& o) {
+  check_compatible(o);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= ~o.words_[i];
+  if (size_ % 64 != 0 && !words_.empty()) {
+    words_.back() &= (1ull << (size_ % 64)) - 1;
+  }
+  return *this;
+}
+
 bool DynamicBitset::contains_all(const DynamicBitset& o) const {
   check_compatible(o);
   for (std::size_t i = 0; i < words_.size(); ++i) {

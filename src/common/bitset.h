@@ -42,6 +42,11 @@ class DynamicBitset {
   DynamicBitset& operator&=(const DynamicBitset& o);
   DynamicBitset& operator-=(const DynamicBitset& o);  // set difference
 
+  /// *this |= ~o, word-at-a-time (tail bits beyond size() stay clear). The
+  /// engine uses this to mark every dead process in the receive filter
+  /// without touching per-process state: in_filtered |= ~alive.
+  DynamicBitset& or_complement(const DynamicBitset& o);
+
   friend DynamicBitset operator|(DynamicBitset a, const DynamicBitset& b) { return a |= b; }
   friend DynamicBitset operator&(DynamicBitset a, const DynamicBitset& b) { return a &= b; }
   friend DynamicBitset operator-(DynamicBitset a, const DynamicBitset& b) { return a -= b; }
@@ -66,6 +71,25 @@ class DynamicBitset {
   void for_each(Fn&& fn) const {
     for (std::size_t w = 0; w < words_.size(); ++w) {
       std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        fn(static_cast<std::uint32_t>(w * 64 + static_cast<std::size_t>(b)));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// Iterate *clear* bits (indices in [0, size()) whose bit is 0) in
+  /// increasing order. Cost is proportional to words plus zeros visited, so
+  /// sparse complements (e.g. the few dead processes of an engine round) are
+  /// cheap.
+  template <typename Fn>
+  void for_each_zero(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = ~words_[w];
+      if (w == words_.size() - 1 && size_ % 64 != 0) {
+        bits &= (1ull << (size_ % 64)) - 1;  // mask tail beyond the universe
+      }
       while (bits != 0) {
         const int b = __builtin_ctzll(bits);
         fn(static_cast<std::uint32_t>(w * 64 + static_cast<std::size_t>(b)));

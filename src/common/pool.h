@@ -20,10 +20,17 @@
 //   * pooling never affects behaviour - allocation identity is invisible to
 //     the protocol, so traces are unchanged.
 //
-// Single-threaded by design, like everything per-process in the simulator:
-// a pool must only be used from the thread running its scenario.
+// Threading: acquire() stays single-threaded (a pool belongs to one process,
+// which runs on exactly one thread per phase), but under sharded round
+// execution (DESIGN.md section 12) the *last release* of a handle can happen
+// on any engine worker — a payload sent to a process in another shard dies
+// when that shard's inbox reference drops. The free lists are therefore
+// guarded by a per-core spinlock: uncontended in the common case (same-shard
+// release), never allocating, and recycling order is invisible to the
+// protocol either way.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <new>
@@ -41,21 +48,30 @@ class PayloadPool {
   /// control block come back to this pool.
   std::shared_ptr<T> acquire() {
     T* obj = nullptr;
-    if (core_->free_objects.empty()) {
+    {
+      SpinGuard guard(core_->lock);
+      if (!core_->free_objects.empty()) {
+        obj = core_->free_objects.back().release();
+        core_->free_objects.pop_back();
+      }
+    }
+    if (obj == nullptr) {
       obj = new T();
     } else {
-      obj = core_->free_objects.back().release();
-      core_->free_objects.pop_back();
       obj->reuse();
     }
     return std::shared_ptr<T>(obj, Recycler{core_}, BlockAllocator<T>{core_});
   }
 
   /// Objects currently idle in the free list (tests/benchmarks).
-  std::size_t idle() const { return core_->free_objects.size(); }
+  std::size_t idle() const {
+    SpinGuard guard(core_->lock);
+    return core_->free_objects.size();
+  }
 
  private:
   struct Core {
+    mutable std::atomic_flag lock = ATOMIC_FLAG_INIT;
     std::vector<std::unique_ptr<T>> free_objects;
     std::vector<void*> free_blocks;  // recycled shared_ptr control blocks
     std::size_t block_size = 0;      // fixed per T; learned on first release
@@ -64,10 +80,30 @@ class PayloadPool {
     }
   };
 
+  /// Scoped holder of a Core's spinlock. Critical sections are a few vector
+  /// operations long and contention is rare (cross-shard payload death), so
+  /// a test-and-set spin beats a mutex and — unlike one — cannot allocate.
+  class SpinGuard {
+   public:
+    explicit SpinGuard(std::atomic_flag& f) : flag_(f) {
+      while (flag_.test_and_set(std::memory_order_acquire)) {
+      }
+    }
+    ~SpinGuard() { flag_.clear(std::memory_order_release); }
+    SpinGuard(const SpinGuard&) = delete;
+    SpinGuard& operator=(const SpinGuard&) = delete;
+
+   private:
+    std::atomic_flag& flag_;
+  };
+
   /// Custom deleter: parks the object instead of destroying it.
   struct Recycler {
     std::shared_ptr<Core> core;
-    void operator()(T* obj) const { core->free_objects.emplace_back(obj); }
+    void operator()(T* obj) const {
+      SpinGuard guard(core->lock);
+      core->free_objects.emplace_back(obj);
+    }
   };
 
   /// Allocator handed to shared_ptr for its control block. Every control
@@ -85,20 +121,26 @@ class PayloadPool {
 
     U* allocate(std::size_t n) {
       const std::size_t bytes = n * sizeof(U);
-      if (n == 1 && bytes == core->block_size && !core->free_blocks.empty()) {
-        void* b = core->free_blocks.back();
-        core->free_blocks.pop_back();
-        return static_cast<U*>(b);
+      if (n == 1) {
+        SpinGuard guard(core->lock);
+        if (bytes == core->block_size && !core->free_blocks.empty()) {
+          void* b = core->free_blocks.back();
+          core->free_blocks.pop_back();
+          return static_cast<U*>(b);
+        }
       }
       return static_cast<U*>(::operator new(bytes));
     }
 
     void deallocate(U* p, std::size_t n) {
       const std::size_t bytes = n * sizeof(U);
-      if (n == 1 && (core->block_size == 0 || core->block_size == bytes)) {
-        core->block_size = bytes;
-        core->free_blocks.push_back(p);
-        return;
+      if (n == 1) {
+        SpinGuard guard(core->lock);
+        if (core->block_size == 0 || core->block_size == bytes) {
+          core->block_size = bytes;
+          core->free_blocks.push_back(p);
+          return;
+        }
       }
       ::operator delete(p);
     }

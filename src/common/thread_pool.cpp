@@ -35,16 +35,77 @@ void ThreadPool::wait_idle() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
+void ThreadPool::drain_shards(ShardTask& task, std::size_t count) {
+  for (;;) {
+    const std::size_t i = shard_next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) return;
+    task.run_shard(i);
+    shard_done_.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::run_shards(ShardTask& task, std::size_t count) {
+  if (count == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shard_task_ = &task;
+    shard_count_ = count;
+    shard_next_.store(0, std::memory_order_relaxed);
+    shard_done_.store(0, std::memory_order_relaxed);
+    ++shard_epoch_;
+  }
+  work_cv_.notify_all();
+  // The caller is a full participant: with k workers this gives k+1 compute
+  // threads and the calling thread never just blocks on the barrier.
+  drain_shards(task, count);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Wait for the last shard AND for every adopted worker to leave the
+    // claim loop: a worker that adopted the batch but lost every claim race
+    // must not still be touching the claim counter when the next batch
+    // resets it.
+    idle_cv_.wait(lock, [this, count] {
+      return shard_done_.load(std::memory_order_acquire) == count &&
+             shard_workers_ == 0;
+    });
+    shard_task_ = nullptr;
+    shard_count_ = 0;
+  }
+}
+
 void ThreadPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
   for (;;) {
     std::function<void()> job;
+    ShardTask* shards = nullptr;
+    std::size_t shard_count = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and nothing left to do
-      job = std::move(queue_.front());
-      queue_.pop_front();
-      ++in_flight_;
+      work_cv_.wait(lock, [this, seen_epoch] {
+        return stop_ || !queue_.empty() ||
+               (shard_task_ != nullptr && shard_epoch_ != seen_epoch);
+      });
+      if (shard_task_ != nullptr && shard_epoch_ != seen_epoch) {
+        seen_epoch = shard_epoch_;
+        shards = shard_task_;
+        shard_count = shard_count_;
+        ++shard_workers_;
+      } else if (!queue_.empty()) {
+        job = std::move(queue_.front());
+        queue_.pop_front();
+        ++in_flight_;
+      } else {
+        return;  // stop_ set and nothing left to do
+      }
+    }
+    if (shards != nullptr) {
+      drain_shards(*shards, shard_count);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        --shard_workers_;
+        idle_cv_.notify_all();  // run_shards() re-checks its predicate
+      }
+      continue;
     }
     job();
     {

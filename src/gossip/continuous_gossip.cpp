@@ -47,13 +47,18 @@ ContinuousGossipService::ContinuousGossipService(ProcessId self, GossipConfig cf
   CONGOS_ASSERT(rng_ != nullptr);
   CONGOS_ASSERT_MSG(cfg_.universe.test(self_), "host must belong to its universe");
   CONGOS_ASSERT(cfg_.fanout >= 1);
-  cfg_.universe.for_each([&](std::uint32_t p) {
-    if (p != self_) peers_.push_back(p);
-  });
+  peer_count_ = cfg_.universe.count() - 1;
+  full_universe_ = peer_count_ + 1 == cfg_.universe.size();
+  if (!full_universe_) {
+    sparse_peers_.reserve(peer_count_);
+    cfg_.universe.for_each([&](std::uint32_t p) {
+      if (p != self_) sparse_peers_.push_back(p);
+    });
+  }
   if (cfg_.strategy == GossipStrategy::kExpander) {
     // Degree at least log2(m): random circulants of logarithmic degree have
     // logarithmic diameter, the polylog round budget [13] works within.
-    const auto m = peers_.size() + 1;
+    const auto m = peer_count_ + 1;
     const int degree =
         std::max(cfg_.fanout, m >= 2 ? ilog2_ceil(static_cast<std::uint64_t>(m)) : 1);
     neighbors_ = expander_neighbors(self_, cfg_.universe, degree, cfg_.graph_seed);
@@ -63,6 +68,7 @@ ContinuousGossipService::ContinuousGossipService(ProcessId self, GossipConfig cf
 void ContinuousGossipService::reset(Round now) {
   known_.clear();
   sorted_gids_.clear();
+  sorted_deadlines_.clear();
   pending_acks_.clear();
   pending_pulls_.clear();
   batch_.reset();
@@ -115,8 +121,11 @@ void ContinuousGossipService::accept(Round now, const GossipRumor& r) {
     return;
   }
   batch_dirty_ = true;
-  sorted_gids_.insert(
-      std::lower_bound(sorted_gids_.begin(), sorted_gids_.end(), r.gid), r.gid);
+  const auto pos = std::lower_bound(sorted_gids_.begin(), sorted_gids_.end(), r.gid);
+  const auto idx = static_cast<std::size_t>(pos - sorted_gids_.begin());
+  sorted_gids_.insert(pos, r.gid);
+  sorted_deadlines_.insert(sorted_deadlines_.begin() + static_cast<std::ptrdiff_t>(idx),
+                           r.deadline_at);
   Tracked& t = it->second;
   t.rumor = r;
   if (cfg_.guaranteed && r.origin == self_) {
@@ -132,20 +141,24 @@ void ContinuousGossipService::accept(Round now, const GossipRumor& r) {
 }
 
 void ContinuousGossipService::purge_expired(Round now) {
-  // One pass over the sorted index: drop expired rumors from both the map
-  // and the index, preserving order (so no re-sort is ever needed).
-  auto keep = sorted_gids_.begin();
-  for (auto gid : sorted_gids_) {
-    auto it = known_.find(gid);
-    CONGOS_ASSERT_MSG(it != known_.end(), "rumor index out of sync with known set");
-    if (it->second.rumor.deadline_at < now) {
+  // One pass over the dense deadline array, preserving order (so no re-sort
+  // is ever needed); the map is only touched for entries that actually
+  // expire, so the common nothing-expires round is a pure sequential scan.
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < sorted_gids_.size(); ++i) {
+    if (sorted_deadlines_[i] < now) {
+      auto it = known_.find(sorted_gids_[i]);
+      CONGOS_ASSERT_MSG(it != known_.end(), "rumor index out of sync with known set");
       known_.erase(it);
       batch_dirty_ = true;
     } else {
-      *keep++ = gid;
+      sorted_gids_[keep] = sorted_gids_[i];
+      sorted_deadlines_[keep] = sorted_deadlines_[i];
+      ++keep;
     }
   }
-  sorted_gids_.erase(keep, sorted_gids_.end());
+  sorted_gids_.resize(keep);
+  sorted_deadlines_.resize(keep);
 }
 
 const std::shared_ptr<GossipMsg>& ContinuousGossipService::active_batch() {
@@ -156,20 +169,26 @@ const std::shared_ptr<GossipMsg>& ContinuousGossipService::active_batch() {
       // returns to the pool when its last reader drops it.
       batch_ = msg_pool_.acquire();
     }
-    // Rebuild in place, reusing each slot's destination-bitset and body
-    // buffers via copy-assignment (a cleared slot would free them).
+    // Merge-sync against the previous contents: both sides are ascending by
+    // gid and rumors are immutable once accepted, so every surviving rumor
+    // is *moved* through the scratch buffer (O(1), no dest/body copies) and
+    // only genuinely new gids are copied out of known_. When the old object
+    // went to a fresh reader-shared one above, `rumors` is empty and every
+    // entry is a fresh copy — the plain full rebuild.
     auto& rumors = batch_->rumors;
-    const std::size_t m = sorted_gids_.size();
-    if (rumors.size() > m) rumors.resize(m);
-    rumors.reserve(m);
-    for (std::size_t i = 0; i < m; ++i) {
-      const GossipRumor& r = known_.find(sorted_gids_[i])->second.rumor;
-      if (i < rumors.size()) {
-        rumors[i] = r;
+    batch_scratch_.clear();
+    batch_scratch_.reserve(sorted_gids_.size());
+    std::size_t j = 0;
+    for (const std::uint64_t gid : sorted_gids_) {
+      while (j < rumors.size() && rumors[j].gid < gid) ++j;  // dropped rumor
+      if (j < rumors.size() && rumors[j].gid == gid) {
+        batch_scratch_.push_back(std::move(rumors[j]));
+        ++j;
       } else {
-        rumors.push_back(r);
+        batch_scratch_.push_back(known_.find(gid)->second.rumor);
       }
     }
+    rumors.swap(batch_scratch_);
     // The memo is keyed on the rumor count, which an in-place rebuild can
     // leave unchanged while contents differ.
     batch_->reset_wire_memo();
@@ -206,7 +225,7 @@ void ContinuousGossipService::send_phase(Round now, sim::Sender& out) {
   // and issue one pull request to a random peer. Pulls are issued even when
   // we hold nothing - that is what lets late joiners and restarted processes
   // catch up without waiting to be pushed at.
-  if (cfg_.strategy == GossipStrategy::kPushPull && !peers_.empty()) {
+  if (cfg_.strategy == GossipStrategy::kPushPull && peer_count_ > 0) {
     if (!known_.empty() && !pending_pulls_.empty()) {
       const auto& reply = active_batch();
       std::sort(pending_pulls_.begin(), pending_pulls_.end());
@@ -219,13 +238,13 @@ void ContinuousGossipService::send_phase(Round now, sim::Sender& out) {
       }
     }
     pending_pulls_.clear();
-    const ProcessId target = peers_[rng_->next_below(peers_.size())];
+    const ProcessId target = peer_at(rng_->next_below(peer_count_));
     if (filter_.allows(target)) {
       out.send(sim::Envelope{self_, target, cfg_.tag, pull_pool_.acquire()});
     }
   }
 
-  if (known_.empty() || peers_.empty()) return;
+  if (known_.empty() || peer_count_ == 0) return;
 
   // Epidemic push: all active rumors to `fanout` random universe peers.
   if (cfg_.strategy == GossipStrategy::kExpander) {
@@ -237,22 +256,24 @@ void ContinuousGossipService::send_phase(Round now, sim::Sender& out) {
   } else {
     // kEpidemicPush and the push half of kPushPull.
     const auto k = static_cast<std::uint32_t>(
-        std::min<std::size_t>(static_cast<std::size_t>(cfg_.fanout), peers_.size()));
-    rng_->sample_without_replacement(static_cast<std::uint32_t>(peers_.size()), k,
+        std::min<std::size_t>(static_cast<std::size_t>(cfg_.fanout), peer_count_));
+    rng_->sample_without_replacement(static_cast<std::uint32_t>(peer_count_), k,
                                      pick_scratch_);
     for (auto idx : pick_scratch_) {
-      const ProcessId target = peers_[idx];
+      const ProcessId target = peer_at(idx);
       if (!filter_.allows(target)) continue;
       out.send(sim::Envelope{self_, target, cfg_.tag, active_batch()});
     }
   }
 
-  // Guaranteed mode: origin fallback in the round before each deadline.
+  // Guaranteed mode: origin fallback in the round before each deadline. The
+  // dense deadline array screens out not-yet-imminent rumors (the vast
+  // majority every round) before any map lookup.
   if (cfg_.guaranteed) {
-    for (auto gid : sorted_gids_) {
-      Tracked& t = known_.find(gid)->second;
+    for (std::size_t i = 0; i < sorted_gids_.size(); ++i) {
+      if (now < sorted_deadlines_[i] - 1) continue;
+      Tracked& t = known_.find(sorted_gids_[i])->second;
       if (t.rumor.origin != self_ || t.fallback_sent) continue;
-      if (now < t.rumor.deadline_at - 1) continue;
       t.fallback_sent = true;
       auto single = msg_pool_.acquire();
       single->rumors.push_back(t.rumor);
@@ -298,8 +319,8 @@ void ContinuousGossipService::on_envelope(Round now, const sim::Envelope& e) {
 
 std::size_t ContinuousGossipService::known_active(Round now) const {
   std::size_t c = 0;
-  for (const auto& [_, t] : known_) {
-    if (t.rumor.deadline_at >= now) ++c;
+  for (const Round d : sorted_deadlines_) {
+    if (d >= now) ++c;
   }
   return c;
 }

@@ -280,7 +280,23 @@ class ContinuousGossipService {
   DeliverFn deliver_;
   Filter filter_;
 
-  std::vector<ProcessId> peers_;      // universe minus self, for sampling
+  /// Universe members other than self_ (the sampling population).
+  std::size_t peer_count_ = 0;
+  /// True when the universe is the whole process space: then the i-th peer
+  /// in ascending order is simply i + (i >= self_) and no materialized list
+  /// is needed. A plain n-process system holds n of these services, so the
+  /// list would be O(n^2) memory across the system (17 GB at n = 65536);
+  /// the closed form makes it zero. Sparse universes (congos groups) still
+  /// materialize `sparse_peers_` — they are a fraction of n each.
+  bool full_universe_ = false;
+  std::vector<ProcessId> sparse_peers_;  // universe minus self, ascending
+  /// The i-th universe member other than self_, ascending; identical to the
+  /// previously materialized peers_[i] for both universe shapes, so sampled
+  /// targets (and hence traces) are unchanged.
+  ProcessId peer_at(std::size_t i) const {
+    return full_universe_ ? static_cast<ProcessId>(i + (i >= self_ ? 1 : 0))
+                          : sparse_peers_[i];
+  }
   std::vector<ProcessId> neighbors_;  // expander out-neighbors (kExpander)
   FlatMap<std::uint64_t, Tracked> known_;
   /// Sorted gids of `known_`, maintained incrementally by accept() /
@@ -290,6 +306,12 @@ class ContinuousGossipService {
   /// hot path at large n; the sorted order is what keeps batch contents (and
   /// hence traces) deterministic.
   std::vector<std::uint64_t> sorted_gids_;
+  /// Deadlines parallel to `sorted_gids_` (struct-of-arrays view of the
+  /// tracked rumors): the per-round expiry scan and the guaranteed-mode
+  /// fallback check walk this dense array and only touch the map for the
+  /// few entries that actually fire. Invariant: sorted_deadlines_[i] is the
+  /// deadline of sorted_gids_[i].
+  std::vector<Round> sorted_deadlines_;
   // acks to emit next send phase: origin -> gids (guaranteed mode)
   FlatMap<ProcessId, std::vector<std::uint64_t>> pending_acks_;
   // pull requests to answer next send phase (kPushPull)
@@ -312,6 +334,11 @@ class ContinuousGossipService {
   std::shared_ptr<GossipMsg> batch_;
   bool batch_dirty_ = true;
   std::vector<std::uint32_t> pick_scratch_;  // push-target sample buffer
+  /// Rebuild staging for active_batch(): surviving rumors are moved (not
+  /// copied) from the exclusively-owned previous batch into this buffer,
+  /// which is then swapped in — a rebuild costs O(active) pointer moves
+  /// plus a real copy only per genuinely new rumor.
+  std::vector<GossipRumor> batch_scratch_;
 
   std::uint64_t next_gid(Round now);
   void accept(Round now, const GossipRumor& r);

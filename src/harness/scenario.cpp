@@ -1,13 +1,16 @@
 #include "harness/scenario.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "adversary/adversary.h"
 #include "baseline/direct_send.h"
 #include "baseline/plain_gossip.h"
 #include "baseline/strong_confidential.h"
 #include "common/assert.h"
+#include "common/thread_pool.h"
 #include "congos/congos_process.h"
+#include "sim/delivery_mux.h"
 #include "sim/engine.h"
 
 namespace congos::harness {
@@ -31,6 +34,11 @@ struct ScenarioRun::Impl {
   audit::DeliveryAuditor qod;
   std::shared_ptr<const core::CongosConfig> ccfg;
   std::shared_ptr<const partition::PartitionSet> partitions;
+  // Sharded-execution plumbing; both stay null for a serial engine. Declared
+  // before `engine` so the engine (which holds raw pointers to them) is
+  // destroyed first.
+  std::unique_ptr<sim::DeliveryMux> mux;
+  std::unique_ptr<ThreadPool> engine_pool;
   std::unique_ptr<sim::Engine> engine;
   std::unique_ptr<audit::ConfidentialityAuditor> confidentiality;
   adversary::Composite adversaries;
@@ -38,10 +46,32 @@ struct ScenarioRun::Impl {
   Round max_deadline = 0;
 };
 
+std::size_t default_engine_threads() {
+  static const std::size_t cached = [] {
+    if (const char* v = std::getenv("CONGOS_ENGINE_THREADS")) {
+      const long parsed = std::strtol(v, nullptr, 10);
+      if (parsed > 0) return static_cast<std::size_t>(parsed);
+    }
+    return std::size_t{1};
+  }();
+  return cached;
+}
+
 ScenarioRun::ScenarioRun(const ScenarioConfig& cfg)
     : cfg_(cfg), impl_(std::make_unique<Impl>(cfg.n)) {
   CONGOS_ASSERT(cfg_.n >= 2);
   Rng seeder(cfg_.seed);
+
+  // With a sharded engine the shared QoD auditor must sit behind a
+  // DeliveryMux (re-serializes per-process delivery reports); processes are
+  // wired to whichever listener the thread count calls for.
+  const std::size_t engine_threads =
+      cfg_.engine_threads != 0 ? cfg_.engine_threads : default_engine_threads();
+  sim::DeliveryListener* listener = &impl_->qod;
+  if (engine_threads > 1) {
+    impl_->mux = std::make_unique<sim::DeliveryMux>(&impl_->qod, cfg_.n);
+    listener = impl_->mux.get();
+  }
 
   // Shared CONGOS inputs (partition family is common knowledge).
   if (cfg_.protocol == Protocol::kCongos) {
@@ -66,27 +96,27 @@ ScenarioRun::ScenarioRun(const ScenarioConfig& cfg)
     switch (cfg_.protocol) {
       case Protocol::kCongos:
         procs.push_back(std::make_unique<core::CongosProcess>(
-            p, impl_->ccfg, impl_->partitions, pseed, &impl_->qod,
+            p, impl_->ccfg, impl_->partitions, pseed, listener,
             lazy.test(p) ? core::ProcessBehavior::kLazy
                          : core::ProcessBehavior::kHonest));
         break;
       case Protocol::kDirect:
         procs.push_back(std::make_unique<baseline::DirectSendProcess>(
-            p, baseline::DirectSendProcess::Options{false}, &impl_->qod));
+            p, baseline::DirectSendProcess::Options{false}, listener));
         break;
       case Protocol::kDirectPaced:
         procs.push_back(std::make_unique<baseline::DirectSendProcess>(
-            p, baseline::DirectSendProcess::Options{true}, &impl_->qod));
+            p, baseline::DirectSendProcess::Options{true}, listener));
         break;
       case Protocol::kStrongConfidential:
         procs.push_back(std::make_unique<baseline::StrongConfidentialProcess>(
             p, baseline::StrongConfidentialProcess::Options{cfg_.baseline_fanout},
-            pseed, &impl_->qod));
+            pseed, listener));
         break;
       case Protocol::kPlainGossip:
         procs.push_back(std::make_unique<baseline::PlainGossipProcess>(
             p, baseline::PlainGossipProcess::Options{cfg_.baseline_fanout, cfg_.n},
-            pseed, &impl_->qod));
+            pseed, listener));
         break;
     }
   }
@@ -94,6 +124,14 @@ ScenarioRun::ScenarioRun(const ScenarioConfig& cfg)
   impl_->engine = std::make_unique<sim::Engine>(std::move(procs), seeder.next());
   sim::Engine& engine = *impl_->engine;
   if (cfg_.faults.enabled()) engine.network().set_faults(cfg_.faults);
+  if (engine_threads > 1) {
+    // The driving thread participates in every shard batch, so a budget of k
+    // threads means k-1 pool workers. 2x shards over-decomposes for load
+    // balance; the partition is fixed, so this stays deterministic.
+    impl_->engine_pool = std::make_unique<ThreadPool>(engine_threads - 1);
+    engine.set_parallelism(impl_->engine_pool.get(), 2 * engine_threads,
+                           impl_->mux.get());
+  }
 
   impl_->confidentiality = std::make_unique<audit::ConfidentialityAuditor>(
       cfg_.n, impl_->partitions.get());

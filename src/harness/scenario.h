@@ -82,7 +82,20 @@ struct ScenarioConfig {
   /// extra_adversaries whose deadlines run_scenario cannot see (the built-in
   /// workloads extend the drain to their own maximum deadline automatically).
   Round min_drain = 0;
+
+  /// Intra-round engine threads (DESIGN.md section 12): the send and receive
+  /// phases of every round run sharded across this many threads (the driving
+  /// thread participates, so k threads = k-1 pool workers). Results are
+  /// byte-identical at any value — this knob trades wall clock only, which
+  /// is also why it is deliberately NOT part of the .repro serialization: a
+  /// run recorded at any thread count replays exactly at any other.
+  /// 0 = default_engine_threads() (CONGOS_ENGINE_THREADS, else 1).
+  std::size_t engine_threads = 0;
 };
+
+/// CONGOS_ENGINE_THREADS when set to a positive integer, else 1 (serial
+/// engine). Parsed once and cached.
+std::size_t default_engine_threads();
 
 struct ScenarioResult {
   // message complexity

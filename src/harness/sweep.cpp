@@ -61,7 +61,8 @@ std::size_t SweepRunner::default_threads() {
       const long parsed = std::strtol(v, nullptr, 10);
       if (parsed > 0) return static_cast<std::size_t>(parsed);
     }
-    return std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+    const std::size_t hw = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+    return std::max<std::size_t>(hw / default_engine_threads(), 1);
   }();
   return cached;
 }

@@ -9,7 +9,9 @@
 // of thread count (tests/test_sweep.cpp pins this, including a golden trace).
 //
 // Thread count resolution: Options::threads when non-zero, else the
-// CONGOS_BENCH_THREADS environment variable, else hardware concurrency.
+// CONGOS_BENCH_THREADS environment variable, else hardware concurrency
+// divided by the per-scenario engine thread count (CONGOS_ENGINE_THREADS) —
+// sweep workers and engine shards draw from the same core budget.
 #pragma once
 
 #include <cstddef>
@@ -52,7 +54,9 @@ class SweepRunner {
   std::vector<ScenarioResult> run(const std::vector<ScenarioConfig>& grid) const;
 
   /// CONGOS_BENCH_THREADS when set to a positive integer, else
-  /// std::thread::hardware_concurrency() (>= 1). Parsed once and cached.
+  /// hardware_concurrency / default_engine_threads() (>= 1, so the sweep and
+  /// the sharded engines don't oversubscribe the machine together). Parsed
+  /// once and cached.
   static std::size_t default_threads();
 
   /// Paths of the .repro artifacts written by the last run(), in grid order

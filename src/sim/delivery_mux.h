@@ -1,0 +1,103 @@
+// DeliveryMux: makes one shared DeliveryListener safe under sharded round
+// execution (DESIGN.md section 12).
+//
+// Protocol processes report application-level rumor deliveries to a single
+// listener (the QoD auditor). With the send/receive phases running on worker
+// threads, those calls would race on the auditor's state and — worse — reach
+// it in a thread-interleaving-dependent order. The mux sits between the
+// processes and the real listener: during a parallel phase each call is
+// appended to the calling process's *own* slot (a process only ever reports
+// deliveries at itself, so slots are touched by exactly one worker), and
+// after the phase joins, the engine flushes every slot in ascending process
+// id — the exact order the serial loop would have produced. Outside parallel
+// phases (adversary hooks, serial engines) calls pass straight through.
+//
+// Buffers keep their capacity across rounds, so a warmed-up mux adds no
+// allocation to the steady-state round (payload bytes are copied into a
+// per-slot arena: the span handed to on_rumor_delivered is only valid for
+// the duration of the call).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/types.h"
+#include "sim/process.h"
+
+namespace congos::sim {
+
+class DeliveryMux final : public DeliveryListener {
+ public:
+  /// `downstream` may be nullptr (deliveries are then dropped, matching a
+  /// process constructed without a listener). `n` is the process count.
+  DeliveryMux(DeliveryListener* downstream, std::size_t n)
+      : downstream_(downstream), slots_(n) {}
+
+  void on_rumor_delivered(ProcessId at, const RumorUid& uid, Round when,
+                          std::span<const std::uint8_t> data) override {
+    if (!buffering_) {
+      if (downstream_ != nullptr) {
+        downstream_->on_rumor_delivered(at, uid, when, data);
+      }
+      return;
+    }
+    CONGOS_ASSERT_MSG(at < slots_.size(), "delivery at unknown process");
+    Slot& s = slots_[at];
+    s.records.push_back(Record{uid, when, s.bytes.size(), data.size()});
+    s.bytes.insert(s.bytes.end(), data.begin(), data.end());
+    buffered_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Engine hooks. begin_buffering() is called on the driving thread before
+  /// a parallel phase is dispatched; flush() after it joins. The fork-join
+  /// barrier of ThreadPool::run_shards orders the mode flag and the slot
+  /// contents between the driving thread and the workers.
+  void begin_buffering() { buffering_ = true; }
+
+  void flush() {
+    buffering_ = false;
+    if (buffered_.load(std::memory_order_relaxed) == 0) return;
+    for (ProcessId p = 0; p < slots_.size(); ++p) {
+      Slot& s = slots_[p];
+      if (s.records.empty()) continue;
+      for (const Record& r : s.records) {
+        if (downstream_ != nullptr) {
+          downstream_->on_rumor_delivered(
+              p, r.uid, r.when,
+              std::span<const std::uint8_t>(s.bytes.data() + r.offset, r.len));
+        }
+      }
+      s.records.clear();  // keeps capacity
+      s.bytes.clear();
+    }
+    buffered_.store(0, std::memory_order_relaxed);
+  }
+
+  DeliveryListener* downstream() const { return downstream_; }
+
+ private:
+  struct Record {
+    RumorUid uid;
+    Round when = 0;
+    std::size_t offset = 0;
+    std::size_t len = 0;
+  };
+  struct Slot {
+    std::vector<Record> records;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  DeliveryListener* downstream_;
+  /// Parallel-phase mode flag. Plain bool: every transition happens on the
+  /// driving thread across a run_shards() fork-join barrier, which provides
+  /// the happens-before edge to and from the workers.
+  bool buffering_ = false;
+  /// Total buffered records, so an empty flush skips the slot scan.
+  std::atomic<std::size_t> buffered_{0};
+  std::vector<Slot> slots_;
+};
+
+}  // namespace congos::sim

@@ -1,6 +1,10 @@
 #include "sim/engine.h"
 
+#include <algorithm>
+
 #include "common/assert.h"
+#include "common/thread_pool.h"
+#include "sim/delivery_mux.h"
 
 namespace congos::sim {
 
@@ -17,6 +21,23 @@ class Engine::NetworkSender final : public Sender {
   ProcessId from_;
 };
 
+/// Sender used by shard workers: envelopes land in the shard's private
+/// buffer (no shared state touched) and are merged into the network by the
+/// driving thread, shard by shard in ascending order — the exact order the
+/// serial loop would have submitted them.
+class Engine::ShardSender final : public Sender {
+ public:
+  ShardSender(std::vector<Envelope>& out, ProcessId from) : out_(out), from_(from) {}
+  void send(Envelope e) override {
+    CONGOS_ASSERT_MSG(e.from == from_, "process spoofed sender id");
+    out_.push_back(std::move(e));
+  }
+
+ private:
+  std::vector<Envelope>& out_;
+  ProcessId from_;
+};
+
 /// Fans delivered envelopes out to the registered execution observers.
 /// Stack-allocated per step; replaces a per-round std::function closure.
 class Engine::DeliveryFanout final : public DeliveryObserver {
@@ -30,6 +51,38 @@ class Engine::DeliveryFanout final : public DeliveryObserver {
   Engine& engine_;
 };
 
+/// One send or receive phase as a ShardTask: shard i covers the i-th fixed
+/// contiguous chunk of the alive-id list. The partition depends only on
+/// (alive set, shard count), never on which thread runs what.
+class Engine::PhaseTask final : public ShardTask {
+ public:
+  PhaseTask(Engine& engine, bool receive) : engine_(engine), receive_(receive) {}
+
+  void run_shard(std::size_t shard) override {
+    const std::vector<ProcessId>& ids = engine_.alive_ids_;
+    const std::size_t m = ids.size();
+    const std::size_t lo = shard * m / engine_.shard_count_;
+    const std::size_t hi = (shard + 1) * m / engine_.shard_count_;
+    if (receive_) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const ProcessId p = ids[i];
+        engine_.processes_[p]->receive_phase(engine_.now_, engine_.network_.inbox(p));
+      }
+    } else {
+      std::vector<Envelope>& out = engine_.shard_buffers_[shard].out;
+      for (std::size_t i = lo; i < hi; ++i) {
+        const ProcessId p = ids[i];
+        ShardSender sender(out, p);
+        engine_.processes_[p]->send_phase(engine_.now_, sender);
+      }
+    }
+  }
+
+ private:
+  Engine& engine_;
+  const bool receive_;
+};
+
 Engine::Engine(std::vector<std::unique_ptr<Process>> processes, std::uint64_t seed)
     : processes_(std::move(processes)),
       rng_(seed),
@@ -37,52 +90,75 @@ Engine::Engine(std::vector<std::unique_ptr<Process>> processes, std::uint64_t se
       alive_(processes_.size(), true),
       alive_count_(processes_.size()),
       alive_since_(processes_.size(), 0),
-      lifecycle_event_this_round_(processes_.size(), false),
-      injected_this_round_(processes_.size(), false),
+      lifecycle_event_this_round_(processes_.size()),
+      injected_this_round_(processes_.size()),
       out_policy_(processes_.size(), PartialDelivery::kDeliverAll),
-      out_filtered_(processes_.size(), false),
+      out_filtered_(processes_.size()),
       in_policy_(processes_.size(), PartialDelivery::kDeliverAll),
-      in_filtered_(processes_.size(), false),
-      sent_this_round_(processes_.size(), false) {
+      in_filtered_(processes_.size()),
+      sent_this_round_(processes_.size()) {
+  alive_ids_.reserve(processes_.size());
   for (std::size_t p = 0; p < processes_.size(); ++p) {
     CONGOS_ASSERT_MSG(processes_[p] != nullptr, "null process");
     CONGOS_ASSERT_MSG(processes_[p]->id() == p, "process ids must be dense 0..n-1");
+    alive_ids_.push_back(static_cast<ProcessId>(p));
   }
+}
+
+void Engine::set_parallelism(ThreadPool* pool, std::size_t shards, DeliveryMux* mux) {
+  CONGOS_ASSERT_MSG(phase_ == Phase::kIdle,
+                    "parallelism reconfiguration only at round boundaries");
+  pool_ = pool;
+  if (pool == nullptr) {
+    shard_count_ = 1;
+    mux_ = nullptr;
+    shard_buffers_.clear();
+    return;
+  }
+  shard_count_ = std::max<std::size_t>(shards, 1);
+  mux_ = mux;
+  shard_buffers_.resize(shard_count_);
 }
 
 void Engine::crash(ProcessId p, PartialDelivery policy) {
   CONGOS_ASSERT(p < n());
-  CONGOS_ASSERT_MSG(alive_[p], "crash of an already-crashed process");
-  CONGOS_ASSERT_MSG(!lifecycle_event_this_round_[p],
+  CONGOS_ASSERT_MSG(alive_.test(p), "crash of an already-crashed process");
+  CONGOS_ASSERT_MSG(!lifecycle_event_this_round_.test(p),
                     "at most one crash/restart per process per round");
-  lifecycle_event_this_round_[p] = true;
-  alive_[p] = false;
+  lifecycle_event_this_round_.set(p);
+  lifecycle_touched_ = true;
+  alive_.reset(p);
   --alive_count_;
-  alive_ids_dirty_ = true;
-  if (phase_ == Phase::kAfterSends && sent_this_round_[p]) {
+  alive_ids_.erase(std::lower_bound(alive_ids_.begin(), alive_ids_.end(), p));
+  if (phase_ == Phase::kAfterSends && sent_this_round_.test(p)) {
     // Crash after sending: the adversary controls which in-flight messages
     // survive.
-    out_filtered_[p] = true;
+    out_filtered_.set(p);
+    out_touched_ = true;
     out_policy_[p] = policy;
   }
-  // In any phase: the process no longer receives this round.
-  in_filtered_[p] = true;
+  // In any phase: the process no longer receives this round. kDropAll also
+  // holds for every later round p stays dead (begin_round() relies on it).
+  in_filtered_.set(p);
+  in_touched_ = true;
   in_policy_[p] = PartialDelivery::kDropAll;
   notify_crash(p, policy);
 }
 
 void Engine::restart(ProcessId p, PartialDelivery policy) {
   CONGOS_ASSERT(p < n());
-  CONGOS_ASSERT_MSG(!alive_[p], "restart of an alive process");
-  CONGOS_ASSERT_MSG(!lifecycle_event_this_round_[p],
+  CONGOS_ASSERT_MSG(!alive_.test(p), "restart of an alive process");
+  CONGOS_ASSERT_MSG(!lifecycle_event_this_round_.test(p),
                     "at most one crash/restart per process per round");
-  lifecycle_event_this_round_[p] = true;
-  alive_[p] = true;
+  lifecycle_event_this_round_.set(p);
+  lifecycle_touched_ = true;
+  alive_.set(p);
   ++alive_count_;
-  alive_ids_dirty_ = true;
+  alive_ids_.insert(std::lower_bound(alive_ids_.begin(), alive_ids_.end(), p), p);
   alive_since_[p] = now_;
   // Some of the messages sent to p this round may be lost (Section 2).
-  in_filtered_[p] = true;
+  in_filtered_.set(p);
+  in_touched_ = true;
   in_policy_[p] = policy;
   processes_[p]->on_restart(now_);
   notify_restart(p, policy);
@@ -90,11 +166,12 @@ void Engine::restart(ProcessId p, PartialDelivery policy) {
 
 void Engine::inject(ProcessId p, Rumor rumor) {
   CONGOS_ASSERT(p < n());
-  CONGOS_ASSERT_MSG(alive_[p], "injection at a crashed process");
-  CONGOS_ASSERT_MSG(!injected_this_round_[p],
+  CONGOS_ASSERT_MSG(alive_.test(p), "injection at a crashed process");
+  CONGOS_ASSERT_MSG(!injected_this_round_.test(p),
                     "at most one rumor injected per process per round");
   CONGOS_ASSERT_MSG(rumor.uid.source == p, "rumor source must match inject target");
-  injected_this_round_[p] = true;
+  injected_this_round_.set(p);
+  injected_touched_ = true;
   rumor.injected_at = now_;
   for (auto* obs : observers_) obs->on_inject(rumor, now_);
   processes_[p]->inject(rumor);
@@ -149,38 +226,63 @@ bool Engine::restore_checkpoint(const EngineCheckpoint& cp) {
   network_.restore(cp.network);
   alive_ = cp.alive;
   alive_count_ = cp.alive_count;
-  alive_ids_dirty_ = true;
   alive_since_ = cp.alive_since;
+  alive_ids_.clear();
+  alive_.for_each([this](std::uint32_t p) { alive_ids_.push_back(p); });
+  // Re-establish the dead-process policy invariant begin_round() relies on:
+  // the per-round filter arrays are not part of a boundary snapshot, and the
+  // pre-restore timeline may have left a stale restart policy behind.
+  alive_.for_each_zero(
+      [this](std::uint32_t p) { in_policy_[p] = PartialDelivery::kDropAll; });
+  // Flag bitsets may hold arbitrary pre-restore state: force full clears.
+  lifecycle_touched_ = injected_touched_ = out_touched_ = in_touched_ = true;
   return true;
 }
 
 void Engine::begin_round() {
-  std::fill(lifecycle_event_this_round_.begin(), lifecycle_event_this_round_.end(), false);
-  std::fill(injected_this_round_.begin(), injected_this_round_.end(), false);
-  std::fill(out_filtered_.begin(), out_filtered_.end(), false);
-  std::fill(in_filtered_.begin(), in_filtered_.end(), false);
-  std::fill(sent_this_round_.begin(), sent_this_round_.end(), false);
-  // Dead processes never receive. With everyone alive (the common case)
-  // there is nothing to mark.
-  if (alive_count_ == n()) return;
-  for (std::size_t p = 0; p < n(); ++p) {
-    if (!alive_[p]) {
-      in_filtered_[p] = true;
-      in_policy_[p] = PartialDelivery::kDropAll;
-    }
+  // Word-granular clears, each skipped when the previous round never set the
+  // flag: the faults-off steady state takes none of these branches.
+  if (lifecycle_touched_) {
+    lifecycle_event_this_round_.reset_all();
+    lifecycle_touched_ = false;
+  }
+  if (injected_touched_) {
+    injected_this_round_.reset_all();
+    injected_touched_ = false;
+  }
+  if (out_touched_) {
+    out_filtered_.reset_all();
+    out_touched_ = false;
+  }
+  if (in_touched_) {
+    in_filtered_.reset_all();
+    in_touched_ = false;
+  }
+  // Dead processes never receive. Their in_policy_ slots already hold
+  // kDropAll (crash() set them; restore_checkpoint() re-derives them), so
+  // only the filter bits need marking — one word-wise or_complement.
+  if (alive_count_ != n()) {
+    in_filtered_.or_complement(alive_);
+    in_touched_ = true;
   }
 }
 
-const std::vector<ProcessId>& Engine::alive_ids() {
-  if (alive_ids_dirty_) {
-    alive_ids_.clear();
-    alive_ids_.reserve(alive_count_);
-    for (std::size_t p = 0; p < n(); ++p) {
-      if (alive_[p]) alive_ids_.push_back(static_cast<ProcessId>(p));
+void Engine::run_phase_sharded(bool receive) {
+  // Processes report deliveries into per-process mux slots during the
+  // parallel phase; flushing after the join re-serializes them in ascending
+  // process id — the serial loop's order.
+  if (mux_ != nullptr) mux_->begin_buffering();
+  PhaseTask task(*this, receive);
+  pool_->run_shards(task, shard_count_);
+  if (!receive) {
+    // Fixed merge order: shard 0's envelopes first. Reproduces the serial
+    // submission order, so delivery (and traces) cannot tell the difference.
+    for (ShardBuffer& buf : shard_buffers_) {
+      for (Envelope& e : buf.out) network_.submit(std::move(e));
+      buf.out.clear();  // keeps capacity: no allocation next round
     }
-    alive_ids_dirty_ = false;
   }
-  return alive_ids_;
+  if (mux_ != nullptr) mux_->flush();
 }
 
 void Engine::step() {
@@ -194,15 +296,17 @@ void Engine::step() {
   phase_ = Phase::kRoundStart;
   if (adversary_ != nullptr) adversary_->at_round_start(*this);
 
-  // Processes crashed in at_round_start must not receive; refresh the filter
-  // (crash() already set it, but a process dead before this round is covered
-  // by begin_round()).
-
   phase_ = Phase::kSending;
-  for (const ProcessId p : alive_ids()) {
-    sent_this_round_[p] = true;
-    NetworkSender sender(network_, p);
-    processes_[p]->send_phase(now_, sender);
+  // Exactly the processes alive now participate in the send phase; crash()
+  // consults this when the adversary strikes in kAfterSends.
+  sent_this_round_ = alive_;
+  if (use_shards()) {
+    run_phase_sharded(/*receive=*/false);
+  } else {
+    for (const ProcessId p : alive_ids_) {
+      NetworkSender sender(network_, p);
+      processes_[p]->send_phase(now_, sender);
+    }
   }
 
   phase_ = Phase::kAfterSends;
@@ -214,9 +318,13 @@ void Engine::step() {
                    observers_.empty() ? nullptr : &fanout);
 
   phase_ = Phase::kReceiving;
-  // after_sends may have crashed processes: re-query the alive list.
-  for (const ProcessId p : alive_ids()) {
-    processes_[p]->receive_phase(now_, network_.inbox(p));
+  // after_sends may have crashed processes: alive_ids_ is already current.
+  if (use_shards()) {
+    run_phase_sharded(/*receive=*/true);
+  } else {
+    for (const ProcessId p : alive_ids_) {
+      processes_[p]->receive_phase(now_, network_.inbox(p));
+    }
   }
 
   phase_ = Phase::kRoundEnd;

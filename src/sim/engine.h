@@ -8,20 +8,34 @@
 // The engine owns lifecycle state (alive/crashed), enforces the "at most one
 // crash or restart per process per round" rule, and fans events out to
 // registered observers (auditors, statistics).
+//
+// Sharded round execution (DESIGN.md section 12): the send and receive
+// phases touch only per-process state (each process draws from its own RNG;
+// the engine RNG is confined to the serial adversary and delivery phases),
+// so set_parallelism() can fan them out over a ThreadPool in fixed
+// contiguous shards of the alive-id list. Per-shard send buffers are merged
+// into the network in ascending shard order, reproducing the serial
+// submission order exactly — traces are byte-identical at any thread count.
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "common/bitset.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "sim/network.h"
 #include "sim/process.h"
 #include "sim/stats.h"
 
+namespace congos {
+class ThreadPool;
+}  // namespace congos
+
 namespace congos::sim {
 
 class Engine;
+class DeliveryMux;
 
 /// Opaque snapshot of an adversary component's mutable state (sequence
 /// counters, budgets, script cursors). Produced by Adversary::snapshot() and
@@ -98,7 +112,7 @@ struct EngineCheckpoint {
   Rng rng{0};
   MessageStats stats;
   NetworkCheckpoint network;
-  std::vector<bool> alive;
+  DynamicBitset alive;
   std::size_t alive_count = 0;
   std::vector<Round> alive_since;
   std::vector<std::unique_ptr<ProcessSnapshot>> processes;
@@ -126,10 +140,14 @@ class Engine {
   Process& process(ProcessId p) { return *processes_[p]; }
   const Process& process(ProcessId p) const { return *processes_[p]; }
 
-  bool alive(ProcessId p) const { return alive_[p]; }
+  bool alive(ProcessId p) const { return alive_.test(p); }
   /// Maintained incrementally by crash()/restart(); workloads call this every
   /// round, so it must not rescan alive_.
   std::size_t alive_count() const { return alive_count_; }
+  /// The alive process ids in ascending order, likewise maintained
+  /// incrementally (ordered insert/erase on lifecycle events, rebuilt only by
+  /// restore_checkpoint). The shard partition walks this list directly.
+  const std::vector<ProcessId>& alive_ids() const { return alive_ids_; }
 
   /// Rounds the process has been continuously alive, as of the current round
   /// (the Proxy / GroupDistribution activation checks use this through the
@@ -153,12 +171,12 @@ class Engine {
 
   /// True iff p already received an injection this round (composite
   /// workloads use this to respect the one-injection-per-round rule).
-  bool injected_this_round(ProcessId p) const { return injected_this_round_[p]; }
+  bool injected_this_round(ProcessId p) const { return injected_this_round_.test(p); }
 
   /// True iff p already crashed or restarted this round (composite
   /// adversaries use this to respect the one-lifecycle-event rule).
   bool lifecycle_event_this_round(ProcessId p) const {
-    return lifecycle_event_this_round_[p];
+    return lifecycle_event_this_round_.test(p);
   }
 
   /// Messages submitted this round so far (valid inside Adversary hooks).
@@ -168,6 +186,17 @@ class Engine {
 
   void set_adversary(Adversary* adversary) { adversary_ = adversary; }
   void add_observer(ExecutionObserver* obs) { observers_.push_back(obs); }
+
+  /// Deterministic intra-round parallelism (DESIGN.md section 12): run the
+  /// send and receive phases across `pool` workers in `shards` fixed
+  /// contiguous chunks of the ascending alive-id list. Results are
+  /// byte-identical to serial execution at any thread/shard count. When the
+  /// processes share a DeliveryListener it MUST be a DeliveryMux passed here
+  /// so delivery reports are re-serialized in process-id order; adversary
+  /// hooks and the delivery phase stay on the calling thread. Pass
+  /// pool == nullptr to return to serial execution. Only valid at a round
+  /// boundary.
+  void set_parallelism(ThreadPool* pool, std::size_t shards, DeliveryMux* mux = nullptr);
 
   // -- execution ---------------------------------------------------------
 
@@ -207,29 +236,51 @@ class Engine {
   Phase phase_ = Phase::kIdle;
   bool started_ = false;
 
-  std::vector<bool> alive_;
+  DynamicBitset alive_;
   std::size_t alive_count_ = 0;     // invariant: == count of set bits in alive_
   std::vector<Round> alive_since_;  // round the current "alive" run began
-  /// Ascending ids of alive processes, rebuilt lazily after lifecycle events
-  /// so the send/receive loops skip dead processes without scanning alive_
-  /// (and, in the common all-alive case, without any rebuild at all).
+  /// Ascending ids of alive processes, maintained incrementally by
+  /// crash()/restart() (ordered erase/insert of one id) so the send/receive
+  /// loops skip dead processes without ever rescanning alive_.
   std::vector<ProcessId> alive_ids_;
-  bool alive_ids_dirty_ = true;
-  std::vector<bool> lifecycle_event_this_round_;
-  std::vector<bool> injected_this_round_;
 
-  // crash/restart bookkeeping for the delivery filters of the current round
+  // Per-round flags as bitsets, one "touched" bool per flag so begin_round()
+  // skips even the word-clear when the previous round left the flag empty —
+  // a faults-off steady-state round does no per-process bookkeeping at all.
+  DynamicBitset lifecycle_event_this_round_;
+  DynamicBitset injected_this_round_;
+  bool lifecycle_touched_ = false;
+  bool injected_touched_ = false;
+
+  // crash/restart bookkeeping for the delivery filters of the current round.
+  // Invariant between rounds: every dead process has in_policy_ == kDropAll
+  // (established by crash(), re-derived on restore_checkpoint()), so
+  // begin_round() only marks filter *bits* for the dead set.
   std::vector<PartialDelivery> out_policy_;
-  std::vector<bool> out_filtered_;
+  DynamicBitset out_filtered_;
   std::vector<PartialDelivery> in_policy_;
-  std::vector<bool> in_filtered_;
-  std::vector<bool> sent_this_round_;  // participated in the send phase
+  DynamicBitset in_filtered_;
+  bool out_touched_ = false;
+  bool in_touched_ = false;
+  DynamicBitset sent_this_round_;  // participated in the send phase
+
+  // Sharded execution state (unused while pool_ == nullptr).
+  ThreadPool* pool_ = nullptr;
+  std::size_t shard_count_ = 1;
+  DeliveryMux* mux_ = nullptr;
+  struct ShardBuffer {
+    std::vector<Envelope> out;  // send-phase submissions, in submission order
+  };
+  std::vector<ShardBuffer> shard_buffers_;
 
   class NetworkSender;
+  class ShardSender;
   class DeliveryFanout;
+  class PhaseTask;
 
   void begin_round();
-  const std::vector<ProcessId>& alive_ids();
+  bool use_shards() const { return pool_ != nullptr && alive_ids_.size() > 1; }
+  void run_phase_sharded(bool receive);
   void notify_crash(ProcessId p, PartialDelivery policy);
   void notify_restart(ProcessId p, PartialDelivery policy);
 };

@@ -61,7 +61,7 @@ bool Network::apply_faults(const Envelope& e) {
 }
 
 void Network::release_delayed(const std::vector<PartialDelivery>& in_policy,
-                              const std::vector<bool>& in_filtered,
+                              const DynamicBitset& in_filtered,
                               DeliveryObserver* observer) {
   std::size_t kept = 0;
   for (std::size_t i = 0; i < delayed_.size(); ++i) {
@@ -78,7 +78,7 @@ void Network::release_delayed(const std::vector<PartialDelivery>& in_policy,
     // which would shift the trace of every later round, so a delayed
     // envelope caught in any receive filter is simply lost - the fault
     // layer may only ever remove deliveries, never add engine randomness.
-    if (in_filtered[e.to] && in_policy[e.to] != PartialDelivery::kDeliverAll) continue;
+    if (in_filtered.test(e.to) && in_policy[e.to] != PartialDelivery::kDeliverAll) continue;
     if (observer != nullptr) observer->on_delivered(e);
     inboxes_[e.to].push_back(std::move(e));
   }
@@ -86,9 +86,9 @@ void Network::release_delayed(const std::vector<PartialDelivery>& in_policy,
 }
 
 void Network::deliver(const std::vector<PartialDelivery>& out_policy,
-                      const std::vector<bool>& out_filtered,
+                      const DynamicBitset& out_filtered,
                       const std::vector<PartialDelivery>& in_policy,
-                      const std::vector<bool>& in_filtered, Rng& rng,
+                      const DynamicBitset& in_filtered, Rng& rng,
                       DeliveryObserver* observer) {
   // Keep a headroom margin above the global high-water mark. Per-round
   // inbox sizes are a binomial tail: records creep past the previous
@@ -110,14 +110,14 @@ void Network::deliver(const std::vector<PartialDelivery>& out_policy,
   }
   for (auto& e : pending_) {
     bool keep = true;
-    if (out_filtered[e.from]) {
+    if (out_filtered.test(e.from)) {
       switch (out_policy[e.from]) {
         case PartialDelivery::kDeliverAll: break;
         case PartialDelivery::kDropAll: keep = false; break;
         case PartialDelivery::kRandom: keep = rng.chance(0.5); break;
       }
     }
-    if (keep && in_filtered[e.to]) {
+    if (keep && in_filtered.test(e.to)) {
       switch (in_policy[e.to]) {
         case PartialDelivery::kDeliverAll: break;
         case PartialDelivery::kDropAll: keep = false; break;

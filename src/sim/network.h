@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "common/bitset.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "sim/faults.h"
@@ -98,9 +99,9 @@ class Network {
   /// observer      - called for every *delivered* envelope (auditing);
   ///                 nullptr when nobody is listening.
   void deliver(const std::vector<PartialDelivery>& out_policy,
-               const std::vector<bool>& out_filtered,
+               const DynamicBitset& out_filtered,
                const std::vector<PartialDelivery>& in_policy,
-               const std::vector<bool>& in_filtered, Rng& rng,
+               const DynamicBitset& in_filtered, Rng& rng,
                DeliveryObserver* observer);
 
   /// Inbox of process p for the current round; cleared by end_round().
@@ -125,7 +126,7 @@ class Network {
   bool apply_faults(const Envelope& e);
   /// Delivers delayed envelopes that came due, compacting the queue.
   void release_delayed(const std::vector<PartialDelivery>& in_policy,
-                       const std::vector<bool>& in_filtered,
+                       const DynamicBitset& in_filtered,
                        DeliveryObserver* observer);
 
   std::size_t n_;

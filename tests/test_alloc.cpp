@@ -21,6 +21,7 @@
 
 #include "baseline/plain_gossip.h"
 #include "common/bitset.h"
+#include "common/thread_pool.h"
 #include "sim/engine.h"
 #include "sim/rumor.h"
 
@@ -103,6 +104,55 @@ TEST(AllocDiscipline, SteadyStateRoundIsAllocationFree) {
   // Guard against a vacuous pass: the window must actually gossip.
   EXPECT_GE(sent, static_cast<std::uint64_t>(kMeasured) * kN * kFanout);
   EXPECT_EQ(allocs, 0u) << "steady-state rounds must not touch the heap";
+}
+
+// The same discipline with the sharded round engine (DESIGN.md section 12):
+// once the per-shard envelope buffers have reached their high-water mark
+// during warm-up, a steady-state round must stay allocation-free on every
+// thread — shard claiming is a pair of atomic counters, the fork/join
+// handshake is condition-variable only, and the merge moves envelopes into
+// the network without growing anything.
+TEST(AllocDiscipline, ShardedSteadyStateRoundIsAllocationFree) {
+  constexpr std::size_t kN = 64;
+  constexpr int kFanout = 3;
+  constexpr Round kInjectRounds = 8;
+  constexpr Round kWarmup = 48;
+  constexpr Round kMeasured = 32;
+  constexpr Round kDeadline = 400;
+  constexpr Round kTotal = kWarmup + kMeasured + 4;
+  constexpr std::size_t kEngineThreads = 4;
+
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  procs.reserve(kN);
+  Rng seeder(0xa110c8ull);  // same seed: identical trace to the serial test
+  for (ProcessId p = 0; p < kN; ++p) {
+    procs.push_back(std::make_unique<baseline::PlainGossipProcess>(
+        p, baseline::PlainGossipProcess::Options{kFanout, kN}, seeder.next(),
+        /*listener=*/nullptr));
+  }
+  sim::Engine engine(std::move(procs), seeder.next());
+  ThreadPool pool(kEngineThreads - 1);  // driving thread participates
+  engine.set_parallelism(&pool, 2 * kEngineThreads);
+  engine.stats().reserve_rounds(static_cast<std::size_t>(kTotal));
+
+  for (Round r = 0; r < kWarmup; ++r) {
+    if (r < kInjectRounds) {
+      const auto src = static_cast<ProcessId>(r % kN);
+      engine.inject(src, sim::make_rumor(src, static_cast<std::uint64_t>(r),
+                                         {1, 2, 3, 4}, kDeadline,
+                                         DynamicBitset::full(kN)));
+    }
+    engine.step();
+  }
+
+  const std::uint64_t sent_before = engine.network().messages_sent_total();
+  const std::uint64_t allocs_before = alloc_count();
+  for (Round r = 0; r < kMeasured; ++r) engine.step();
+  const std::uint64_t allocs = alloc_count() - allocs_before;
+  const std::uint64_t sent = engine.network().messages_sent_total() - sent_before;
+
+  EXPECT_GE(sent, static_cast<std::uint64_t>(kMeasured) * kN * kFanout);
+  EXPECT_EQ(allocs, 0u) << "sharded steady-state rounds must not touch the heap";
 }
 
 }  // namespace

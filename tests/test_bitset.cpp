@@ -129,6 +129,46 @@ TEST(Bitset, ForEachVisitsExactly) {
   EXPECT_EQ(got, want);
 }
 
+TEST(Bitset, OrComplement) {
+  // b.or_complement(o) == b |= ~o with the tail beyond the universe kept
+  // clear (the engine uses this to mark every dead process in one sweep).
+  for (std::size_t n : {1u, 63u, 64u, 65u, 130u}) {
+    SCOPED_TRACE(n);
+    DynamicBitset alive(n), filtered(n);
+    for (std::size_t i = 0; i < n; i += 3) alive.set(i);
+    filtered.set(0);  // pre-existing bit must survive
+    filtered.or_complement(alive);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(filtered.test(i), i == 0 || !alive.test(i)) << "bit " << i;
+    }
+    // No stray bits beyond the universe: count matches a direct tally.
+    std::size_t want = 0;
+    for (std::size_t i = 0; i < n; ++i) want += (i == 0 || !alive.test(i));
+    EXPECT_EQ(filtered.count(), want);
+  }
+}
+
+TEST(Bitset, ForEachZeroVisitsExactlyTheClearBits) {
+  DynamicBitset b(300);
+  const std::vector<std::uint32_t> set_bits = {0, 63, 64, 65, 127, 128, 299};
+  for (auto i : set_bits) b.set(i);
+  std::vector<std::uint32_t> got;
+  b.for_each_zero([&](std::uint32_t i) { got.push_back(i); });
+  std::vector<std::uint32_t> want;
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    if (!b.test(i)) want.push_back(i);
+  }
+  EXPECT_EQ(got, want);
+
+  // Tail masking: a full bitset yields no zeros even at awkward sizes.
+  for (std::size_t n : {1u, 63u, 64u, 65u, 129u}) {
+    SCOPED_TRACE(n);
+    std::size_t zeros = 0;
+    DynamicBitset::full(n).for_each_zero([&](std::uint32_t) { ++zeros; });
+    EXPECT_EQ(zeros, 0u);
+  }
+}
+
 TEST(Bitset, FromIndices) {
   auto b = DynamicBitset::from_indices(50, {3, 7, 49});
   EXPECT_EQ(b.count(), 3u);

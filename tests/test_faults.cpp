@@ -183,10 +183,10 @@ struct FaultNetFixture : ::testing::Test {
   Rng rng{99};
   std::vector<PartialDelivery> out_policy =
       std::vector<PartialDelivery>(kN, PartialDelivery::kDeliverAll);
-  std::vector<bool> out_filtered = std::vector<bool>(kN, false);
+  DynamicBitset out_filtered{kN};
   std::vector<PartialDelivery> in_policy =
       std::vector<PartialDelivery>(kN, PartialDelivery::kDeliverAll);
-  std::vector<bool> in_filtered = std::vector<bool>(kN, false);
+  DynamicBitset in_filtered{kN};
   std::vector<Envelope> observed;
 
   struct Recorder final : DeliveryObserver {
@@ -298,7 +298,7 @@ TEST_F(FaultNetFixture, DelayedEnvelopeLostToReceiverFilterAtRelease) {
   // Receiver is filtered (restarting) in the release round: the envelope is
   // conservatively dropped even under kRandom - the fault layer must never
   // consume engine randomness.
-  in_filtered[1] = true;
+  in_filtered.set(1);
   in_policy[1] = PartialDelivery::kRandom;
   const auto rng_before = rng;
   deliver();

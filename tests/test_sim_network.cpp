@@ -17,10 +17,10 @@ struct NetworkFixture : ::testing::Test {
   Rng rng{99};
   std::vector<PartialDelivery> out_policy =
       std::vector<PartialDelivery>(kN, PartialDelivery::kDeliverAll);
-  std::vector<bool> out_filtered = std::vector<bool>(kN, false);
+  DynamicBitset out_filtered{kN};
   std::vector<PartialDelivery> in_policy =
       std::vector<PartialDelivery>(kN, PartialDelivery::kDeliverAll);
-  std::vector<bool> in_filtered = std::vector<bool>(kN, false);
+  DynamicBitset in_filtered{kN};
   std::vector<Envelope> observed;
 
   struct Recorder final : DeliveryObserver {
@@ -58,7 +58,7 @@ TEST_F(NetworkFixture, EndRoundClearsInboxes) {
 }
 
 TEST_F(NetworkFixture, SenderDropAllLosesEverything) {
-  out_filtered[0] = true;
+  out_filtered.set(0);
   out_policy[0] = PartialDelivery::kDropAll;
   net.submit(make_msg(0, 1, 1));
   net.submit(make_msg(0, 2, 2));
@@ -70,7 +70,7 @@ TEST_F(NetworkFixture, SenderDropAllLosesEverything) {
 }
 
 TEST_F(NetworkFixture, ReceiverDropAllLosesInbound) {
-  in_filtered[2] = true;
+  in_filtered.set(2);
   in_policy[2] = PartialDelivery::kDropAll;
   net.submit(make_msg(0, 2, 1));
   net.submit(make_msg(0, 1, 2));
@@ -80,7 +80,7 @@ TEST_F(NetworkFixture, ReceiverDropAllLosesInbound) {
 }
 
 TEST_F(NetworkFixture, RandomPolicyDropsAboutHalf) {
-  out_filtered[0] = true;
+  out_filtered.set(0);
   out_policy[0] = PartialDelivery::kRandom;
   constexpr int kMsgs = 2000;
   for (int i = 0; i < kMsgs; ++i) net.submit(make_msg(0, 1, i));
@@ -99,8 +99,8 @@ TEST_F(NetworkFixture, RandomPolicyIsSeedDeterministic) {
     Network n2{kN, &st};
     Rng r2{seed};
     std::vector<PartialDelivery> op(kN, PartialDelivery::kDeliverAll);
-    std::vector<bool> of(kN, false);
-    of[0] = true;
+    DynamicBitset of(kN);
+    of.set(0);
     op[0] = PartialDelivery::kRandom;
     for (int i = 0; i < 64; ++i) n2.submit(make_msg(0, 1, i));
     n2.deliver(op, of, in_policy, in_filtered, r2, nullptr);
@@ -122,7 +122,7 @@ TEST_F(NetworkFixture, RandomPolicySurvivesCheckpointRewind) {
   // Rewinding the network *and* the engine RNG to a round boundary must
   // reproduce the identical kRandom delivered subset - the checkpoint carries
   // every input the filter depends on.
-  out_filtered[2] = true;
+  out_filtered.set(2);
   out_policy[2] = PartialDelivery::kRandom;
 
   auto play_round = [&]() {
@@ -151,7 +151,7 @@ TEST_F(NetworkFixture, RandomPolicySurvivesCheckpointRewind) {
 
 TEST_F(NetworkFixture, SentCountIncludesDropped) {
   // Definition 3 counts messages *sent*, even if a crash loses them.
-  out_filtered[0] = true;
+  out_filtered.set(0);
   out_policy[0] = PartialDelivery::kDropAll;
   net.submit(make_msg(0, 1, 1, ServiceKind::kProxy));
   net.submit(make_msg(3, 1, 2, ServiceKind::kProxy));

@@ -14,8 +14,13 @@ Exit status:
   2  usage / malformed input.
 
 Benchmarks present in only one of the two groups are reported and skipped;
-so are pairs whose bench_scale context differs (a reduced-scale CI record
-is not comparable to a full-scale local one).
+so are pairs whose bench_scale or engine_threads context differs (a
+reduced-scale CI record is not comparable to a full-scale local one, nor a
+serial-engine record to a sharded one). A *baseline* record stamped
+"dirty": true is refused as a comparison base (warn and skip): it came from
+an uncommitted tree, so its rev does not identify the code that produced
+it. A dirty head record gets a warning but still compares — that is the
+normal state while iterating locally.
 
 Usage: tools/bench_diff.py [--file BENCH_engine.json] [--threshold 0.10]
                            [--informational] [--self-test]
@@ -75,6 +80,27 @@ def compare(base_recs, head_recs, threshold, out=sys.stdout):
                 file=out,
             )
             continue
+        b_et = str(b.get("engine_threads", "1"))
+        h_et = str(h.get("engine_threads", "1"))
+        if b_et != h_et:
+            print(
+                f"  {name}: engine_threads mismatch ({b_et} vs {h_et}), skipped",
+                file=out,
+            )
+            continue
+        if b.get("dirty", False):
+            print(
+                f"  {name}: baseline record is dirty (uncommitted tree), "
+                f"not a trustworthy base, skipped",
+                file=out,
+            )
+            continue
+        if h.get("dirty", False):
+            print(
+                f"  {name}: warning: head record is dirty (uncommitted tree), "
+                f"comparing anyway",
+                file=out,
+            )
         try:
             b_rps = float(b["rounds_per_sec"])
             h_rps = float(h["rounds_per_sec"])
@@ -131,9 +157,12 @@ def self_test():
                 fh.write(json.dumps(rec) + "\n")
         return path
 
-    def rec(rev, name, rps, scale="default"):
-        return {"rev": rev, "name": name, "rounds_per_sec": rps,
-                "bench_scale": scale}
+    def rec(rev, name, rps, scale="default", dirty=False, engine_threads=None):
+        r = {"rev": rev, "name": name, "rounds_per_sec": rps,
+             "bench_scale": scale, "dirty": dirty}
+        if engine_threads is not None:
+            r["engine_threads"] = engine_threads
+        return r
 
     failures = []
 
@@ -174,6 +203,28 @@ def self_test():
                    rec("aaa", "BM_X/256", 50.0))
     check("rerun-same-rev", run(p, 0.10, informational=False), 1)
     os.unlink(p)
+
+    # A dirty BASELINE is untrustworthy: skipped even across a huge drop.
+    p = trajectory(rec("aaa", "BM_X/256", 100.0, dirty=True),
+                   rec("bbb", "BM_X/256", 10.0))
+    check("dirty-base-skipped", run(p, 0.10, informational=False), 0)
+    os.unlink(p)
+
+    # A dirty HEAD still compares (with a warning): regressions must fail.
+    p = trajectory(rec("aaa", "BM_X/256", 100.0),
+                   rec("bbb", "BM_X/256", 10.0, dirty=True))
+    check("dirty-head-compares", run(p, 0.10, informational=False), 1)
+    os.unlink(p)
+
+    # engine_threads context mismatch is skipped (missing counts as "1").
+    p = trajectory(rec("aaa", "BM_X/256", 100.0),
+                   rec("bbb", "BM_X/256", 10.0, engine_threads="4"))
+    check("engine-threads-mismatch", run(p, 0.10, informational=False), 0)
+    p2 = trajectory(rec("aaa", "BM_X/256", 100.0, engine_threads="4"),
+                    rec("bbb", "BM_X/256", 10.0, engine_threads="4"))
+    check("engine-threads-match-compares", run(p2, 0.10, informational=False), 1)
+    os.unlink(p)
+    os.unlink(p2)
 
     if failures:
         for f in failures:

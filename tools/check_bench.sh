@@ -47,6 +47,12 @@ fi
 # and the bench scale, so trajectory lines are comparable across machines.
 THREADS="${CONGOS_BENCH_THREADS:-$(nproc 2>/dev/null || echo unknown)}"
 SCALE="${CONGOS_BENCH_SCALE:-default}"
+# Engine thread count: the headline number tracks the sharded round engine
+# (DESIGN.md section 12) at 4 threads. Override with CONGOS_ENGINE_THREADS=1
+# for serial measurements; bench_diff.py refuses to compare records whose
+# engine_threads context differs.
+ENGINE_THREADS="${CONGOS_ENGINE_THREADS:-4}"
+export CONGOS_ENGINE_THREADS="$ENGINE_THREADS"
 # Wire codec version (src/wire/wire.h): byte-accounting work in the hot path
 # depends on the envelope format, so records stamp which codec produced them.
 WIRE_VERSION="$(sed -n 's/^inline constexpr std::uint8_t kWireFormatVersion = \([0-9]*\);.*/\1/p' \
@@ -76,11 +82,12 @@ fi
 # One compact line per benchmark: name, real/cpu time, rounds/sec, context.
 jq -c --arg rev "$GIT_REV" --arg sha "$GIT_SHA" --argjson dirty "$GIT_DIRTY" \
   --arg threads "$THREADS" --arg scale "$SCALE" --arg wire "$WIRE_VERSION" \
+  --arg ethreads "$ENGINE_THREADS" \
   '.context.date as $date | .benchmarks[] |
    {date: $date, rev: $rev, sha: $sha, dirty: $dirty, name: .name,
     real_time_ms: .real_time, cpu_time_ms: .cpu_time,
     rounds_per_sec: .rounds_per_sec, threads: $threads, bench_scale: $scale,
-    wire_codec_version: $wire}' \
+    wire_codec_version: $wire, engine_threads: $ethreads}' \
   "$TMP_JSON" >> "$OUT_FILE"
 
 echo "appended $(jq '.benchmarks | length' "$TMP_JSON") benchmark record(s) to $OUT_FILE:"
