@@ -1,0 +1,462 @@
+#include "harness/cluster.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "congos/congos_process.h"
+#include "net/clock.h"
+#include "net/control.h"
+#include "wire/envelope.h"
+
+namespace congos::harness {
+namespace {
+
+struct Daemon {
+  pid_t pid = -1;
+  int stdout_fd = -1;          // read end of the stdout pipe
+  std::uint16_t data_port = 0;
+  std::uint16_t control_port = 0;
+  std::string stdout_tail;     // everything read after READY
+  int exit_code = -1;
+};
+
+std::vector<std::string> daemon_args(const ClusterConfig& cfg, ProcessId id) {
+  std::vector<std::string> args;
+  args.push_back(cfg.daemon);
+  args.push_back("--id=" + std::to_string(id));
+  args.push_back("--n=" + std::to_string(cfg.n));
+  args.push_back("--seed=" + std::to_string(cfg.seed));
+  args.push_back("--tau=" + std::to_string(cfg.tau));
+  args.push_back("--rounds=" + std::to_string(cfg.rounds));
+  args.push_back("--duration=" + std::to_string(cfg.duration_s));
+  args.push_back("--log=" + cfg.workdir + "/node" + std::to_string(id) + ".log");
+  if (cfg.no_degenerate) args.push_back("--no-degenerate");
+  if (cfg.retransmit) {
+    args.push_back("--retransmit");
+    args.push_back("--max-link-delay=" + std::to_string(cfg.max_link_delay));
+  }
+  if (!cfg.fault_spec.empty()) args.push_back("--faults=" + cfg.fault_spec);
+  return args;
+}
+
+bool spawn_daemon(const ClusterConfig& cfg, ProcessId id, Daemon* d,
+                  std::string* error) {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) < 0) {
+    *error = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+  const std::string err_path =
+      cfg.workdir + "/node" + std::to_string(id) + ".err";
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    *error = std::string("fork: ") + std::strerror(errno);
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    return false;
+  }
+  if (pid == 0) {
+    // Child: stdout -> pipe, stderr -> node<i>.err, exec the daemon.
+    ::dup2(pipe_fds[1], STDOUT_FILENO);
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    const int ef = ::open(err_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (ef >= 0) {
+      ::dup2(ef, STDERR_FILENO);
+      ::close(ef);
+    }
+    const std::vector<std::string> args = daemon_args(cfg, id);
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    std::fprintf(stderr, "execv %s: %s\n", argv[0], std::strerror(errno));
+    ::_exit(127);
+  }
+  ::close(pipe_fds[1]);
+  d->pid = pid;
+  d->stdout_fd = pipe_fds[0];
+  return true;
+}
+
+/// Reads one '\n'-terminated line from fd, polling up to `deadline_ms` wall
+/// time. Returns false on timeout/EOF.
+bool read_line(int fd, std::int64_t deadline_ms, std::string* line) {
+  line->clear();
+  char c = 0;
+  for (;;) {
+    const ssize_t got = ::read(fd, &c, 1);
+    if (got == 1) {
+      if (c == '\n') return true;
+      line->push_back(c);
+      continue;
+    }
+    if (got == 0) return false;  // EOF
+    if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) return false;
+    const std::int64_t now = net::wall_ms_now();
+    if (now >= deadline_ms) return false;
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, static_cast<int>(std::min<std::int64_t>(
+                            deadline_ms - now, 200))) < 0 &&
+        errno != EINTR) {
+      return false;
+    }
+  }
+}
+
+bool parse_ready(const std::string& text, ProcessId expect_id, Daemon* d) {
+  net::Line line;
+  if (!net::parse_line(text, &line) || line.verb != "READY") return false;
+  bool ok = true;
+  const std::int64_t id = line.get_int("id", &ok);
+  const std::int64_t data = line.get_int("data", &ok);
+  const std::int64_t control = line.get_int("control", &ok);
+  if (!ok || id != static_cast<std::int64_t>(expect_id) || data <= 0 ||
+      data > 65535 || control <= 0 || control > 65535) {
+    return false;
+  }
+  d->data_port = static_cast<std::uint16_t>(data);
+  d->control_port = static_cast<std::uint16_t>(control);
+  return true;
+}
+
+/// The runner's control-side socket: sends a command to one daemon's
+/// control port and waits for a reply from that port.
+class ControlClient {
+ public:
+  bool open(std::string* error) {
+    fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) {
+      *error = std::string("control socket: ") + std::strerror(errno);
+      return false;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      *error = std::string("control bind: ") + std::strerror(errno);
+      return false;
+    }
+    return true;
+  }
+  ~ControlClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  /// Sends `cmd` and waits for a reply starting with `expect`; retries the
+  /// send (commands and acks are datagrams; either may drop). Returns the
+  /// full reply via *reply when non-null.
+  bool request(std::uint16_t port, const std::string& cmd,
+               const std::string& expect, std::string* reply = nullptr,
+               int tries = 20, int wait_ms = 150) {
+    sockaddr_in to{};
+    to.sin_family = AF_INET;
+    to.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    to.sin_port = htons(port);
+    for (int t = 0; t < tries; ++t) {
+      (void)::sendto(fd_, cmd.data(), cmd.size(), 0,
+                     reinterpret_cast<sockaddr*>(&to), sizeof(to));
+      const std::int64_t deadline = net::wall_ms_now() + wait_ms;
+      for (;;) {
+        const std::int64_t now = net::wall_ms_now();
+        if (now >= deadline) break;
+        pollfd pfd{fd_, POLLIN, 0};
+        (void)::poll(&pfd, 1, static_cast<int>(deadline - now));
+        char buf[65536];
+        sockaddr_in from{};
+        socklen_t from_len = sizeof(from);
+        const ssize_t got =
+            ::recvfrom(fd_, buf, sizeof(buf), 0,
+                       reinterpret_cast<sockaddr*>(&from), &from_len);
+        if (got < 0) continue;
+        if (ntohs(from.sin_port) != port) continue;  // stale reply
+        const std::string text(buf, static_cast<std::size_t>(got));
+        if (text.rfind(expect, 0) == 0) {
+          if (reply != nullptr) *reply = text;
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+void sleep_until(std::int64_t wall_ms) {
+  for (;;) {
+    const std::int64_t now = net::wall_ms_now();
+    if (now >= wall_ms) return;
+    ::usleep(static_cast<useconds_t>(
+        std::min<std::int64_t>(wall_ms - now, 100) * 1000));
+  }
+}
+
+/// Reaps `d` within `grace_ms`, escalating SIGTERM -> SIGKILL.
+void reap(Daemon* d, std::int64_t grace_ms) {
+  if (d->pid < 0) return;
+  const std::int64_t deadline = net::wall_ms_now() + grace_ms;
+  bool killed = false;
+  for (;;) {
+    int status = 0;
+    const pid_t got = ::waitpid(d->pid, &status, WNOHANG);
+    if (got == d->pid) {
+      d->exit_code = WIFEXITED(status) ? WEXITSTATUS(status)
+                                       : 128 + WTERMSIG(status);
+      break;
+    }
+    if (got < 0 && errno != EINTR) {
+      d->exit_code = -1;
+      break;
+    }
+    const std::int64_t now = net::wall_ms_now();
+    if (now >= deadline) {
+      if (!killed) {
+        ::kill(d->pid, SIGKILL);
+        killed = true;
+      }
+      int st = 0;
+      (void)::waitpid(d->pid, &st, 0);
+      d->exit_code = 128 + SIGKILL;
+      break;
+    }
+    ::usleep(20 * 1000);
+  }
+  d->pid = -1;
+  // Drain whatever stdout remains (the STATS line) now that the writer is
+  // gone.
+  if (d->stdout_fd >= 0) {
+    char buf[4096];
+    for (;;) {
+      const ssize_t got = ::read(d->stdout_fd, buf, sizeof(buf));
+      if (got <= 0) break;
+      d->stdout_tail.append(buf, static_cast<std::size_t>(got));
+    }
+    ::close(d->stdout_fd);
+    d->stdout_fd = -1;
+  }
+}
+
+std::string stats_line_of(const std::string& tail) {
+  std::istringstream in(tail);
+  std::string line;
+  std::string stats;
+  while (std::getline(in, line)) {
+    if (line.rfind("STATS ", 0) == 0) stats = line.substr(6);
+  }
+  return stats;
+}
+
+struct LoggedDelivery {
+  ProcessId at = kNoProcess;
+  RumorUid uid;
+  Round when = 0;
+  std::vector<std::uint8_t> data;
+};
+
+/// Replays the daemons' event logs through the simulator's auditors.
+void audit_logs(const ClusterConfig& cfg, ClusterResult* r) {
+  std::vector<std::pair<sim::Rumor, Round>> injects;
+  std::vector<LoggedDelivery> deliveries;
+  std::vector<std::pair<std::vector<std::uint8_t>, Round>> frames;
+
+  for (std::size_t i = 0; i < cfg.n; ++i) {
+    const std::string path = cfg.workdir + "/node" + std::to_string(i) + ".log";
+    std::ifstream in(path);
+    std::string text;
+    while (std::getline(in, text)) {
+      if (text.empty()) continue;
+      net::Line line;
+      if (!net::parse_line(text, &line)) {
+        ++r->log_parse_errors;
+        continue;
+      }
+      bool ok = true;
+      if (line.verb == "inject") {
+        sim::Rumor rumor;
+        Round round = 0;
+        std::string err;
+        if (!net::parse_inject_event(line, &rumor, &round, &err)) {
+          ++r->log_parse_errors;
+          continue;
+        }
+        injects.emplace_back(std::move(rumor), round);
+      } else if (line.verb == "deliver") {
+        LoggedDelivery d;
+        d.when = line.get_int("round", &ok);
+        d.at = static_cast<ProcessId>(line.get_int("at", &ok));
+        d.uid.source = static_cast<ProcessId>(line.get_int("src", &ok));
+        d.uid.seq = static_cast<std::uint64_t>(line.get_int("seq", &ok));
+        if (!ok || !net::from_hex(line.get("data", &ok), &d.data) || !ok) {
+          ++r->log_parse_errors;
+          continue;
+        }
+        deliveries.push_back(std::move(d));
+      } else if (line.verb == "recv") {
+        const Round round = line.get_int("round", &ok);
+        std::vector<std::uint8_t> frame;
+        if (!ok || !net::from_hex(line.get("frame", &ok), &frame) || !ok) {
+          ++r->log_parse_errors;
+          continue;
+        }
+        frames.emplace_back(std::move(frame), round);
+      } else {
+        ++r->log_parse_errors;
+      }
+    }
+  }
+
+  core::CongosConfig ccfg;
+  ccfg.tau = cfg.tau;
+  ccfg.allow_degenerate = !cfg.no_degenerate;
+  const auto partitions = core::CongosProcess::build_partitions(cfg.n, ccfg);
+
+  audit::DeliveryAuditor qod(cfg.n);
+  audit::ConfidentialityAuditor conf(cfg.n, partitions.get());
+  Round horizon = cfg.rounds;
+  for (const auto& [rumor, round] : injects) {
+    qod.on_inject(rumor, round);
+    conf.on_inject(rumor, round);
+    horizon = std::max(horizon, round + rumor.deadline + 1);
+  }
+  for (const LoggedDelivery& d : deliveries) {
+    qod.on_rumor_delivered(d.at, d.uid, d.when, d.data);
+  }
+  for (const auto& [frame, round] : frames) {
+    wire::DecodedEnvelope dec;
+    if (!wire::decode_envelope(frame, &dec)) {
+      ++r->log_parse_errors;
+      continue;
+    }
+    conf.on_envelope_delivered(dec.env, round);
+  }
+
+  r->qod = qod.finalize(horizon);
+  r->leaks = conf.leaks();
+  r->foreign_fragments = conf.count(audit::ViolationKind::kForeignFragment);
+  r->unknown_payloads = conf.unknown_payloads();
+  r->weakest_coalition = conf.weakest_rumor_coalition();
+  r->injected = injects.size();
+  r->deliveries = deliveries.size();
+  r->recv_frames = frames.size();
+}
+
+}  // namespace
+
+ClusterResult run_cluster(const ClusterConfig& cfg) {
+  ClusterResult result;
+  if (cfg.daemon.empty()) {
+    result.error = "no daemon binary configured";
+    return result;
+  }
+  if (cfg.n < 2) {
+    result.error = "cluster needs n >= 2";
+    return result;
+  }
+  ::mkdir(cfg.workdir.c_str(), 0755);  // best effort; open errors surface below
+
+  std::vector<Daemon> daemons(cfg.n);
+  const auto fail = [&](const std::string& why) {
+    for (Daemon& d : daemons) {
+      if (d.pid > 0) ::kill(d.pid, SIGKILL);
+      reap(&d, 1000);
+    }
+    result.error = why;
+    return result;
+  };
+
+  for (ProcessId id = 0; id < cfg.n; ++id) {
+    std::string err;
+    if (!spawn_daemon(cfg, id, &daemons[id], &err)) {
+      return fail("spawn daemon " + std::to_string(id) + ": " + err);
+    }
+    // The READY read below polls, so the pipe must not block.
+    const int fl = ::fcntl(daemons[id].stdout_fd, F_GETFL, 0);
+    ::fcntl(daemons[id].stdout_fd, F_SETFL, fl | O_NONBLOCK);
+  }
+
+  const std::int64_t ready_deadline = net::wall_ms_now() + 15000;
+  for (ProcessId id = 0; id < cfg.n; ++id) {
+    std::string line;
+    if (!read_line(daemons[id].stdout_fd, ready_deadline, &line) ||
+        !parse_ready(line, id, &daemons[id])) {
+      return fail("daemon " + std::to_string(id) + " sent no READY (got '" +
+                  line + "')");
+    }
+  }
+
+  ControlClient control;
+  {
+    std::string err;
+    if (!control.open(&err)) return fail(err);
+  }
+
+  net::StartCommand start;
+  start.round_ms = cfg.round_ms;
+  start.epoch_ms = net::wall_ms_now() + 400;  // time to ack start everywhere
+  for (const Daemon& d : daemons) start.peer_ports.push_back(d.data_port);
+  const std::string start_line = net::encode_start(start);
+  for (ProcessId id = 0; id < cfg.n; ++id) {
+    if (!control.request(daemons[id].control_port, start_line, "ok start")) {
+      return fail("daemon " + std::to_string(id) + " never acked start");
+    }
+  }
+  const net::RoundClock clock(start.epoch_ms, start.round_ms);
+
+  // Injections, grouped by target round in ascending order.
+  std::vector<ClusterInject> plan = cfg.injections;
+  std::stable_sort(plan.begin(), plan.end(),
+                   [](const ClusterInject& a, const ClusterInject& b) {
+                     return a.round < b.round;
+                   });
+  for (const ClusterInject& inj : plan) {
+    sleep_until(clock.start_of(inj.round) + cfg.round_ms / 4);
+    if (inj.source >= cfg.n) return fail("inject source out of range");
+    net::InjectCommand cmd;
+    cmd.seq = inj.seq;
+    cmd.deadline = inj.deadline;
+    cmd.dest = inj.dest;
+    cmd.data = inj.data;
+    if (!control.request(daemons[inj.source].control_port,
+                         net::encode_inject(cmd),
+                         "ok inject seq=" + std::to_string(inj.seq))) {
+      return fail("daemon " + std::to_string(inj.source) +
+                  " never acked inject seq=" + std::to_string(inj.seq));
+    }
+  }
+
+  // Let the cluster run out its round budget, then reap. Daemons exit on
+  // their own at --rounds; `stop` just hurries along any straggler.
+  sleep_until(clock.start_of(cfg.rounds) + 200);
+  for (const Daemon& d : daemons) {
+    (void)control.request(d.control_port, "stop", "ok stop", nullptr,
+                          /*tries=*/3, /*wait_ms=*/100);
+  }
+  for (Daemon& d : daemons) reap(&d, 5000);
+
+  for (Daemon& d : daemons) {
+    result.exit_codes.push_back(d.exit_code);
+    result.stats_json.push_back(stats_line_of(d.stdout_tail));
+  }
+
+  audit_logs(cfg, &result);
+  return result;
+}
+
+}  // namespace congos::harness

@@ -1,0 +1,111 @@
+// ClusterRunner: fork a localhost CONGOS cluster of congos_d daemons and
+// audit the observed traffic (DESIGN.md section 13).
+//
+// run_cluster() forks N congos_d processes, reads their READY handshakes
+// off stdout pipes (the daemons bind ephemeral ports, so parallel ctest
+// runs never collide), distributes the shared wall-clock epoch and the
+// peer port table over the control sockets, injects the configured rumors
+// once their target round opens, waits for the round bound, and reaps
+// every daemon.
+//
+// The audits run on what actually happened on the wire: the runner parses
+// the per-daemon event logs (net/control.h line format) and replays them
+// through the same audit::DeliveryAuditor and audit::ConfidentialityAuditor
+// the simulator uses - injections and application deliveries drive QoD
+// (Definition 1), and every received envelope frame is re-decoded from its
+// logged bytes and fed to the confidentiality auditor (Definition 2), so a
+// leak on the real wire is caught by the identical machinery that guards
+// the simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "audit/confidentiality.h"
+#include "audit/qod.h"
+#include "common/bitset.h"
+#include "common/types.h"
+
+namespace congos::harness {
+
+/// One rumor the runner injects at its source daemon once `round` opens
+/// (wall-clock best effort: the daemon stamps the actual injection round).
+struct ClusterInject {
+  ProcessId source = 0;
+  std::uint64_t seq = 0;
+  Round round = 2;
+  Round deadline = 40;
+  DynamicBitset dest;
+  std::vector<std::uint8_t> data;
+};
+
+struct ClusterConfig {
+  /// Path to the congos_d binary (tests take it from $CONGOS_D_BIN).
+  std::string daemon;
+  /// Directory for per-daemon artifacts (node<i>.log / node<i>.err);
+  /// created if missing.
+  std::string workdir;
+
+  std::size_t n = 8;
+  std::uint64_t seed = 1;
+  std::uint32_t tau = 1;
+  /// Keep the fragment pipeline below the Theorem 16 cutoff (congos_d
+  /// --no-degenerate). On by default: at cluster-smoke scales (n ~ 8) CONGOS
+  /// would otherwise degenerate to direct sending and the run would not
+  /// exercise the confidential pipeline at all.
+  bool no_degenerate = true;
+  /// Forwarded to congos_d --faults (socket-level fault shim); empty = off.
+  std::string fault_spec;
+  /// Retransmission hardening; on by default - real sockets always risk the
+  /// +-1 round of apparent delay from scheduling jitter.
+  bool retransmit = true;
+  Round max_link_delay = 2;
+
+  Round rounds = 64;
+  std::int64_t round_ms = 30;
+  /// Per-daemon wall-clock cap (congos_d --duration backstop).
+  std::int64_t duration_s = 60;
+
+  std::vector<ClusterInject> injections;
+};
+
+struct ClusterResult {
+  /// Setup failure description; empty when the cluster ran to completion.
+  std::string error;
+
+  // Observed-traffic audits.
+  audit::QodReport qod;
+  std::uint64_t leaks = 0;
+  std::uint64_t foreign_fragments = 0;
+  std::uint64_t unknown_payloads = 0;
+  std::size_t weakest_coalition = SIZE_MAX;
+
+  // Log volume (sanity: a silent cluster is a failed cluster).
+  std::uint64_t injected = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t recv_frames = 0;
+  std::uint64_t log_parse_errors = 0;
+
+  /// Exit code per daemon (0 = clean; 128+sig when killed).
+  std::vector<int> exit_codes;
+  /// Each daemon's final `STATS` JSON line (empty when it produced none).
+  std::vector<std::string> stats_json;
+
+  bool daemons_ok() const {
+    for (const int c : exit_codes) {
+      if (c != 0) return false;
+    }
+    return !exit_codes.empty();
+  }
+  /// The cluster acceptance gate: everything launched, every daemon exited
+  /// clean, QoD held and no confidentiality violation was observed.
+  bool ok() const {
+    return error.empty() && daemons_ok() && qod.ok() && leaks == 0 &&
+           foreign_fragments == 0 && log_parse_errors == 0;
+  }
+};
+
+ClusterResult run_cluster(const ClusterConfig& cfg);
+
+}  // namespace congos::harness

@@ -1,0 +1,60 @@
+// Wall-clock round timing for the real-wire runtime (DESIGN.md section 13).
+//
+// The paper's global synchronous clock becomes a shared epoch: the cluster
+// runner picks one wall-clock instant (milliseconds since the Unix epoch,
+// a little in the future) and every daemon derives its round number as
+// (now - epoch) / round_ms. Localhost clock agreement is what makes this
+// a usable stand-in for the global clock; the slack between neighbouring
+// daemons shows up as +-1 round of apparent link delay, which the
+// retransmission layer already budgets for (max_link_delay).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace congos::net {
+
+/// Milliseconds since the Unix epoch, from the system (wall) clock - the
+/// only clock whose zero point daemons on one host share.
+inline std::int64_t wall_ms_now() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+class RoundClock {
+ public:
+  RoundClock() = default;
+  RoundClock(std::int64_t epoch_ms, std::int64_t round_ms)
+      : epoch_ms_(epoch_ms), round_ms_(round_ms > 0 ? round_ms : 1) {}
+
+  std::int64_t epoch_ms() const { return epoch_ms_; }
+  std::int64_t round_ms() const { return round_ms_; }
+
+  /// Round in progress at wall time `at_ms`; negative before the epoch
+  /// (the daemon idles until round 0 starts).
+  Round round_at(std::int64_t at_ms) const {
+    const std::int64_t dt = at_ms - epoch_ms_;
+    if (dt < 0) return -((-dt + round_ms_ - 1) / round_ms_);
+    return dt / round_ms_;
+  }
+
+  /// Wall time round `r` begins.
+  std::int64_t start_of(Round r) const { return epoch_ms_ + r * round_ms_; }
+
+  /// Milliseconds from `at_ms` until the next round boundary (>= 1, so a
+  /// poll timeout built from it always makes progress).
+  std::int64_t ms_until_next(std::int64_t at_ms) const {
+    const Round r = round_at(at_ms);
+    const std::int64_t next = start_of(r + 1);
+    return next > at_ms ? next - at_ms : 1;
+  }
+
+ private:
+  std::int64_t epoch_ms_ = 0;
+  std::int64_t round_ms_ = 20;
+};
+
+}  // namespace congos::net

@@ -1,0 +1,199 @@
+#include "net/control.h"
+
+#include <charconv>
+#include <sstream>
+
+#include "wire/wire.h"
+
+namespace congos::net {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string to_hex(std::span<const std::uint8_t> bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const std::uint8_t b : bytes) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xF]);
+  }
+  return out;
+}
+
+bool from_hex(const std::string& hex, std::vector<std::uint8_t>* out) {
+  if (hex.size() % 2 != 0) return false;
+  out->clear();
+  out->reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_val(hex[i]);
+    const int lo = hex_val(hex[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    out->push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return true;
+}
+
+std::string bitset_to_hex(const DynamicBitset& b) {
+  wire::WriteSink s;
+  s.bitset(b);
+  return to_hex(s.data());
+}
+
+bool bitset_from_hex(const std::string& hex, DynamicBitset* out) {
+  std::vector<std::uint8_t> bytes;
+  if (!from_hex(hex, &bytes)) return false;
+  wire::ReadSink s(bytes);
+  s.bitset(*out);
+  return s.ok() && s.remaining() == 0;
+}
+
+std::int64_t Line::get_int(const std::string& key, bool* ok) const {
+  const auto it = kv.find(key);
+  if (it == kv.end()) {
+    *ok = false;
+    return 0;
+  }
+  std::int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(
+      it->second.data(), it->second.data() + it->second.size(), v);
+  if (ec != std::errc{} || ptr != it->second.data() + it->second.size()) {
+    *ok = false;
+    return 0;
+  }
+  return v;
+}
+
+std::string Line::get(const std::string& key, bool* ok) const {
+  const auto it = kv.find(key);
+  if (it == kv.end()) {
+    *ok = false;
+    return {};
+  }
+  return it->second;
+}
+
+bool parse_line(const std::string& text, Line* out) {
+  out->verb.clear();
+  out->kv.clear();
+  std::istringstream in(text);
+  if (!(in >> out->verb)) return false;
+  std::string token;
+  while (in >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) return false;
+    out->kv[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return true;
+}
+
+std::string encode_start(const StartCommand& cmd) {
+  std::ostringstream out;
+  out << "start epoch=" << cmd.epoch_ms << " round-ms=" << cmd.round_ms
+      << " peers=";
+  for (std::size_t i = 0; i < cmd.peer_ports.size(); ++i) {
+    if (i > 0) out << ',';
+    out << cmd.peer_ports[i];
+  }
+  return out.str();
+}
+
+bool parse_start(const Line& line, StartCommand* out, std::string* error) {
+  bool ok = true;
+  out->epoch_ms = line.get_int("epoch", &ok);
+  out->round_ms = line.get_int("round-ms", &ok);
+  const std::string peers = line.get("peers", &ok);
+  if (!ok || line.verb != "start" || out->round_ms <= 0) {
+    if (error != nullptr) *error = "bad start command";
+    return false;
+  }
+  out->peer_ports.clear();
+  std::size_t pos = 0;
+  while (pos <= peers.size()) {
+    const std::size_t comma = peers.find(',', pos);
+    const std::string part =
+        peers.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    unsigned v = 0;
+    const auto [ptr, ec] =
+        std::from_chars(part.data(), part.data() + part.size(), v);
+    if (ec != std::errc{} || ptr != part.data() + part.size() || v == 0 ||
+        v > 65535) {
+      if (error != nullptr) *error = "bad peer port '" + part + "'";
+      return false;
+    }
+    out->peer_ports.push_back(static_cast<std::uint16_t>(v));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return true;
+}
+
+std::string encode_inject(const InjectCommand& cmd) {
+  std::ostringstream out;
+  out << "inject seq=" << cmd.seq << " deadline=" << cmd.deadline
+      << " dest=" << bitset_to_hex(cmd.dest) << " data=" << to_hex(cmd.data);
+  return out.str();
+}
+
+bool parse_inject(const Line& line, InjectCommand* out, std::string* error) {
+  bool ok = true;
+  out->seq = static_cast<std::uint64_t>(line.get_int("seq", &ok));
+  out->deadline = line.get_int("deadline", &ok);
+  const std::string dest = line.get("dest", &ok);
+  const std::string data = line.get("data", &ok);
+  if (!ok || line.verb != "inject" || out->deadline <= 0 ||
+      !bitset_from_hex(dest, &out->dest) || !from_hex(data, &out->data)) {
+    if (error != nullptr) *error = "bad inject command";
+    return false;
+  }
+  return true;
+}
+
+std::string encode_inject_event(Round round, const sim::Rumor& rumor) {
+  std::ostringstream out;
+  out << "inject round=" << round << " src=" << rumor.uid.source
+      << " seq=" << rumor.uid.seq << " deadline=" << rumor.deadline
+      << " dest=" << bitset_to_hex(rumor.dest) << " data=" << to_hex(rumor.data);
+  return out.str();
+}
+
+std::string encode_deliver_event(Round round, ProcessId at, const RumorUid& uid,
+                                 std::span<const std::uint8_t> data) {
+  std::ostringstream out;
+  out << "deliver round=" << round << " at=" << at << " src=" << uid.source
+      << " seq=" << uid.seq << " data=" << to_hex(data);
+  return out.str();
+}
+
+std::string encode_recv_event(Round round, std::span<const std::uint8_t> frame) {
+  std::ostringstream out;
+  out << "recv round=" << round << " frame=" << to_hex(frame);
+  return out.str();
+}
+
+bool parse_inject_event(const Line& line, sim::Rumor* out, Round* round,
+                        std::string* error) {
+  bool ok = true;
+  *round = line.get_int("round", &ok);
+  out->uid.source = static_cast<ProcessId>(line.get_int("src", &ok));
+  out->uid.seq = static_cast<std::uint64_t>(line.get_int("seq", &ok));
+  out->deadline = line.get_int("deadline", &ok);
+  const std::string dest = line.get("dest", &ok);
+  const std::string data = line.get("data", &ok);
+  if (!ok || line.verb != "inject" || !bitset_from_hex(dest, &out->dest) ||
+      !from_hex(data, &out->data)) {
+    if (error != nullptr) *error = "bad inject event";
+    return false;
+  }
+  out->injected_at = *round;
+  return true;
+}
+
+}  // namespace congos::net

@@ -1,0 +1,74 @@
+#include "net/fault_shim.h"
+
+#include <algorithm>
+
+namespace congos::net {
+
+FaultShim::FaultShim(Transport* inner, const sim::FaultConfig& cfg,
+                     ProcessId self)
+    : inner_(inner),
+      cfg_(cfg),
+      self_(self),
+      rng_(cfg.seed ^ (0x9e3779b97f4a7c15ull * (self + 1))) {}
+
+std::uint64_t FaultShim::fault_total() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counters_) total += c;
+  return total;
+}
+
+// Mirrors sim::Network::apply_faults decision order (partition, drop,
+// delay, dup) so the shim's fault mix matches the simulator's for the same
+// config - only the randomness stream differs.
+bool FaultShim::send(ProcessId to, std::span<const std::uint8_t> datagram) {
+  if (!cfg_.enabled()) return inner_->send(to, datagram);
+  if (sim::partition_cuts(cfg_, now_, self_, to)) {
+    ++counters_[static_cast<std::size_t>(sim::FaultKind::kPartitioned)];
+    return true;
+  }
+  if (cfg_.drop_rate > 0.0 && rng_.chance(cfg_.drop_rate)) {
+    ++counters_[static_cast<std::size_t>(sim::FaultKind::kDropped)];
+    return true;
+  }
+  const auto span = static_cast<std::uint64_t>(std::max<Round>(cfg_.max_delay, 1));
+  if (cfg_.delay_rate > 0.0 && rng_.chance(cfg_.delay_rate)) {
+    const Round lateness = 1 + static_cast<Round>(rng_.next_below(span));
+    held_.push_back(Held{now_ + lateness, to,
+                         std::vector<std::uint8_t>(datagram.begin(), datagram.end())});
+    ++counters_[static_cast<std::size_t>(sim::FaultKind::kDelayed)];
+    return true;
+  }
+  if (cfg_.dup_rate > 0.0 && rng_.chance(cfg_.dup_rate)) {
+    const Round lateness = 1 + static_cast<Round>(rng_.next_below(span));
+    held_.push_back(Held{now_ + lateness, to,
+                         std::vector<std::uint8_t>(datagram.begin(), datagram.end())});
+    ++counters_[static_cast<std::size_t>(sim::FaultKind::kDuplicated)];
+  }
+  return inner_->send(to, datagram);
+}
+
+void FaultShim::release_due() {
+  if (held_.empty()) return;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < held_.size(); ++i) {
+    if (held_[i].due <= now_) {
+      inner_->send(held_[i].to, held_[i].bytes);
+    } else {
+      if (kept != i) held_[kept] = std::move(held_[i]);
+      ++kept;
+    }
+  }
+  held_.resize(kept);
+}
+
+void FaultShim::set_round(Round now) {
+  now_ = now;
+  release_due();
+}
+
+std::size_t FaultShim::poll(int timeout_ms, DatagramSink& sink) {
+  release_due();
+  return inner_->poll(timeout_ms, sink);
+}
+
+}  // namespace congos::net

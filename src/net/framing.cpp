@@ -1,0 +1,50 @@
+#include "net/framing.h"
+
+#include "wire/envelope.h"
+#include "wire/wire.h"
+
+namespace congos::net {
+
+bool append_frame(const sim::Envelope& e, Round round,
+                  std::vector<std::uint8_t>* datagram) {
+  std::vector<std::uint8_t> frame;
+  if (!wire::encode_envelope(e, round, &frame)) return false;
+  if (frame.size() + wire::varint_size(frame.size()) > kMaxDatagramBytes) {
+    return false;
+  }
+  wire::WriteSink prefix;
+  prefix.varint(frame.size());
+  datagram->insert(datagram->end(), prefix.data().begin(), prefix.data().end());
+  datagram->insert(datagram->end(), frame.begin(), frame.end());
+  return true;
+}
+
+FrameSplitter::Status FrameSplitter::next(std::span<const std::uint8_t>* out) {
+  if (pos_ == data_.size()) return Status::kDone;
+  wire::ReadSink prefix(data_.data() + pos_, data_.size() - pos_);
+  std::uint64_t len = 0;
+  prefix.varint(len);
+  if (!prefix.ok()) {
+    // Distinguish "bytes ran out mid-prefix" (every remaining byte has its
+    // continuation bit set) from a malformed prefix (non-minimal varint or
+    // 64-bit overflow, which ReadSink also latches as failure).
+    bool all_continuation = true;
+    for (std::size_t i = pos_; i < data_.size(); ++i) {
+      if ((data_[i] & 0x80) == 0) {
+        all_continuation = false;
+        break;
+      }
+    }
+    return (all_continuation && data_.size() - pos_ < 10) ? Status::kTruncated
+                                                          : Status::kMalformed;
+  }
+  const std::size_t body_at = pos_ + prefix.pos();
+  if (len > data_.size() - body_at) return Status::kTruncated;
+  if (out != nullptr) {
+    *out = data_.subspan(body_at, static_cast<std::size_t>(len));
+  }
+  pos_ = body_at + static_cast<std::size_t>(len);
+  return Status::kFrame;
+}
+
+}  // namespace congos::net

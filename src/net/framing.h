@@ -1,0 +1,100 @@
+// Datagram framing: how envelope frames (wire/envelope.h) ride inside UDP
+// datagrams (DESIGN.md section 13).
+//
+// A datagram carries one or more length-prefixed frames:
+//
+//   varint  frame length L
+//   L bytes one v1 envelope frame (wire::encode_envelope output)
+//   ... repeated ...
+//
+// The length prefix makes coalescing trivial (a send phase packs all
+// envelopes for one peer into as few datagrams as fit) and makes partial
+// data detectable: a reader that runs out of bytes mid-frame reports
+// kTruncated instead of feeding a cut-off frame to the envelope decoder.
+// The envelope checksum then guards the frame contents themselves.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/message.h"
+
+namespace congos::net {
+
+/// Hard ceiling on one datagram: IPv4 localhost allows ~65507 payload
+/// bytes; leave margin for stacks with smaller SO_SNDBUF defaults.
+inline constexpr std::size_t kMaxDatagramBytes = 60000;
+
+/// Soft coalescing budget: the builder starts a new datagram once the
+/// current one would exceed this. Chosen to fit a typical localhost MTU
+/// without fragmentation; a single frame larger than the budget still gets
+/// its own (possibly fragmented) datagram up to kMaxDatagramBytes.
+inline constexpr std::size_t kDatagramBudget = 1400;
+
+/// Appends one length-prefixed envelope frame to `datagram`. Returns false
+/// (datagram untouched) when the codec cannot express the body (kOpaque)
+/// or the frame would exceed kMaxDatagramBytes on its own.
+bool append_frame(const sim::Envelope& e, Round round,
+                  std::vector<std::uint8_t>* datagram);
+
+/// Walks the frames of a received datagram.
+class FrameSplitter {
+ public:
+  enum class Status : std::uint8_t {
+    kFrame,      // *out holds the next complete frame
+    kDone,       // clean end of datagram
+    kTruncated,  // bytes end mid-prefix or mid-frame
+    kMalformed,  // length prefix is not a minimal varint or overflows
+  };
+
+  explicit FrameSplitter(std::span<const std::uint8_t> datagram)
+      : data_(datagram) {}
+
+  Status next(std::span<const std::uint8_t>* out);
+
+  std::size_t pos() const { return pos_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Per-peer coalescing writer for one send phase: frames accumulate into a
+/// datagram until the soft budget is hit, then the full datagram is handed
+/// to the flush callback and a new one starts. Reused across rounds - the
+/// internal buffers are cleared, never deallocated.
+class DatagramBuilder {
+ public:
+  /// Appends a frame, flushing through `flush` when the budget forces a new
+  /// datagram. Returns false when the frame is unencodable.
+  template <class Flush>
+  bool add(const sim::Envelope& e, Round round, Flush&& flush) {
+    const std::size_t before = buf_.size();
+    if (!append_frame(e, round, &buf_)) return false;
+    if (before > 0 && buf_.size() > kDatagramBudget) {
+      // The new frame tipped a non-empty datagram over the budget: ship the
+      // old frames alone and carry the new frame into a fresh datagram.
+      carry_.assign(buf_.begin() + static_cast<std::ptrdiff_t>(before), buf_.end());
+      buf_.resize(before);
+      flush(std::span<const std::uint8_t>(buf_));
+      buf_.assign(carry_.begin(), carry_.end());
+    }
+    return true;
+  }
+
+  /// Ships the final partial datagram of the phase, if any.
+  template <class Flush>
+  void finish(Flush&& flush) {
+    if (!buf_.empty()) flush(std::span<const std::uint8_t>(buf_));
+    buf_.clear();
+  }
+
+  bool empty() const { return buf_.empty(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::vector<std::uint8_t> carry_;
+};
+
+}  // namespace congos::net

@@ -1,0 +1,191 @@
+#include "net/runtime.h"
+
+#include <sstream>
+#include <utility>
+
+#include "net/control.h"
+#include "net/framing.h"
+#include "wire/envelope.h"
+
+namespace congos::net {
+
+// Routes one send phase's envelopes into per-destination coalesced
+// datagrams. Builders live on the runtime so their buffers persist across
+// rounds.
+class NodeRuntime::PhaseSender final : public sim::Sender {
+ public:
+  PhaseSender(NodeRuntime* rt, std::vector<DatagramBuilder>* builders)
+      : rt_(rt), builders_(builders) {}
+
+  void send(sim::Envelope e) override {
+    if (e.to >= builders_->size()) {
+      ++rt_->encode_errors_;
+      return;
+    }
+    const ProcessId to = e.to;
+    const bool ok = (*builders_)[to].add(
+        e, rt_->now_,
+        [&](std::span<const std::uint8_t> d) { rt_->transport_->send(to, d); });
+    if (!ok) ++rt_->encode_errors_;
+  }
+
+ private:
+  NodeRuntime* rt_;
+  std::vector<DatagramBuilder>* builders_;
+};
+
+NodeRuntime::NodeRuntime(const NodeConfig& cfg, Transport* transport,
+                         FaultShim* shim)
+    : cfg_(cfg), transport_(transport), shim_(shim) {}
+
+NodeRuntime::~NodeRuntime() {
+  if (log_ != nullptr) std::fclose(log_);
+}
+
+bool NodeRuntime::start(std::string* error) {
+  if (!cfg_.log_path.empty()) {
+    log_ = std::fopen(cfg_.log_path.c_str(), "w");
+    if (log_ == nullptr) {
+      if (error != nullptr) *error = "cannot open log '" + cfg_.log_path + "'";
+      return false;
+    }
+  }
+  ccfg_ = std::make_shared<const core::CongosConfig>(cfg_.congos);
+  partitions_ = core::CongosProcess::build_partitions(cfg_.n, *ccfg_);
+  // Same per-process seed schedule as harness::run_scenario: process p gets
+  // the (p+1)-th draw of a seeder over the system seed, so an in-process
+  // cluster and a daemon cluster with equal configs run identical protocols.
+  Rng seeder(cfg_.seed);
+  std::uint64_t pseed = seeder.next();
+  for (ProcessId p = 0; p < cfg_.id; ++p) pseed = seeder.next();
+  process_ = std::make_unique<core::CongosProcess>(cfg_.id, ccfg_, partitions_,
+                                                   pseed, this);
+  process_->on_start(0);
+  run_send_phase();
+  return true;
+}
+
+void NodeRuntime::handle_datagram(ProcessId /*from_hint*/,
+                                  std::span<const std::uint8_t> datagram) {
+  FrameSplitter splitter(datagram);
+  std::span<const std::uint8_t> frame;
+  for (;;) {
+    const FrameSplitter::Status st = splitter.next(&frame);
+    if (st == FrameSplitter::Status::kDone) return;
+    if (st != FrameSplitter::Status::kFrame) {
+      ++malformed_datagrams_;
+      return;
+    }
+    wire::DecodedEnvelope dec;
+    if (!wire::decode_envelope(frame.data(), frame.size(), &dec)) {
+      ++decode_errors_;
+      continue;
+    }
+    if (dec.env.to != cfg_.id) {
+      ++misrouted_;
+      continue;
+    }
+    ++frames_received_;
+    log_line(encode_recv_event(now_, frame));
+    inbox_.push_back(std::move(dec.env));
+  }
+}
+
+void NodeRuntime::run_send_phase() {
+  if (builders_.size() != cfg_.n) builders_.resize(cfg_.n);
+  PhaseSender sender(this, &builders_);
+  process_->send_phase(now_, sender);
+  for (ProcessId to = 0; to < builders_.size(); ++to) {
+    builders_[to].finish(
+        [&](std::span<const std::uint8_t> d) { transport_->send(to, d); });
+  }
+}
+
+void NodeRuntime::tick() {
+  process_->receive_phase(now_, inbox_);
+  inbox_.clear();
+  ++now_;
+  if (shim_ != nullptr) shim_->set_round(now_);
+  if (!done()) run_send_phase();
+}
+
+void NodeRuntime::advance_to(Round target) {
+  if (cfg_.max_rounds > 0 && target > cfg_.max_rounds) target = cfg_.max_rounds;
+  while (now_ < target) tick();
+}
+
+void NodeRuntime::inject(std::uint64_t seq, Round deadline, DynamicBitset dest,
+                         std::vector<std::uint8_t> data) {
+  sim::Rumor rumor;
+  rumor.uid = RumorUid{cfg_.id, seq};
+  rumor.data = std::move(data);
+  rumor.deadline = deadline;
+  rumor.dest = std::move(dest);
+  rumor.injected_at = now_;
+  log_line(encode_inject_event(now_, rumor));
+  ++injections_;
+  process_->inject(rumor);
+}
+
+void NodeRuntime::on_rumor_delivered(ProcessId at, const RumorUid& uid,
+                                     Round when,
+                                     std::span<const std::uint8_t> data) {
+  ++deliveries_;
+  log_line(encode_deliver_event(when, at, uid, data));
+}
+
+bool NodeRuntime::healthy() const {
+  return decode_errors_ == 0 && malformed_datagrams_ == 0 &&
+         encode_errors_ == 0 && misrouted_ == 0 &&
+         (process_ == nullptr || process_->filter_drops() == 0);
+}
+
+std::string NodeRuntime::stats_json() const {
+  const TransportStats& t = transport_->stats();
+  std::ostringstream out;
+  out << "{\"id\":" << cfg_.id << ",\"n\":" << cfg_.n
+      << ",\"rounds\":" << now_ << ",\"healthy\":" << (healthy() ? "true" : "false")
+      << ",\"injections\":" << injections_ << ",\"deliveries\":" << deliveries_
+      << ",\"frames_received\":" << frames_received_
+      << ",\"decode_errors\":" << decode_errors_
+      << ",\"malformed_datagrams\":" << malformed_datagrams_
+      << ",\"misrouted\":" << misrouted_
+      << ",\"encode_errors\":" << encode_errors_
+      << ",\"transport\":{\"datagrams_sent\":" << t.datagrams_sent
+      << ",\"datagrams_received\":" << t.datagrams_received
+      << ",\"bytes_sent\":" << t.bytes_sent
+      << ",\"bytes_received\":" << t.bytes_received
+      << ",\"send_errors\":" << t.send_errors << ",\"no_route\":" << t.no_route
+      << "}";
+  if (process_ != nullptr) {
+    const core::CgCounters& c = process_->counters();
+    out << ",\"congos\":{\"injected\":" << c.injected
+        << ",\"confirmed\":" << c.confirmed << ",\"shoots\":" << c.shoots
+        << ",\"delivered\":" << c.delivered
+        << ",\"reassembled\":" << c.reassembled
+        << ",\"filter_drops\":" << process_->filter_drops()
+        << ",\"duplicates_suppressed\":" << process_->duplicates_suppressed()
+        << "}";
+  }
+  if (shim_ != nullptr) {
+    out << ",\"faults\":{\"dropped\":" << shim_->faults(sim::FaultKind::kDropped)
+        << ",\"duplicated\":" << shim_->faults(sim::FaultKind::kDuplicated)
+        << ",\"delayed\":" << shim_->faults(sim::FaultKind::kDelayed)
+        << ",\"partitioned\":"
+        << shim_->faults(sim::FaultKind::kPartitioned) << "}";
+  }
+  out << "}";
+  return out.str();
+}
+
+void NodeRuntime::log_line(const std::string& line) {
+  if (log_ == nullptr) return;
+  std::fputs(line.c_str(), log_);
+  std::fputc('\n', log_);
+}
+
+void NodeRuntime::flush_log() {
+  if (log_ != nullptr) std::fflush(log_);
+}
+
+}  // namespace congos::net

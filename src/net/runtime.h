@@ -1,0 +1,131 @@
+// NodeRuntime: one CONGOS process driven by a Transport instead of the
+// lockstep simulator (DESIGN.md section 13).
+//
+// The runtime hosts an unmodified core::CongosProcess and reproduces the
+// engine's per-round contract around it: send_phase(r) at the start of
+// round r, receive_phase(r) at the round's end with every envelope that
+// arrived during the round's wall-clock window. Outbound envelopes are
+// framed with the versioned wire codec and coalesced into datagrams per
+// destination (net/framing.h); inbound datagrams are split, decoded,
+// checksum-verified and buffered as the next receive_phase's inbox. The
+// driving loop - wall-clock boundaries in congos_d, explicit calls in the
+// in-process tests - decides *when* rounds advance; the runtime only
+// guarantees the protocol sees the same phase order it sees under
+// sim::Engine.
+//
+// Every observable event (injection, application-level delivery, received
+// frame) is appended to a key=value event log (net/control.h), which is
+// what harness::ClusterRunner feeds to the QoD and confidentiality
+// auditors after the run - the audits run on observed traffic, not on
+// simulator introspection.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "congos/congos_process.h"
+#include "net/fault_shim.h"
+#include "net/framing.h"
+#include "net/transport.h"
+#include "sim/faults.h"
+
+namespace congos::net {
+
+struct NodeConfig {
+  ProcessId id = 0;
+  std::size_t n = 0;
+  std::uint64_t seed = 1;
+  core::CongosConfig congos;
+  /// Total rounds to run (horizon + drain); 0 = until stopped externally.
+  Round max_rounds = 0;
+  /// Event-log path; empty = no log (unit tests that audit in-process).
+  std::string log_path;
+};
+
+class NodeRuntime final : public sim::DeliveryListener {
+ public:
+  /// `transport` is not owned and must outlive the runtime. Pass `shim`
+  /// when `transport` is (or wraps) a FaultShim so the runtime can advance
+  /// its round clock; stats pick the fault counters up from there too.
+  NodeRuntime(const NodeConfig& cfg, Transport* transport,
+              FaultShim* shim = nullptr);
+  ~NodeRuntime() override;
+
+  NodeRuntime(const NodeRuntime&) = delete;
+  NodeRuntime& operator=(const NodeRuntime&) = delete;
+
+  /// Builds the process stack and runs round 0's send phase. Returns false
+  /// (with *error) when the event log cannot be opened.
+  bool start(std::string* error);
+  bool started() const { return process_ != nullptr; }
+
+  Round now() const { return now_; }
+  bool done() const { return cfg_.max_rounds > 0 && now_ >= cfg_.max_rounds; }
+
+  /// Feed one received datagram (any number of frames) into the pending
+  /// inbox. Safe to call between ticks only (single-threaded loop).
+  void handle_datagram(ProcessId from_hint, std::span<const std::uint8_t> datagram);
+
+  /// Run round boundaries until now() == min(target, max_rounds): each tick
+  /// closes the current round (receive_phase over the buffered inbox) and
+  /// opens the next (send_phase). Catch-up after a stall processes every
+  /// skipped round individually - protocols see all their scheduled rounds.
+  void advance_to(Round target);
+
+  /// Inject a rumor sourced at this node (stamps injected_at = now()).
+  void inject(std::uint64_t seq, Round deadline, DynamicBitset dest,
+              std::vector<std::uint8_t> data);
+
+  // -- health / stats ---------------------------------------------------------
+
+  std::uint64_t frames_received() const { return frames_received_; }
+  std::uint64_t decode_errors() const { return decode_errors_; }
+  std::uint64_t malformed_datagrams() const { return malformed_datagrams_; }
+  std::uint64_t encode_errors() const { return encode_errors_; }
+  std::uint64_t deliveries() const { return deliveries_; }
+  std::uint64_t injections() const { return injections_; }
+
+  /// Local invariants that must hold on a healthy node: every frame decoded,
+  /// no unencodable payloads, no group-filter drops in the gossip stack.
+  bool healthy() const;
+
+  /// One-line stats JSON (the daemon's stats dump / `stats` control reply).
+  std::string stats_json() const;
+
+  /// Flushes the event log to disk (the daemon calls this per round).
+  void flush_log();
+
+  // -- sim::DeliveryListener --------------------------------------------------
+  void on_rumor_delivered(ProcessId at, const RumorUid& uid, Round when,
+                          std::span<const std::uint8_t> data) override;
+
+ private:
+  class PhaseSender;
+
+  void tick();
+  void run_send_phase();
+  void log_line(const std::string& line);
+
+  NodeConfig cfg_;
+  Transport* transport_;
+  FaultShim* shim_;
+  std::shared_ptr<const core::CongosConfig> ccfg_;
+  std::shared_ptr<const partition::PartitionSet> partitions_;
+  std::unique_ptr<core::CongosProcess> process_;
+  Round now_ = 0;
+  std::vector<sim::Envelope> inbox_;
+  std::vector<DatagramBuilder> builders_;  // one per destination, reused
+  std::FILE* log_ = nullptr;
+
+  std::uint64_t frames_received_ = 0;
+  std::uint64_t decode_errors_ = 0;
+  std::uint64_t malformed_datagrams_ = 0;
+  std::uint64_t misrouted_ = 0;
+  std::uint64_t encode_errors_ = 0;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t injections_ = 0;
+};
+
+}  // namespace congos::net

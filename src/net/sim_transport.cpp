@@ -1,0 +1,89 @@
+#include "net/sim_transport.h"
+
+#include <deque>
+
+#include "common/assert.h"
+
+namespace congos::net {
+
+/// One process's view of the link: a Transport whose poll() drains the
+/// datagrams advance_round() sorted into its queue.
+class SimLink::Endpoint final : public Transport {
+ public:
+  Endpoint(SimLink* link, ProcessId id) : link_(link), id_(id) {}
+
+  bool send(ProcessId to, std::span<const std::uint8_t> datagram) override {
+    if (to >= link_->n()) {
+      ++stats_.no_route;
+      return false;
+    }
+    sim::Envelope e;
+    e.from = id_;
+    e.to = to;
+    e.tag = {sim::ServiceKind::kOther, 0};
+    e.body = std::make_shared<DatagramPayload>(
+        std::vector<std::uint8_t>(datagram.begin(), datagram.end()));
+    link_->network_.submit(std::move(e));
+    ++stats_.datagrams_sent;
+    stats_.bytes_sent += datagram.size();
+    return true;
+  }
+
+  std::size_t poll(int /*timeout_ms*/, DatagramSink& sink) override {
+    std::size_t delivered = 0;
+    while (!inbox_.empty()) {
+      const auto& [from, bytes] = inbox_.front();
+      ++stats_.datagrams_received;
+      stats_.bytes_received += bytes.size();
+      sink.on_datagram(from, bytes);
+      inbox_.pop_front();
+      ++delivered;
+    }
+    return delivered;
+  }
+
+  const TransportStats& stats() const override { return stats_; }
+
+  void push(ProcessId from, std::vector<std::uint8_t> bytes) {
+    inbox_.emplace_back(from, std::move(bytes));
+  }
+
+ private:
+  SimLink* link_;
+  ProcessId id_;
+  TransportStats stats_;
+  std::deque<std::pair<ProcessId, std::vector<std::uint8_t>>> inbox_;
+};
+
+SimLink::SimLink(std::size_t n, std::uint64_t seed)
+    : network_(n, &stats_),
+      rng_(seed),
+      all_deliver_(n, sim::PartialDelivery::kDeliverAll),
+      no_filter_(n) {
+  endpoints_.reserve(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    endpoints_.push_back(std::make_unique<Endpoint>(this, p));
+  }
+}
+
+SimLink::~SimLink() = default;
+
+Transport& SimLink::endpoint(ProcessId p) {
+  CONGOS_ASSERT(p < endpoints_.size());
+  return *endpoints_[p];
+}
+
+void SimLink::advance_round() {
+  network_.deliver(all_deliver_, no_filter_, all_deliver_, no_filter_, rng_,
+                   nullptr);
+  for (ProcessId p = 0; p < endpoints_.size(); ++p) {
+    for (const sim::Envelope& e : network_.inbox(p)) {
+      const auto* dg = static_cast<const DatagramPayload*>(e.body.get());
+      endpoints_[p]->push(e.from, dg->bytes);
+    }
+  }
+  network_.end_round();
+  ++round_;
+}
+
+}  // namespace congos::net

@@ -1,0 +1,176 @@
+#include "net/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "net/framing.h"
+
+namespace congos::net {
+
+namespace {
+
+sockaddr_in loopback(std::uint16_t port) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  sa.sin_port = htons(port);
+  return sa;
+}
+
+}  // namespace
+
+UdpTransport::~UdpTransport() { close(); }
+
+bool UdpTransport::open(std::uint16_t port, std::string* error) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in sa = loopback(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+    if (error != nullptr) *error = std::string("bind: ") + std::strerror(errno);
+    close();
+    return false;
+  }
+  socklen_t len = sizeof sa;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+    if (error != nullptr) {
+      *error = std::string("getsockname: ") + std::strerror(errno);
+    }
+    close();
+    return false;
+  }
+  local_port_ = ntohs(sa.sin_port);
+  recv_buf_.resize(kMaxDatagramBytes + 1);
+  return true;
+}
+
+void UdpTransport::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  local_port_ = 0;
+  for (auto& [id, peer] : peers_) peer.queue.clear();
+  queued_ = 0;
+}
+
+void UdpTransport::set_peer(ProcessId id, std::uint16_t port) {
+  auto& peer = peers_[id];
+  if (peer.port != 0) port_to_id_.erase(peer.port);
+  peer.port = port;
+  port_to_id_[port] = id;
+}
+
+bool UdpTransport::send_now(std::uint16_t port,
+                            const std::vector<std::uint8_t>& datagram,
+                            bool* fatal) {
+  *fatal = false;
+  sockaddr_in sa = loopback(port);
+  const ssize_t n = ::sendto(fd_, datagram.data(), datagram.size(), 0,
+                             reinterpret_cast<sockaddr*>(&sa), sizeof sa);
+  if (n == static_cast<ssize_t>(datagram.size())) {
+    ++stats_.datagrams_sent;
+    stats_.bytes_sent += datagram.size();
+    return true;
+  }
+  if (n < 0 && (errno == EWOULDBLOCK || errno == EAGAIN || errno == ENOBUFS)) {
+    return false;  // transient: stay queued
+  }
+  // ECONNREFUSED (peer port closed) and friends: the datagram is gone the
+  // way a lossy link loses it; drop it and count the error.
+  ++stats_.send_errors;
+  *fatal = true;
+  return false;
+}
+
+bool UdpTransport::send(ProcessId to, std::span<const std::uint8_t> datagram) {
+  if (fd_ < 0) return false;
+  auto it = peers_.find(to);
+  if (it == peers_.end() || it->second.port == 0) {
+    ++stats_.no_route;
+    return false;
+  }
+  if (datagram.size() > kMaxDatagramBytes) {
+    ++stats_.send_errors;
+    return false;
+  }
+  Peer& peer = it->second;
+  if (peer.queue.empty()) {
+    // Fast path: try the wire directly; queue only on backpressure.
+    bool fatal = false;
+    std::vector<std::uint8_t> copy(datagram.begin(), datagram.end());
+    if (send_now(peer.port, copy, &fatal)) return true;
+    if (fatal) return true;  // counted, intentionally not retried
+    peer.queue.push_back(std::move(copy));
+    ++queued_;
+    return true;
+  }
+  peer.queue.emplace_back(datagram.begin(), datagram.end());
+  ++queued_;
+  return true;
+}
+
+bool UdpTransport::flush() {
+  if (fd_ < 0 || queued_ == 0) return true;
+  for (auto& [id, peer] : peers_) {
+    while (!peer.queue.empty()) {
+      bool fatal = false;
+      if (send_now(peer.port, peer.queue.front(), &fatal)) {
+        peer.queue.pop_front();
+        --queued_;
+      } else if (fatal) {
+        peer.queue.pop_front();
+        --queued_;
+      } else {
+        return false;  // socket buffer full; retry on the next poll
+      }
+    }
+  }
+  return true;
+}
+
+std::size_t UdpTransport::drain(DatagramSink& sink) {
+  std::size_t delivered = 0;
+  while (fd_ >= 0) {
+    sockaddr_in from{};
+    socklen_t from_len = sizeof from;
+    const ssize_t n =
+        ::recvfrom(fd_, recv_buf_.data(), recv_buf_.size(), 0,
+                   reinterpret_cast<sockaddr*>(&from), &from_len);
+    if (n < 0) break;  // EAGAIN or a transient error: nothing more to read
+    ++stats_.datagrams_received;
+    stats_.bytes_received += static_cast<std::uint64_t>(n);
+    ProcessId hint = kNoProcess;
+    const auto it = port_to_id_.find(ntohs(from.sin_port));
+    if (it != port_to_id_.end()) hint = it->second;
+    sink.on_datagram(hint, {recv_buf_.data(), static_cast<std::size_t>(n)});
+    ++delivered;
+  }
+  return delivered;
+}
+
+std::size_t UdpTransport::poll(int timeout_ms, DatagramSink& sink) {
+  if (fd_ < 0) return 0;
+  flush();
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  if (want_write()) pfd.events |= POLLOUT;
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc <= 0) return 0;
+  if ((pfd.revents & POLLOUT) != 0) flush();
+  return drain(sink);
+}
+
+const TransportStats& UdpTransport::stats() const { return stats_; }
+
+}  // namespace congos::net

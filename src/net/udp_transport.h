@@ -1,0 +1,79 @@
+// Real-wire backend of the Transport interface: one nonblocking UDP socket
+// on 127.0.0.1 with per-peer send queues (DESIGN.md section 13).
+//
+// The shape follows the single-socket gossip daemons this subsystem is
+// modeled on (ROADMAP item 2): bind one datagram socket, address peers by
+// a static id -> port table, and drive everything from a poll(2) loop. The
+// per-peer queues absorb transient EWOULDBLOCK backpressure - a datagram
+// is only counted as a send_error when the kernel rejects it outright
+// (e.g. ECONNREFUSED from a dead peer's port); queued datagrams are
+// retried on every poll()/flush() until they leave the socket.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace congos::net {
+
+class UdpTransport final : public Transport {
+ public:
+  UdpTransport() = default;
+  ~UdpTransport() override;
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  /// Binds a nonblocking datagram socket to 127.0.0.1:`port` (0 = kernel
+  /// picks a free port). Returns false and fills *error on failure.
+  bool open(std::uint16_t port, std::string* error);
+  void close();
+  bool is_open() const { return fd_ >= 0; }
+
+  int fd() const { return fd_; }
+  std::uint16_t local_port() const { return local_port_; }
+
+  /// Registers (or re-registers) peer `id` at 127.0.0.1:`port`. The reverse
+  /// port -> id map provides the from_hint of inbound datagrams.
+  void set_peer(ProcessId id, std::uint16_t port);
+  std::size_t peer_count() const { return peers_.size(); }
+
+  // -- Transport --------------------------------------------------------------
+
+  bool send(ProcessId to, std::span<const std::uint8_t> datagram) override;
+  std::size_t poll(int timeout_ms, DatagramSink& sink) override;
+  const TransportStats& stats() const override;
+
+  // -- event-loop building blocks (the daemon polls several fds jointly) -----
+
+  /// Attempts to push every queued datagram out of the socket; stops at the
+  /// first EWOULDBLOCK. Returns true when all queues drained.
+  bool flush();
+  /// Nonblocking receive loop: delivers every readable datagram to `sink`.
+  std::size_t drain(DatagramSink& sink);
+  /// True when flush() still has queued datagrams (poll for POLLOUT too).
+  bool want_write() const { return queued_ > 0; }
+
+ private:
+  struct Peer {
+    std::uint16_t port = 0;
+    std::deque<std::vector<std::uint8_t>> queue;
+  };
+
+  bool send_now(std::uint16_t port, const std::vector<std::uint8_t>& datagram,
+                bool* fatal);
+
+  int fd_ = -1;
+  std::uint16_t local_port_ = 0;
+  TransportStats stats_;
+  std::unordered_map<ProcessId, Peer> peers_;
+  std::unordered_map<std::uint16_t, ProcessId> port_to_id_;
+  std::size_t queued_ = 0;
+  std::vector<std::uint8_t> recv_buf_;
+};
+
+}  // namespace congos::net

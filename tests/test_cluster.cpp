@@ -1,0 +1,116 @@
+// Real-wire acceptance tests (ISSUE: real-wire runtime): fork an
+// 8-process congos_d cluster over actual UDP sockets on 127.0.0.1, inject
+// rumors with wall-clock deadlines, and require the observed-traffic
+// audits to pass - once on clean links and once under the seeded
+// socket-level fault shim.
+//
+// The daemon binary comes from $CONGOS_D_BIN (set by tests/CMakeLists.txt
+// from the congos_d target); the tests skip when it is absent so the suite
+// stays runnable from unusual build layouts.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "harness/cluster.h"
+
+namespace congos {
+namespace {
+
+std::string daemon_path() {
+  const char* env = std::getenv("CONGOS_D_BIN");
+  return env != nullptr ? env : "";
+}
+
+std::string fresh_workdir(const std::string& tag) {
+  return "cluster_" + tag + "_" + std::to_string(::getpid());
+}
+
+harness::ClusterConfig base_config(const std::string& tag) {
+  harness::ClusterConfig cfg;
+  cfg.daemon = daemon_path();
+  cfg.workdir = fresh_workdir(tag);
+  cfg.n = 8;
+  cfg.seed = 20260808;
+  cfg.rounds = 64;
+  // Generous rounds: CI machines (especially under ASan) deschedule
+  // daemons for tens of milliseconds; the retransmission layer absorbs
+  // the resulting +-1 round skew.
+  cfg.round_ms = 40;
+  cfg.duration_s = 60;
+
+  DynamicBitset d1(cfg.n);
+  d1.set(3);
+  d1.set(5);
+  cfg.injections.push_back(
+      {/*source=*/0, /*seq=*/1, /*round=*/2, /*deadline=*/40, d1,
+       {0x11, 0x22, 0x33, 0x44}});
+  DynamicBitset d2(cfg.n);
+  d2.set(1);
+  d2.set(6);
+  d2.set(7);
+  cfg.injections.push_back(
+      {/*source=*/4, /*seq=*/2, /*round=*/4, /*deadline=*/40, d2,
+       {0xAA, 0xBB}});
+  return cfg;
+}
+
+void expect_cluster_ok(const harness::ClusterResult& r) {
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  ASSERT_EQ(r.exit_codes.size(), 8u);
+  for (std::size_t i = 0; i < r.exit_codes.size(); ++i) {
+    EXPECT_EQ(r.exit_codes[i], 0) << "daemon " << i << " stats: "
+                                  << r.stats_json[i];
+  }
+  EXPECT_EQ(r.log_parse_errors, 0u);
+  EXPECT_EQ(r.injected, 2u);
+  EXPECT_GT(r.recv_frames, 0u) << "no traffic observed";
+
+  // QoD (Definition 1) on observed deliveries.
+  EXPECT_TRUE(r.qod.ok()) << "late=" << r.qod.late
+                          << " missing=" << r.qod.missing
+                          << " mismatches=" << r.qod.data_mismatches;
+  EXPECT_EQ(r.qod.admissible_pairs, 5u);  // 2 + 3 destinations
+  EXPECT_EQ(r.qod.delivered_on_time, 5u);
+
+  // Confidentiality (Definition 2) on every decoded wire frame.
+  EXPECT_EQ(r.leaks, 0u);
+  EXPECT_EQ(r.foreign_fragments, 0u);
+  EXPECT_EQ(r.unknown_payloads, 0u);
+  EXPECT_GT(r.weakest_coalition, 1u);  // Lemma 14: > tau
+
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Cluster, EightDaemonsOverUdpSatisfyQodAndConfidentiality) {
+  if (daemon_path().empty()) GTEST_SKIP() << "CONGOS_D_BIN not set";
+  const harness::ClusterConfig cfg = base_config("clean");
+  const harness::ClusterResult r = harness::run_cluster(cfg);
+  expect_cluster_ok(r);
+}
+
+TEST(Cluster, SurvivesSeededFaultShim) {
+  if (daemon_path().empty()) GTEST_SKIP() << "CONGOS_D_BIN not set";
+  harness::ClusterConfig cfg = base_config("faults");
+  // Within the delivery-guaranteed envelope (audit::delivery_guaranteed):
+  // drop <= 10%, delays bounded by the retransmission layer's budget.
+  cfg.fault_spec = "drop:0.05,dup:0.03,delay:2,delay-rate:0.05,seed:7";
+  cfg.max_link_delay = 2;
+  const harness::ClusterResult r = harness::run_cluster(cfg);
+  expect_cluster_ok(r);
+}
+
+TEST(Cluster, ReportsSpawnFailure) {
+  harness::ClusterConfig cfg;
+  cfg.daemon = "/nonexistent/congos_d";
+  cfg.workdir = fresh_workdir("bad");
+  cfg.n = 2;
+  const harness::ClusterResult r = harness::run_cluster(cfg);
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace congos

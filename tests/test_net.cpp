@@ -1,0 +1,487 @@
+// Unit tests for the real-wire runtime building blocks (src/net): datagram
+// framing, wall-clock round mapping, the control/event-log codec, the
+// socket-level fault shim, the deterministic SimLink transport, and a full
+// in-process NodeRuntime cluster running CONGOS over SimLink.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "congos/fragment.h"
+#include "net/clock.h"
+#include "net/control.h"
+#include "net/fault_shim.h"
+#include "net/framing.h"
+#include "net/runtime.h"
+#include "net/sim_transport.h"
+#include "wire/envelope.h"
+
+namespace congos {
+namespace {
+
+sim::Envelope direct_envelope(ProcessId from, ProcessId to,
+                              std::vector<std::uint8_t> data) {
+  auto body = std::make_shared<core::DirectRumorPayload>();
+  body->rumor.uid = RumorUid{from, 7};
+  body->rumor.data = std::move(data);
+  body->rumor.deadline = 16;
+  body->rumor.dest = DynamicBitset(8);
+  body->rumor.dest.set(to);
+  sim::Envelope e;
+  e.from = from;
+  e.to = to;
+  e.tag.kind = sim::ServiceKind::kFallback;
+  e.body = std::move(body);
+  return e;
+}
+
+// -- framing ------------------------------------------------------------------
+
+TEST(Framing, RoundTripSingleFrame) {
+  std::vector<std::uint8_t> datagram;
+  const sim::Envelope e = direct_envelope(1, 2, {0xAA, 0xBB});
+  ASSERT_TRUE(net::append_frame(e, 5, &datagram));
+
+  net::FrameSplitter sp(datagram);
+  std::span<const std::uint8_t> frame;
+  ASSERT_EQ(sp.next(&frame), net::FrameSplitter::Status::kFrame);
+  wire::DecodedEnvelope dec;
+  std::string err;
+  ASSERT_TRUE(wire::decode_envelope(frame.data(), frame.size(), &dec, &err))
+      << err;
+  EXPECT_EQ(dec.round, 5);
+  EXPECT_EQ(dec.env.from, 1u);
+  EXPECT_EQ(dec.env.to, 2u);
+  EXPECT_EQ(sp.next(&frame), net::FrameSplitter::Status::kDone);
+}
+
+TEST(Framing, CoalescedFramesSplitInOrder) {
+  std::vector<std::uint8_t> datagram;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(net::append_frame(
+        direct_envelope(static_cast<ProcessId>(i), 7, {std::uint8_t(i)}), 3,
+        &datagram));
+  }
+  net::FrameSplitter sp(datagram);
+  std::span<const std::uint8_t> frame;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(sp.next(&frame), net::FrameSplitter::Status::kFrame) << i;
+    wire::DecodedEnvelope dec;
+    ASSERT_TRUE(wire::decode_envelope(frame.data(), frame.size(), &dec));
+    EXPECT_EQ(dec.env.from, static_cast<ProcessId>(i));
+  }
+  EXPECT_EQ(sp.next(&frame), net::FrameSplitter::Status::kDone);
+}
+
+TEST(Framing, TruncationDetected) {
+  std::vector<std::uint8_t> datagram;
+  ASSERT_TRUE(net::append_frame(direct_envelope(1, 2, {1, 2, 3}), 0, &datagram));
+  for (std::size_t cut = 1; cut < datagram.size(); ++cut) {
+    net::FrameSplitter sp(std::span<const std::uint8_t>(datagram.data(), cut));
+    std::span<const std::uint8_t> frame;
+    EXPECT_EQ(sp.next(&frame), net::FrameSplitter::Status::kTruncated) << cut;
+  }
+}
+
+TEST(Framing, OpaquePayloadRejected) {
+  sim::Envelope e;
+  e.from = 0;
+  e.to = 1;
+  e.body = std::make_shared<net::DatagramPayload>(std::vector<std::uint8_t>{1});
+  std::vector<std::uint8_t> datagram;
+  EXPECT_FALSE(net::append_frame(e, 0, &datagram));
+  EXPECT_TRUE(datagram.empty());
+}
+
+TEST(Framing, BuilderFlushesOnBudgetAndPreservesFrames) {
+  net::DatagramBuilder builder;
+  std::vector<std::vector<std::uint8_t>> sent;
+  const auto flush = [&](std::span<const std::uint8_t> d) {
+    sent.emplace_back(d.begin(), d.end());
+  };
+  const std::vector<std::uint8_t> blob(300, 0x5A);
+  const int kFrames = 40;  // ~300+ bytes each: forces several datagrams
+  for (int i = 0; i < kFrames; ++i) {
+    ASSERT_TRUE(builder.add(direct_envelope(1, 2, blob), 9, flush));
+  }
+  builder.finish(flush);
+  ASSERT_GT(sent.size(), 1u);
+  int frames = 0;
+  for (const auto& datagram : sent) {
+    EXPECT_LE(datagram.size(), net::kDatagramBudget + 400);
+    net::FrameSplitter sp(datagram);
+    std::span<const std::uint8_t> frame;
+    net::FrameSplitter::Status st;
+    while ((st = sp.next(&frame)) == net::FrameSplitter::Status::kFrame) {
+      wire::DecodedEnvelope dec;
+      ASSERT_TRUE(wire::decode_envelope(frame.data(), frame.size(), &dec));
+      ++frames;
+    }
+    EXPECT_EQ(st, net::FrameSplitter::Status::kDone);
+  }
+  EXPECT_EQ(frames, kFrames);
+}
+
+// -- round clock --------------------------------------------------------------
+
+TEST(RoundClock, MapsWallTimeToRounds) {
+  const net::RoundClock clock(1000, 20);
+  EXPECT_EQ(clock.round_at(999), -1);
+  EXPECT_EQ(clock.round_at(1000), 0);
+  EXPECT_EQ(clock.round_at(1019), 0);
+  EXPECT_EQ(clock.round_at(1020), 1);
+  EXPECT_EQ(clock.round_at(900), -5);
+  EXPECT_EQ(clock.start_of(3), 1060);
+  EXPECT_EQ(clock.ms_until_next(1000), 20);
+  EXPECT_EQ(clock.ms_until_next(1019), 1);
+  EXPECT_GE(clock.ms_until_next(1020), 1);
+}
+
+// -- control / event-log codec ------------------------------------------------
+
+TEST(Control, StartRoundTrip) {
+  net::StartCommand cmd;
+  cmd.epoch_ms = 1754650000123;
+  cmd.round_ms = 25;
+  cmd.peer_ports = {4000, 4001, 4002};
+  net::Line line;
+  ASSERT_TRUE(net::parse_line(net::encode_start(cmd), &line));
+  net::StartCommand back;
+  std::string err;
+  ASSERT_TRUE(net::parse_start(line, &back, &err)) << err;
+  EXPECT_EQ(back.epoch_ms, cmd.epoch_ms);
+  EXPECT_EQ(back.round_ms, cmd.round_ms);
+  EXPECT_EQ(back.peer_ports, cmd.peer_ports);
+}
+
+TEST(Control, StartRejectsBadPorts) {
+  net::Line line;
+  ASSERT_TRUE(net::parse_line("start epoch=5 round-ms=20 peers=4000,0,4002", &line));
+  net::StartCommand cmd;
+  EXPECT_FALSE(net::parse_start(line, &cmd, nullptr));
+  ASSERT_TRUE(net::parse_line("start epoch=5 round-ms=20 peers=70000", &line));
+  EXPECT_FALSE(net::parse_start(line, &cmd, nullptr));
+}
+
+TEST(Control, InjectRoundTrip) {
+  net::InjectCommand cmd;
+  cmd.seq = 42;
+  cmd.deadline = 40;
+  cmd.dest = DynamicBitset(8);
+  cmd.dest.set(3);
+  cmd.dest.set(5);
+  cmd.data = {0xDE, 0xAD, 0xBE, 0xEF};
+  net::Line line;
+  ASSERT_TRUE(net::parse_line(net::encode_inject(cmd), &line));
+  net::InjectCommand back;
+  std::string err;
+  ASSERT_TRUE(net::parse_inject(line, &back, &err)) << err;
+  EXPECT_EQ(back.seq, 42u);
+  EXPECT_EQ(back.deadline, 40);
+  EXPECT_EQ(back.dest.size(), 8u);
+  EXPECT_TRUE(back.dest.test(3));
+  EXPECT_TRUE(back.dest.test(5));
+  EXPECT_EQ(back.dest.count(), 2u);
+  EXPECT_EQ(back.data, cmd.data);
+}
+
+TEST(Control, InjectEventRoundTrip) {
+  sim::Rumor rumor;
+  rumor.uid = RumorUid{4, 9};
+  rumor.data = {1, 2, 3};
+  rumor.deadline = 32;
+  rumor.dest = DynamicBitset(8);
+  rumor.dest.set(0);
+  net::Line line;
+  ASSERT_TRUE(net::parse_line(net::encode_inject_event(6, rumor), &line));
+  sim::Rumor back;
+  Round round = 0;
+  std::string err;
+  ASSERT_TRUE(net::parse_inject_event(line, &back, &round, &err)) << err;
+  EXPECT_EQ(round, 6);
+  EXPECT_EQ(back.injected_at, 6);
+  EXPECT_EQ(back.uid, rumor.uid);
+  EXPECT_EQ(back.deadline, 32);
+  EXPECT_EQ(back.data, rumor.data);
+  EXPECT_TRUE(back.dest.test(0));
+}
+
+TEST(Control, RejectsMalformedLines) {
+  net::Line line;
+  EXPECT_FALSE(net::parse_line("", &line));
+  EXPECT_FALSE(net::parse_line("verb =nokey", &line));
+  ASSERT_TRUE(net::parse_line("inject seq=notanumber deadline=5 dest=00 data=",
+                              &line));
+  net::InjectCommand cmd;
+  EXPECT_FALSE(net::parse_inject(line, &cmd, nullptr));
+}
+
+TEST(Control, HexHelpers) {
+  std::vector<std::uint8_t> bytes;
+  EXPECT_TRUE(net::from_hex("00ff10", &bytes));
+  EXPECT_EQ(bytes, (std::vector<std::uint8_t>{0x00, 0xFF, 0x10}));
+  EXPECT_EQ(net::to_hex(bytes), "00ff10");
+  EXPECT_FALSE(net::from_hex("0", &bytes));     // odd length
+  EXPECT_FALSE(net::from_hex("zz", &bytes));    // not hex
+  EXPECT_TRUE(net::from_hex("", &bytes));       // empty payload is legal
+  EXPECT_TRUE(bytes.empty());
+
+  DynamicBitset b(19);
+  b.set(0);
+  b.set(18);
+  DynamicBitset back;
+  ASSERT_TRUE(net::bitset_from_hex(net::bitset_to_hex(b), &back));
+  EXPECT_EQ(back.size(), 19u);
+  EXPECT_TRUE(back.test(0));
+  EXPECT_TRUE(back.test(18));
+  EXPECT_EQ(back.count(), 2u);
+}
+
+// -- fault shim ---------------------------------------------------------------
+
+/// Transport double that records sends and delivers nothing.
+struct RecordingTransport final : net::Transport {
+  std::vector<std::pair<ProcessId, std::vector<std::uint8_t>>> sent;
+  net::TransportStats stats_;
+
+  bool send(ProcessId to, std::span<const std::uint8_t> d) override {
+    sent.emplace_back(to, std::vector<std::uint8_t>(d.begin(), d.end()));
+    return true;
+  }
+  std::size_t poll(int, net::DatagramSink&) override { return 0; }
+  const net::TransportStats& stats() const override { return stats_; }
+};
+
+TEST(FaultShim, DisabledConfigPassesThrough) {
+  RecordingTransport inner;
+  net::FaultShim shim(&inner, sim::FaultConfig{}, 0);
+  const std::vector<std::uint8_t> d{1, 2, 3};
+  EXPECT_TRUE(shim.send(1, d));
+  ASSERT_EQ(inner.sent.size(), 1u);
+  EXPECT_EQ(shim.fault_total(), 0u);
+}
+
+TEST(FaultShim, DropEverything) {
+  RecordingTransport inner;
+  sim::FaultConfig cfg;
+  cfg.drop_rate = 1.0;
+  net::FaultShim shim(&inner, cfg, 0);
+  for (int i = 0; i < 50; ++i) shim.send(1, std::vector<std::uint8_t>{1});
+  EXPECT_TRUE(inner.sent.empty());
+  EXPECT_EQ(shim.faults(sim::FaultKind::kDropped), 50u);
+}
+
+TEST(FaultShim, DelayReleasesAfterRounds) {
+  RecordingTransport inner;
+  sim::FaultConfig cfg;
+  cfg.delay_rate = 1.0;
+  cfg.max_delay = 3;
+  net::FaultShim shim(&inner, cfg, 2);
+  for (int i = 0; i < 20; ++i) shim.send(1, std::vector<std::uint8_t>{1});
+  EXPECT_TRUE(inner.sent.empty());
+  EXPECT_EQ(shim.faults(sim::FaultKind::kDelayed), 20u);
+  for (Round r = 1; r <= 4; ++r) shim.set_round(r);
+  EXPECT_EQ(inner.sent.size(), 20u);  // all due by now_ + max_delay
+}
+
+TEST(FaultShim, DuplicateSendsCopyLater) {
+  RecordingTransport inner;
+  sim::FaultConfig cfg;
+  cfg.dup_rate = 1.0;
+  cfg.max_delay = 2;
+  net::FaultShim shim(&inner, cfg, 1);
+  shim.send(3, std::vector<std::uint8_t>{9});
+  EXPECT_EQ(inner.sent.size(), 1u);  // original goes out immediately
+  EXPECT_EQ(shim.faults(sim::FaultKind::kDuplicated), 1u);
+  for (Round r = 1; r <= 3; ++r) shim.set_round(r);
+  EXPECT_EQ(inner.sent.size(), 2u);
+  EXPECT_EQ(inner.sent[1].first, 3u);
+  EXPECT_EQ(inner.sent[1].second, inner.sent[0].second);
+}
+
+TEST(FaultShim, PartitionMirrorsPureHash) {
+  RecordingTransport inner;
+  sim::FaultConfig cfg;
+  cfg.partition_period = 8;
+  cfg.partition_duration = 2;
+  cfg.seed = 77;
+  net::FaultShim shim(&inner, cfg, 2);
+  std::uint64_t expect_cut = 0;
+  for (Round r = 0; r < 64; ++r) {
+    shim.set_round(r);
+    if (sim::partition_cuts(cfg, r, 2, 5)) ++expect_cut;
+    shim.send(5, std::vector<std::uint8_t>{1});
+  }
+  EXPECT_EQ(shim.faults(sim::FaultKind::kPartitioned), expect_cut);
+  EXPECT_GT(expect_cut, 0u);
+  EXPECT_EQ(inner.sent.size(), 64 - expect_cut);
+}
+
+TEST(FaultShim, DeterministicPerSeedAndSelf) {
+  const auto run = [](std::uint64_t seed, ProcessId self) {
+    RecordingTransport inner;
+    sim::FaultConfig cfg;
+    cfg.drop_rate = 0.3;
+    cfg.seed = seed;
+    net::FaultShim shim(&inner, cfg, self);
+    std::string pattern;
+    for (int i = 0; i < 200; ++i) {
+      const std::size_t before = inner.sent.size();
+      shim.send(1, std::vector<std::uint8_t>{1});
+      pattern.push_back(inner.sent.size() > before ? 's' : 'd');
+    }
+    return pattern;
+  };
+  EXPECT_EQ(run(1, 0), run(1, 0));
+  EXPECT_NE(run(1, 0), run(2, 0));
+  EXPECT_NE(run(1, 0), run(1, 1));
+}
+
+// -- sim transport ------------------------------------------------------------
+
+struct CollectSink final : net::DatagramSink {
+  std::vector<std::pair<ProcessId, std::vector<std::uint8_t>>> got;
+  void on_datagram(ProcessId from, std::span<const std::uint8_t> d) override {
+    got.emplace_back(from, std::vector<std::uint8_t>(d.begin(), d.end()));
+  }
+};
+
+TEST(SimLink, DeliversBytesAtNextRound) {
+  net::SimLink link(4);
+  const std::vector<std::uint8_t> payload{0xCA, 0xFE};
+  EXPECT_TRUE(link.endpoint(0).send(3, payload));
+
+  CollectSink sink;
+  EXPECT_EQ(link.endpoint(3).poll(0, sink), 0u);  // not delivered yet
+  link.advance_round();
+  EXPECT_EQ(link.endpoint(3).poll(0, sink), 1u);
+  ASSERT_EQ(sink.got.size(), 1u);
+  EXPECT_EQ(sink.got[0].first, 0u);
+  EXPECT_EQ(sink.got[0].second, payload);
+  EXPECT_EQ(link.endpoint(3).poll(0, sink), 0u);  // queue drained
+  EXPECT_EQ(link.endpoint(0).stats().datagrams_sent, 1u);
+  EXPECT_EQ(link.endpoint(3).stats().datagrams_received, 1u);
+}
+
+TEST(SimLink, OutOfRangeDestinationCountsNoRoute) {
+  net::SimLink link(2);
+  EXPECT_FALSE(link.endpoint(0).send(9, std::vector<std::uint8_t>{1}));
+  EXPECT_EQ(link.endpoint(0).stats().no_route, 1u);
+}
+
+// -- NodeRuntime over SimLink: a deterministic in-process cluster ------------
+
+class SimCluster {
+ public:
+  SimCluster(std::size_t n, std::uint64_t seed, Round max_rounds)
+      : link_(n) {
+    for (ProcessId p = 0; p < n; ++p) {
+      net::NodeConfig cfg;
+      cfg.id = p;
+      cfg.n = n;
+      cfg.seed = seed;
+      cfg.max_rounds = max_rounds;
+      // Keep the fragment pipeline running: at n=8 the Theorem 16 cutoff
+      // (tau >= n/log^2 n) would degenerate CONGOS to direct sending.
+      cfg.congos.allow_degenerate = false;
+      cfg.congos.retransmit.enabled = true;
+      cfg.congos.retransmit.max_link_delay = 1;
+      nodes_.push_back(
+          std::make_unique<net::NodeRuntime>(cfg, &link_.endpoint(p)));
+      std::string err;
+      EXPECT_TRUE(nodes_.back()->start(&err)) << err;
+    }
+  }
+
+  net::NodeRuntime& node(ProcessId p) { return *nodes_[p]; }
+
+  void run_rounds(Round count) {
+    struct Feed final : net::DatagramSink {
+      net::NodeRuntime* rt = nullptr;
+      void on_datagram(ProcessId from,
+                       std::span<const std::uint8_t> d) override {
+        rt->handle_datagram(from, d);
+      }
+    };
+    for (Round i = 0; i < count; ++i) {
+      link_.advance_round();
+      const Round target = link_.round();
+      for (std::size_t p = 0; p < nodes_.size(); ++p) {
+        Feed feed;
+        feed.rt = nodes_[p].get();
+        link_.endpoint(static_cast<ProcessId>(p)).poll(0, feed);
+        nodes_[p]->advance_to(target);
+      }
+    }
+  }
+
+ private:
+  net::SimLink link_;
+  std::vector<std::unique_ptr<net::NodeRuntime>> nodes_;
+};
+
+TEST(NodeRuntime, InProcessClusterDeliversInjectedRumor) {
+  const std::size_t n = 8;
+  const Round kRounds = 56;
+  SimCluster cluster(n, 42, kRounds);
+
+  DynamicBitset dest(n);
+  dest.set(3);
+  dest.set(5);
+  cluster.run_rounds(2);
+  cluster.node(0).inject(1, 40, dest, {0x11, 0x22, 0x33});
+  cluster.run_rounds(kRounds - 2);
+
+  EXPECT_GE(cluster.node(3).deliveries(), 1u);
+  EXPECT_GE(cluster.node(5).deliveries(), 1u);
+  for (ProcessId p = 0; p < n; ++p) {
+    EXPECT_TRUE(cluster.node(p).healthy()) << p << ": "
+                                           << cluster.node(p).stats_json();
+    EXPECT_EQ(cluster.node(p).decode_errors(), 0u);
+  }
+  EXPECT_EQ(cluster.node(0).injections(), 1u);
+  // Every node moved real frames (the gossip substrate is always on).
+  for (ProcessId p = 0; p < n; ++p) {
+    EXPECT_GT(cluster.node(p).frames_received(), 0u) << p;
+  }
+  const std::string stats = cluster.node(0).stats_json();
+  EXPECT_NE(stats.find("\"injections\":1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"transport\""), std::string::npos) << stats;
+}
+
+TEST(NodeRuntime, TwoIdenticalClustersAgreeByteForByte) {
+  const auto run = [] {
+    SimCluster cluster(4, 7, 24);
+    DynamicBitset dest(4);
+    dest.set(2);
+    cluster.run_rounds(1);
+    cluster.node(1).inject(5, 40, dest, {0xAB});
+    cluster.run_rounds(23);
+    std::string out;
+    for (ProcessId p = 0; p < 4; ++p) out += cluster.node(p).stats_json();
+    return out;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(NodeRuntime, MalformedDatagramCountedNotFatal) {
+  net::SimLink link(2);
+  net::NodeConfig cfg;
+  cfg.id = 0;
+  cfg.n = 2;
+  cfg.max_rounds = 8;
+  net::NodeRuntime rt(cfg, &link.endpoint(0));
+  std::string err;
+  ASSERT_TRUE(rt.start(&err)) << err;
+  const std::vector<std::uint8_t> garbage{0xFF, 0xFF, 0xFF, 0xFF};
+  rt.handle_datagram(1, garbage);
+  EXPECT_EQ(rt.malformed_datagrams(), 1u);
+  EXPECT_FALSE(rt.healthy());
+  rt.advance_to(8);  // still ticks to completion
+  EXPECT_TRUE(rt.done());
+}
+
+}  // namespace
+}  // namespace congos

@@ -15,6 +15,7 @@
 #include "common/rng.h"
 #include "congos/fragment.h"
 #include "gossip/continuous_gossip.h"
+#include "net/framing.h"
 #include "wire/envelope.h"
 #include "wire/payload_codec.h"
 #include "wire/wire.h"
@@ -546,6 +547,99 @@ TEST(WireFuzz, RandomBuffersNeverCrash) {
     if (!buf.empty()) rng.fill_bytes(buf.data(), buf.size());
     (void)wire::decode_envelope(buf, &d);  // must neither crash nor leak
   }
+}
+
+// -- datagram framing (net/framing.h) ---------------------------------------
+//
+// How envelope frames ride inside UDP datagrams: length-prefixed and
+// coalesced. The decode side must handle exactly what a real socket hands
+// it - several frames in one datagram, and datagrams cut off mid-stream.
+
+TEST(WireDatagram, TwoCoalescedFramesDecodeIndependently) {
+  Rng rng(0xD06);
+  const sim::Envelope e1 =
+      rand_envelope(rng, rand_payload(rng, sim::PayloadKind::kFragment));
+  const sim::Envelope e2 =
+      rand_envelope(rng, rand_payload(rng, sim::PayloadKind::kGossipMsg));
+  std::vector<std::uint8_t> datagram;
+  ASSERT_TRUE(net::append_frame(e1, 11, &datagram));
+  ASSERT_TRUE(net::append_frame(e2, 12, &datagram));
+
+  net::FrameSplitter sp(datagram);
+  std::span<const std::uint8_t> frame;
+  ASSERT_EQ(sp.next(&frame), net::FrameSplitter::Status::kFrame);
+  wire::DecodedEnvelope d1;
+  std::string err;
+  ASSERT_TRUE(wire::decode_envelope(frame.data(), frame.size(), &d1, &err)) << err;
+  EXPECT_EQ(d1.round, 11);
+  EXPECT_EQ(d1.env.from, e1.from);
+  ASSERT_EQ(sp.next(&frame), net::FrameSplitter::Status::kFrame);
+  wire::DecodedEnvelope d2;
+  ASSERT_TRUE(wire::decode_envelope(frame.data(), frame.size(), &d2, &err)) << err;
+  EXPECT_EQ(d2.round, 12);
+  EXPECT_EQ(d2.env.from, e2.from);
+  EXPECT_EQ(sp.next(&frame), net::FrameSplitter::Status::kDone);
+}
+
+TEST(WireDatagram, TruncationMidSecondFrameKeepsFirstFrame) {
+  Rng rng(0xD07);
+  const sim::Envelope e1 =
+      rand_envelope(rng, rand_payload(rng, sim::PayloadKind::kProxyRequest));
+  const sim::Envelope e2 =
+      rand_envelope(rng, rand_payload(rng, sim::PayloadKind::kPartials));
+  std::vector<std::uint8_t> datagram;
+  ASSERT_TRUE(net::append_frame(e1, 1, &datagram));
+  const std::size_t first_end = datagram.size();
+  ASSERT_TRUE(net::append_frame(e2, 2, &datagram));
+
+  // Every cut inside the second frame: the first frame must still decode,
+  // then the splitter must report truncation - never a bogus short frame.
+  for (std::size_t cut = first_end + 1; cut < datagram.size(); ++cut) {
+    net::FrameSplitter sp(std::span<const std::uint8_t>(datagram.data(), cut));
+    std::span<const std::uint8_t> frame;
+    ASSERT_EQ(sp.next(&frame), net::FrameSplitter::Status::kFrame) << cut;
+    wire::DecodedEnvelope d;
+    ASSERT_TRUE(wire::decode_envelope(frame.data(), frame.size(), &d)) << cut;
+    EXPECT_EQ(d.env.from, e1.from);
+    EXPECT_EQ(sp.next(&frame), net::FrameSplitter::Status::kTruncated) << cut;
+  }
+}
+
+TEST(WireDatagram, TruncationMidLengthPrefixReported) {
+  // A multi-byte length prefix cut after its continuation byte: truncated,
+  // not malformed (the bytes seen so far are a valid prefix of a prefix).
+  std::vector<std::uint8_t> datagram = {0x80 | 0x12};  // continuation, no end
+  net::FrameSplitter sp(datagram);
+  std::span<const std::uint8_t> frame;
+  EXPECT_EQ(sp.next(&frame), net::FrameSplitter::Status::kTruncated);
+}
+
+TEST(WireDatagram, NonMinimalLengthPrefixMalformed) {
+  // 0x81 0x00 is the non-minimal encoding of length 1; canonical varints
+  // reject it, and the splitter must classify it as malformed (corrupted
+  // stream) rather than truncated (more bytes pending).
+  std::vector<std::uint8_t> datagram = {0x81, 0x00, 0xAB};
+  net::FrameSplitter sp(datagram);
+  std::span<const std::uint8_t> frame;
+  EXPECT_EQ(sp.next(&frame), net::FrameSplitter::Status::kMalformed);
+}
+
+TEST(WireDatagram, CorruptFrameBodyCaughtByEnvelopeChecksum) {
+  // The length prefix survives but a body byte is flipped: the splitter
+  // yields the frame (framing cannot know), and the envelope checksum
+  // rejects it - the layered design's division of labour.
+  Rng rng(0xD08);
+  const sim::Envelope e =
+      rand_envelope(rng, rand_payload(rng, sim::PayloadKind::kDirectRumor));
+  std::vector<std::uint8_t> datagram;
+  ASSERT_TRUE(net::append_frame(e, 3, &datagram));
+  datagram[datagram.size() / 2] ^= 0x40;
+  net::FrameSplitter sp(datagram);
+  std::span<const std::uint8_t> frame;
+  ASSERT_EQ(sp.next(&frame), net::FrameSplitter::Status::kFrame);
+  wire::DecodedEnvelope d;
+  EXPECT_FALSE(wire::decode_envelope(frame.data(), frame.size(), &d));
+  EXPECT_EQ(sp.next(&frame), net::FrameSplitter::Status::kDone);
 }
 
 TEST(WireFuzz, MutatedFramesWithRepairedChecksums) {

@@ -14,9 +14,10 @@ Exit status:
   2  usage / malformed input.
 
 Benchmarks present in only one of the two groups are reported and skipped;
-so are pairs whose bench_scale or engine_threads context differs (a
-reduced-scale CI record is not comparable to a full-scale local one, nor a
-serial-engine record to a sharded one). A *baseline* record stamped
+so are pairs whose bench_scale, engine_threads, or transport context
+differs (a reduced-scale CI record is not comparable to a full-scale local
+one, nor a serial-engine record to a sharded one, nor a sim-transport
+lockstep record to a udp-transport wall-clock one). A *baseline* record stamped
 "dirty": true is refused as a comparison base (warn and skip): it came from
 an uncommitted tree, so its rev does not identify the code that produced
 it. A dirty head record gets a warning but still compares — that is the
@@ -85,6 +86,15 @@ def compare(base_recs, head_recs, threshold, out=sys.stdout):
         if b_et != h_et:
             print(
                 f"  {name}: engine_threads mismatch ({b_et} vs {h_et}), skipped",
+                file=out,
+            )
+            continue
+        # Records predating the transport field are lockstep-simulator runs.
+        b_tr = b.get("transport", "sim")
+        h_tr = h.get("transport", "sim")
+        if b_tr != h_tr:
+            print(
+                f"  {name}: transport mismatch ({b_tr} vs {h_tr}), skipped",
                 file=out,
             )
             continue
@@ -157,11 +167,14 @@ def self_test():
                 fh.write(json.dumps(rec) + "\n")
         return path
 
-    def rec(rev, name, rps, scale="default", dirty=False, engine_threads=None):
+    def rec(rev, name, rps, scale="default", dirty=False, engine_threads=None,
+            transport=None):
         r = {"rev": rev, "name": name, "rounds_per_sec": rps,
              "bench_scale": scale, "dirty": dirty}
         if engine_threads is not None:
             r["engine_threads"] = engine_threads
+        if transport is not None:
+            r["transport"] = transport
         return r
 
     failures = []
@@ -223,6 +236,17 @@ def self_test():
     p2 = trajectory(rec("aaa", "BM_X/256", 100.0, engine_threads="4"),
                     rec("bbb", "BM_X/256", 10.0, engine_threads="4"))
     check("engine-threads-match-compares", run(p2, 0.10, informational=False), 1)
+    os.unlink(p)
+    os.unlink(p2)
+
+    # Transport mismatch is skipped (missing counts as "sim"): a wall-clock
+    # udp run must never gate against a lockstep sim baseline.
+    p = trajectory(rec("aaa", "BM_X/256", 100.0),
+                   rec("bbb", "BM_X/256", 10.0, transport="udp"))
+    check("transport-mismatch", run(p, 0.10, informational=False), 0)
+    p2 = trajectory(rec("aaa", "BM_X/256", 100.0, transport="sim"),
+                    rec("bbb", "BM_X/256", 10.0))
+    check("transport-sim-default-compares", run(p2, 0.10, informational=False), 1)
     os.unlink(p)
     os.unlink(p2)
 

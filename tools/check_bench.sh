@@ -58,6 +58,11 @@ export CONGOS_ENGINE_THREADS="$ENGINE_THREADS"
 WIRE_VERSION="$(sed -n 's/^inline constexpr std::uint8_t kWireFormatVersion = \([0-9]*\);.*/\1/p' \
   "$(dirname "$0")/../src/wire/wire.h" 2>/dev/null || true)"
 WIRE_VERSION="${WIRE_VERSION:-unknown}"
+# Transport the benchmark ran over (DESIGN.md section 13): "sim" is the
+# lockstep simulator hot path; a future socket-runtime bench would stamp
+# "udp". Wall-clock rounds are not comparable to lockstep rounds, so
+# bench_diff.py never compares records across transports.
+TRANSPORT="${CONGOS_BENCH_TRANSPORT:-sim}"
 # CI runs a reduced-scale smoke (e.g. only /256); records made under a
 # non-default filter should set CONGOS_BENCH_SCALE too, so bench_diff.py
 # never compares them against full-scale records.
@@ -82,12 +87,13 @@ fi
 # One compact line per benchmark: name, real/cpu time, rounds/sec, context.
 jq -c --arg rev "$GIT_REV" --arg sha "$GIT_SHA" --argjson dirty "$GIT_DIRTY" \
   --arg threads "$THREADS" --arg scale "$SCALE" --arg wire "$WIRE_VERSION" \
-  --arg ethreads "$ENGINE_THREADS" \
+  --arg ethreads "$ENGINE_THREADS" --arg transport "$TRANSPORT" \
   '.context.date as $date | .benchmarks[] |
    {date: $date, rev: $rev, sha: $sha, dirty: $dirty, name: .name,
     real_time_ms: .real_time, cpu_time_ms: .cpu_time,
     rounds_per_sec: .rounds_per_sec, threads: $threads, bench_scale: $scale,
-    wire_codec_version: $wire, engine_threads: $ethreads}' \
+    wire_codec_version: $wire, engine_threads: $ethreads,
+    transport: $transport}' \
   "$TMP_JSON" >> "$OUT_FILE"
 
 echo "appended $(jq '.benchmarks | length' "$TMP_JSON") benchmark record(s) to $OUT_FILE:"

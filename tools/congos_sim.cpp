@@ -8,6 +8,9 @@
 //   congos_sim --protocol=congos --tau=2 --no-degenerate --churn=0.005
 //   congos_sim --protocol=plain-gossip --n=32          # watch it leak
 //   congos_sim --protocol=congos --expander --csv
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,6 +51,7 @@ const char kUsage[] = R"(congos_sim - confidential continuous gossip simulator
                    tune the schedule
   --lazy=F         fraction of freeloading processes (congos only)
   --measure-from=R exclude rounds < R from peak statistics  (default 2*D)
+  --duration=SEC   wall-clock cap; exceeding it exits 3 (CI hang guard)
   --no-audit       skip the confidentiality auditor (faster)
   --record-repro=F write a replayable .repro artifact of this run to F
   --csv            machine-readable one-line output
@@ -58,6 +62,15 @@ const char kUsage[] = R"(congos_sim - confidential continuous gossip simulator
 int fail_usage(const std::string& msg) {
   std::fprintf(stderr, "error: %s\n\n%s", msg.c_str(), kUsage);
   return 2;
+}
+
+// --duration hang guard: a lockstep run has no natural place to poll a
+// wall clock, so the cap is an alarm that aborts the process outright
+// (async-signal-safe write + _exit) with the distinct exit code 3.
+void on_duration_exceeded(int) {
+  const char msg[] = "error: --duration exceeded\n";
+  (void)!::write(STDERR_FILENO, msg, sizeof(msg) - 1);
+  ::_exit(3);
 }
 
 }  // namespace
@@ -72,8 +85,16 @@ int main(int argc, char** argv) {
       {"protocol", "n", "rounds", "seed", "deadline", "inject-prob", "dest-min",
        "dest-max", "tau", "no-degenerate", "expander", "gossip-fanout", "churn",
        "faults", "retransmit", "retransmit-budget", "max-link-delay", "lazy",
-       "measure-from", "no-audit", "record-repro", "csv", "trace", "help"});
+       "measure-from", "duration", "no-audit", "record-repro", "csv", "trace",
+       "help"});
   if (!unknown.empty()) return fail_usage("unknown flag --" + unknown.front());
+
+  const std::int64_t duration_s = flags.get_int("duration", 0);
+  if (duration_s < 0) return fail_usage("--duration must be >= 0");
+  if (duration_s > 0) {
+    std::signal(SIGALRM, on_duration_exceeded);
+    ::alarm(static_cast<unsigned>(duration_s));
+  }
 
   harness::ScenarioConfig cfg;
   const std::string proto = flags.get("protocol", "congos");
