@@ -49,6 +49,8 @@ std::vector<std::string> daemon_args(const ClusterConfig& cfg, ProcessId id) {
     args.push_back("--max-link-delay=" + std::to_string(cfg.max_link_delay));
   }
   if (!cfg.fault_spec.empty()) args.push_back("--faults=" + cfg.fault_spec);
+  if (!cfg.udp_batch) args.push_back("--no-batch");
+  if (cfg.compress) args.push_back("--compress");
   return args;
 }
 

@@ -61,6 +61,12 @@ struct ClusterConfig {
   /// +-1 round of apparent delay from scheduling jitter.
   bool retransmit = true;
   Round max_link_delay = 2;
+  /// Batched UDP (sendmmsg/recvmmsg) is the daemon default; false forces
+  /// the single-syscall fallback (congos_d --no-batch).
+  bool udp_batch = true;
+  /// LZ4-compress outbound datagrams (congos_d --compress). Check
+  /// wire::lz4_available() first - daemons exit 2 at startup without LZ4.
+  bool compress = false;
 
   Round rounds = 64;
   std::int64_t round_ms = 30;

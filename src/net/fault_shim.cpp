@@ -20,31 +20,72 @@ std::uint64_t FaultShim::fault_total() const {
 // Mirrors sim::Network::apply_faults decision order (partition, drop,
 // delay, dup) so the shim's fault mix matches the simulator's for the same
 // config - only the randomness stream differs.
-bool FaultShim::send(ProcessId to, std::span<const std::uint8_t> datagram) {
-  if (!cfg_.enabled()) return inner_->send(to, datagram);
+FaultShim::Decision FaultShim::decide(ProcessId to, Round* lateness) {
   if (sim::partition_cuts(cfg_, now_, self_, to)) {
     ++counters_[static_cast<std::size_t>(sim::FaultKind::kPartitioned)];
-    return true;
+    return Decision::kAbsorbed;
   }
   if (cfg_.drop_rate > 0.0 && rng_.chance(cfg_.drop_rate)) {
     ++counters_[static_cast<std::size_t>(sim::FaultKind::kDropped)];
-    return true;
+    return Decision::kAbsorbed;
   }
   const auto span = static_cast<std::uint64_t>(std::max<Round>(cfg_.max_delay, 1));
   if (cfg_.delay_rate > 0.0 && rng_.chance(cfg_.delay_rate)) {
-    const Round lateness = 1 + static_cast<Round>(rng_.next_below(span));
-    held_.push_back(Held{now_ + lateness, to,
-                         std::vector<std::uint8_t>(datagram.begin(), datagram.end())});
+    *lateness = 1 + static_cast<Round>(rng_.next_below(span));
     ++counters_[static_cast<std::size_t>(sim::FaultKind::kDelayed)];
-    return true;
+    return Decision::kHold;
   }
   if (cfg_.dup_rate > 0.0 && rng_.chance(cfg_.dup_rate)) {
-    const Round lateness = 1 + static_cast<Round>(rng_.next_below(span));
-    held_.push_back(Held{now_ + lateness, to,
-                         std::vector<std::uint8_t>(datagram.begin(), datagram.end())});
+    *lateness = 1 + static_cast<Round>(rng_.next_below(span));
     ++counters_[static_cast<std::size_t>(sim::FaultKind::kDuplicated)];
+    return Decision::kDupHold;
+  }
+  return Decision::kPass;
+}
+
+bool FaultShim::send(ProcessId to, std::span<const std::uint8_t> datagram) {
+  if (!cfg_.enabled()) return inner_->send(to, datagram);
+  Round lateness = 0;
+  switch (decide(to, &lateness)) {
+    case Decision::kAbsorbed:
+      return true;
+    case Decision::kHold: {
+      DatagramHandle d = pool_.acquire();
+      d->bytes.assign(datagram.begin(), datagram.end());
+      held_.push_back(Held{now_ + lateness, to, std::move(d)});
+      return true;
+    }
+    case Decision::kDupHold: {
+      DatagramHandle d = pool_.acquire();
+      d->bytes.assign(datagram.begin(), datagram.end());
+      held_.push_back(Held{now_ + lateness, to, std::move(d)});
+      return inner_->send(to, datagram);
+    }
+    case Decision::kPass:
+      break;
   }
   return inner_->send(to, datagram);
+}
+
+bool FaultShim::send(ProcessId to, DatagramHandle datagram) {
+  if (!cfg_.enabled()) return inner_->send(to, std::move(datagram));
+  Round lateness = 0;
+  switch (decide(to, &lateness)) {
+    case Decision::kAbsorbed:
+      return true;
+    case Decision::kHold:
+      held_.push_back(Held{now_ + lateness, to, std::move(datagram)});
+      return true;
+    case Decision::kDupHold:
+      // The held copy shares the buffer with the datagram sent now; neither
+      // path mutates the bytes, and the pool only reclaims the buffer once
+      // the last handle dies.
+      held_.push_back(Held{now_ + lateness, to, datagram});
+      return inner_->send(to, std::move(datagram));
+    case Decision::kPass:
+      break;
+  }
+  return inner_->send(to, std::move(datagram));
 }
 
 void FaultShim::release_due() {
@@ -52,7 +93,7 @@ void FaultShim::release_due() {
   std::size_t kept = 0;
   for (std::size_t i = 0; i < held_.size(); ++i) {
     if (held_[i].due <= now_) {
-      inner_->send(held_[i].to, held_[i].bytes);
+      inner_->send(held_[i].to, std::move(held_[i].datagram));
     } else {
       if (kept != i) held_[kept] = std::move(held_[i]);
       ++kept;

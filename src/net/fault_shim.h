@@ -48,16 +48,26 @@ class FaultShim final : public Transport {
   // -- Transport --------------------------------------------------------------
 
   bool send(ProcessId to, std::span<const std::uint8_t> datagram) override;
+  bool send(ProcessId to, DatagramHandle datagram) override;
   std::size_t poll(int timeout_ms, DatagramSink& sink) override;
   const TransportStats& stats() const override { return inner_->stats(); }
 
  private:
+  /// What the seeded distribution decided for one outgoing datagram. Both
+  /// send() overloads share one decide() so the randomness stream - and
+  /// therefore the fault mix - is identical whether callers pass spans or
+  /// pooled handles.
+  enum class Decision : std::uint8_t { kPass, kAbsorbed, kHold, kDupHold };
+
+  /// A held datagram keeps its pooled buffer alive via the handle; the
+  /// pool simply does not get the buffer back until the due round ships it.
   struct Held {
     Round due = 0;
     ProcessId to = kNoProcess;
-    std::vector<std::uint8_t> bytes;
+    DatagramHandle datagram;
   };
 
+  Decision decide(ProcessId to, Round* lateness);
   void release_due();
 
   Transport* inner_;
@@ -66,6 +76,8 @@ class FaultShim final : public Transport {
   Rng rng_;
   Round now_ = 0;
   std::vector<Held> held_;
+  /// Materializes held copies of span sends (handle sends are held as-is).
+  DatagramPool pool_;
   std::uint64_t counters_[sim::kNumFaultKinds] = {};
 };
 

@@ -5,6 +5,7 @@
 
 #include "net/control.h"
 #include "net/framing.h"
+#include "wire/compress.h"
 #include "wire/envelope.h"
 
 namespace congos::net {
@@ -24,8 +25,7 @@ class NodeRuntime::PhaseSender final : public sim::Sender {
     }
     const ProcessId to = e.to;
     const bool ok = (*builders_)[to].add(
-        e, rt_->now_,
-        [&](std::span<const std::uint8_t> d) { rt_->transport_->send(to, d); });
+        e, rt_->now_, [&](DatagramHandle d) { rt_->ship(to, std::move(d)); });
     if (!ok) ++rt_->encode_errors_;
   }
 
@@ -43,6 +43,12 @@ NodeRuntime::~NodeRuntime() {
 }
 
 bool NodeRuntime::start(std::string* error) {
+  if (cfg_.compress && !wire::lz4_available()) {
+    if (error != nullptr) {
+      *error = "compression requested but LZ4 is unavailable in this process";
+    }
+    return false;
+  }
   if (!cfg_.log_path.empty()) {
     log_ = std::fopen(cfg_.log_path.c_str(), "w");
     if (log_ == nullptr) {
@@ -67,7 +73,21 @@ bool NodeRuntime::start(std::string* error) {
 
 void NodeRuntime::handle_datagram(ProcessId /*from_hint*/,
                                   std::span<const std::uint8_t> datagram) {
-  FrameSplitter splitter(datagram);
+  std::span<const std::uint8_t> frames;
+  switch (unwrap_datagram(datagram, &decompress_scratch_, &frames)) {
+    case DatagramKind::kPlain:
+      break;
+    case DatagramKind::kDecompressed:
+      ++compressed_received_;
+      break;
+    case DatagramKind::kUnsupported:
+      ++unsupported_datagrams_;
+      return;
+    case DatagramKind::kMalformed:
+      ++malformed_datagrams_;
+      return;
+  }
+  FrameSplitter splitter(frames);
   std::span<const std::uint8_t> frame;
   for (;;) {
     const FrameSplitter::Status st = splitter.next(&frame);
@@ -92,13 +112,22 @@ void NodeRuntime::handle_datagram(ProcessId /*from_hint*/,
 }
 
 void NodeRuntime::run_send_phase() {
-  if (builders_.size() != cfg_.n) builders_.resize(cfg_.n);
+  if (builders_.size() != cfg_.n) {
+    builders_.resize(cfg_.n);
+    for (DatagramBuilder& b : builders_) b.set_pool(&dgram_pool_);
+  }
   PhaseSender sender(this, &builders_);
   process_->send_phase(now_, sender);
   for (ProcessId to = 0; to < builders_.size(); ++to) {
-    builders_[to].finish(
-        [&](std::span<const std::uint8_t> d) { transport_->send(to, d); });
+    builders_[to].finish([&](DatagramHandle d) { ship(to, std::move(d)); });
   }
+}
+
+void NodeRuntime::ship(ProcessId to, DatagramHandle d) {
+  if (cfg_.compress && compress_datagram(&d->bytes, &compress_scratch_)) {
+    ++datagrams_compressed_;
+  }
+  transport_->send(to, std::move(d));
 }
 
 void NodeRuntime::tick() {
@@ -137,6 +166,7 @@ void NodeRuntime::on_rumor_delivered(ProcessId at, const RumorUid& uid,
 bool NodeRuntime::healthy() const {
   return decode_errors_ == 0 && malformed_datagrams_ == 0 &&
          encode_errors_ == 0 && misrouted_ == 0 &&
+         unsupported_datagrams_ == 0 &&
          (process_ == nullptr || process_->filter_drops() == 0);
 }
 
@@ -151,12 +181,18 @@ std::string NodeRuntime::stats_json() const {
       << ",\"malformed_datagrams\":" << malformed_datagrams_
       << ",\"misrouted\":" << misrouted_
       << ",\"encode_errors\":" << encode_errors_
+      << ",\"datagrams_compressed\":" << datagrams_compressed_
+      << ",\"compressed_received\":" << compressed_received_
+      << ",\"unsupported_datagrams\":" << unsupported_datagrams_
       << ",\"transport\":{\"datagrams_sent\":" << t.datagrams_sent
       << ",\"datagrams_received\":" << t.datagrams_received
       << ",\"bytes_sent\":" << t.bytes_sent
       << ",\"bytes_received\":" << t.bytes_received
       << ",\"send_errors\":" << t.send_errors << ",\"no_route\":" << t.no_route
-      << "}";
+      << ",\"queue_overflow\":" << t.queue_overflow
+      << ",\"queue_hwm\":" << t.queue_hwm
+      << ",\"send_syscalls\":" << t.send_syscalls
+      << ",\"recv_syscalls\":" << t.recv_syscalls << "}";
   if (process_ != nullptr) {
     const core::CgCounters& c = process_->counters();
     out << ",\"congos\":{\"injected\":" << c.injected

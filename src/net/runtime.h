@@ -42,6 +42,11 @@ struct NodeConfig {
   Round max_rounds = 0;
   /// Event-log path; empty = no log (unit tests that audit in-process).
   std::string log_path;
+  /// LZ4-compress coalesced outbound datagrams (net/framing.h container).
+  /// Receivers always accept both plain and compressed datagrams, so nodes
+  /// with different settings interoperate; start() fails when compression
+  /// is requested but LZ4 is unavailable in this process.
+  bool compress = false;
 };
 
 class NodeRuntime final : public sim::DeliveryListener {
@@ -86,6 +91,9 @@ class NodeRuntime final : public sim::DeliveryListener {
   std::uint64_t encode_errors() const { return encode_errors_; }
   std::uint64_t deliveries() const { return deliveries_; }
   std::uint64_t injections() const { return injections_; }
+  std::uint64_t datagrams_compressed() const { return datagrams_compressed_; }
+  std::uint64_t compressed_received() const { return compressed_received_; }
+  std::uint64_t unsupported_datagrams() const { return unsupported_datagrams_; }
 
   /// Local invariants that must hold on a healthy node: every frame decoded,
   /// no unencodable payloads, no group-filter drops in the gossip stack.
@@ -106,6 +114,9 @@ class NodeRuntime final : public sim::DeliveryListener {
 
   void tick();
   void run_send_phase();
+  /// Final hop of one outbound datagram: optional LZ4 wrap, then the
+  /// transport takes the handle (zero copy all the way to the socket).
+  void ship(ProcessId to, DatagramHandle d);
   void log_line(const std::string& line);
 
   NodeConfig cfg_;
@@ -117,6 +128,11 @@ class NodeRuntime final : public sim::DeliveryListener {
   Round now_ = 0;
   std::vector<sim::Envelope> inbox_;
   std::vector<DatagramBuilder> builders_;  // one per destination, reused
+  /// Backs the builders' datagram buffers; warm after the first rounds, so
+  /// steady-state sends allocate nothing (tests/test_net_alloc.cpp).
+  DatagramPool dgram_pool_;
+  std::vector<std::uint8_t> compress_scratch_;
+  std::vector<std::uint8_t> decompress_scratch_;
   std::FILE* log_ = nullptr;
 
   std::uint64_t frames_received_ = 0;
@@ -126,6 +142,11 @@ class NodeRuntime final : public sim::DeliveryListener {
   std::uint64_t encode_errors_ = 0;
   std::uint64_t deliveries_ = 0;
   std::uint64_t injections_ = 0;
+  std::uint64_t datagrams_compressed_ = 0;
+  std::uint64_t compressed_received_ = 0;
+  /// Compressed datagrams dropped because this process lacks LZ4; nonzero
+  /// means a capability mismatch in the cluster - flagged unhealthy.
+  std::uint64_t unsupported_datagrams_ = 0;
 };
 
 }  // namespace congos::net

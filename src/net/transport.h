@@ -24,6 +24,7 @@
 #include <span>
 
 #include "common/types.h"
+#include "net/datagram.h"
 
 namespace congos::net {
 
@@ -39,6 +40,15 @@ struct TransportStats {
   std::uint64_t send_errors = 0;
   /// Datagrams addressed to an id outside the peer table.
   std::uint64_t no_route = 0;
+  /// Datagrams evicted drop-oldest from a full per-peer send queue (the
+  /// queue cap keeps a dead peer from growing memory without bound).
+  std::uint64_t queue_overflow = 0;
+  /// High-water mark of datagrams queued across all peers at once.
+  std::uint64_t queue_hwm = 0;
+  /// Kernel crossings on each side; the batched path's whole point is
+  /// send_syscalls << datagrams_sent (asserted in test_net.cpp).
+  std::uint64_t send_syscalls = 0;
+  std::uint64_t recv_syscalls = 0;
 };
 
 /// Receiver of inbound datagrams, called from inside poll(). `from_hint` is
@@ -60,6 +70,14 @@ class Transport {
   /// never be delivered (unknown peer, oversized); transient backpressure
   /// is absorbed by the per-peer queues and is not an error.
   virtual bool send(ProcessId to, std::span<const std::uint8_t> datagram) = 0;
+
+  /// Pooled-ownership variant: backends that queue take the handle instead
+  /// of copying the bytes (the zero-copy send path, DESIGN.md section 13).
+  /// The default forwards the span view, so span-only backends (the sim
+  /// adapter, test doubles) need no changes.
+  virtual bool send(ProcessId to, DatagramHandle datagram) {
+    return send(to, std::span<const std::uint8_t>(datagram->bytes));
+  }
 
   /// Flush pending sends and deliver every inbound datagram to `sink`.
   /// Blocks at most `timeout_ms` (0 = nonblocking probe); the sim backend

@@ -1,0 +1,115 @@
+#include "wire/compress.h"
+
+#include <limits>
+#include <mutex>
+
+#ifdef CONGOS_HAVE_LZ4
+#include <lz4.h>
+#else
+#include <dlfcn.h>
+#endif
+
+namespace congos::wire {
+
+namespace {
+
+// LZ4 block API signatures (stable since lz4 r123); when the dev package is
+// absent these are resolved from the runtime library by name.
+using CompressBoundFn = int (*)(int);
+using CompressDefaultFn = int (*)(const char*, char*, int, int);
+using DecompressSafeFn = int (*)(const char*, char*, int, int);
+
+struct Lz4Api {
+  CompressBoundFn compress_bound = nullptr;
+  CompressDefaultFn compress_default = nullptr;
+  DecompressSafeFn decompress_safe = nullptr;
+
+  bool ok() const {
+    return compress_bound != nullptr && compress_default != nullptr &&
+           decompress_safe != nullptr;
+  }
+};
+
+const Lz4Api& api() {
+  static Lz4Api a;
+  static std::once_flag once;
+  std::call_once(once, [] {
+#ifdef CONGOS_HAVE_LZ4
+    a.compress_bound = &LZ4_compressBound;
+    a.compress_default = &LZ4_compress_default;
+    a.decompress_safe = &LZ4_decompress_safe;
+#else
+    // Runtime capability probe: the handle is deliberately leaked (the
+    // library stays mapped for the process lifetime, like a link-time
+    // dependency would).
+    void* lib = ::dlopen("liblz4.so.1", RTLD_NOW | RTLD_GLOBAL);
+    if (lib == nullptr) lib = ::dlopen("liblz4.so", RTLD_NOW | RTLD_GLOBAL);
+    if (lib == nullptr) return;
+    a.compress_bound =
+        reinterpret_cast<CompressBoundFn>(::dlsym(lib, "LZ4_compressBound"));
+    a.compress_default = reinterpret_cast<CompressDefaultFn>(
+        ::dlsym(lib, "LZ4_compress_default"));
+    a.decompress_safe = reinterpret_cast<DecompressSafeFn>(
+        ::dlsym(lib, "LZ4_decompress_safe"));
+    if (!a.ok()) a = Lz4Api{};
+#endif
+  });
+  return a;
+}
+
+constexpr std::size_t kIntMax =
+    static_cast<std::size_t>(std::numeric_limits<int>::max());
+
+}  // namespace
+
+bool lz4_available() { return api().ok(); }
+
+std::size_t lz4_compress_bound(std::size_t n) {
+  const Lz4Api& a = api();
+  if (!a.ok() || n == 0 || n > kIntMax) return 0;
+  const int bound = a.compress_bound(static_cast<int>(n));
+  return bound > 0 ? static_cast<std::size_t>(bound) : 0;
+}
+
+std::size_t lz4_compress_raw(const std::uint8_t* src, std::size_t n,
+                             std::uint8_t* dst, std::size_t cap) {
+  const Lz4Api& a = api();
+  if (!a.ok() || n == 0 || n > kIntMax || cap == 0 || cap > kIntMax) return 0;
+  const int written = a.compress_default(
+      reinterpret_cast<const char*>(src), reinterpret_cast<char*>(dst),
+      static_cast<int>(n), static_cast<int>(cap));
+  return written > 0 ? static_cast<std::size_t>(written) : 0;
+}
+
+bool lz4_decompress_raw(const std::uint8_t* src, std::size_t n,
+                        std::uint8_t* dst, std::size_t raw_len) {
+  const Lz4Api& a = api();
+  if (!a.ok() || n == 0 || n > kIntMax || raw_len == 0 || raw_len > kIntMax) {
+    return false;
+  }
+  const int got = a.decompress_safe(
+      reinterpret_cast<const char*>(src), reinterpret_cast<char*>(dst),
+      static_cast<int>(n), static_cast<int>(raw_len));
+  return got == static_cast<int>(raw_len);
+}
+
+bool lz4_compress(std::span<const std::uint8_t> src,
+                  std::vector<std::uint8_t>* dst) {
+  const std::size_t bound = lz4_compress_bound(src.size());
+  if (bound == 0) return false;
+  dst->resize(bound);
+  const std::size_t written =
+      lz4_compress_raw(src.data(), src.size(), dst->data(), dst->size());
+  if (written == 0) return false;
+  dst->resize(written);
+  return true;
+}
+
+bool lz4_decompress(std::span<const std::uint8_t> src, std::size_t raw_len,
+                    std::vector<std::uint8_t>* dst) {
+  if (raw_len == 0) return false;
+  dst->resize(raw_len);
+  return lz4_decompress_raw(src.data(), src.size(), dst->data(), raw_len);
+}
+
+}  // namespace congos::wire

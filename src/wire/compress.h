@@ -1,0 +1,66 @@
+// Optional LZ4 block compression for coalesced gossip datagrams
+// (DESIGN.md section 13, ROADMAP item 3 follow-up).
+//
+// The codec's varint/delta compression already shrinks individual payloads;
+// whole-datagram LZ4 pays off on top of it once several frames coalesce
+// (shared header bytes, repeated gids, rumor data). LZ4 is strictly
+// optional, resolved in two layers:
+//
+//   * build time: find_package-style discovery links liblz4 directly and
+//     defines CONGOS_HAVE_LZ4;
+//   * run time: without the dev package, a one-shot dlopen("liblz4.so.1")
+//     probe resolves the three block primitives from the runtime library
+//     alone - containers that ship the .so.1 but no headers still get
+//     working compression.
+//
+// When neither layer finds LZ4, lz4_available() is false and every
+// compress/decompress call fails cleanly; senders then ship plain datagrams
+// and the frame format stays byte-identical to a build without this file.
+// Peers interoperate by construction: compression is a per-datagram
+// property signalled in the datagram container (net/framing.h), never a
+// session capability that has to be negotiated.
+//
+// The _raw entry points write into caller-provided storage so the send hot
+// path can stay allocation-free (the scratch buffer is owned by the
+// runtime and keeps its capacity across rounds).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace congos::wire {
+
+/// True when LZ4 block primitives are usable in this process (linked at
+/// build time or resolved from liblz4.so.1 at first call).
+bool lz4_available();
+
+/// Worst-case compressed size for `n` input bytes (LZ4_compressBound).
+/// Returns 0 when LZ4 is unavailable or `n` exceeds LZ4's 2 GiB bound.
+std::size_t lz4_compress_bound(std::size_t n);
+
+/// Compresses src[0..n) into dst[0..cap). Returns the compressed size, or
+/// 0 on failure (LZ4 unavailable, cap too small, empty input).
+std::size_t lz4_compress_raw(const std::uint8_t* src, std::size_t n,
+                             std::uint8_t* dst, std::size_t cap);
+
+/// Decompresses src[0..n) into dst, which must hold exactly `raw_len`
+/// bytes. Returns true only when the block decodes to exactly raw_len
+/// bytes; any corruption or size mismatch fails.
+bool lz4_decompress_raw(const std::uint8_t* src, std::size_t n,
+                        std::uint8_t* dst, std::size_t raw_len);
+
+// -- vector conveniences (tests, tools; the hot path uses _raw) --------------
+
+/// Compresses src into *dst (resized to the compressed size). Returns false
+/// when LZ4 is unavailable or src is empty.
+bool lz4_compress(std::span<const std::uint8_t> src,
+                  std::vector<std::uint8_t>* dst);
+
+/// Decompresses src into *dst (resized to raw_len). Returns false on any
+/// corruption or when the block does not decode to exactly raw_len bytes.
+bool lz4_decompress(std::span<const std::uint8_t> src, std::size_t raw_len,
+                    std::vector<std::uint8_t>* dst);
+
+}  // namespace congos::wire

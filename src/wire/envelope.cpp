@@ -14,19 +14,33 @@ void set_error(std::string* error, const char* msg) {
 
 bool encode_envelope(const sim::Envelope& e, Round round,
                      std::vector<std::uint8_t>* out) {
-  WriteSink s;
+  out->clear();
+  return encode_envelope_append(e, round, out);
+}
+
+bool encode_envelope_append(const sim::Envelope& e, Round round,
+                            std::vector<std::uint8_t>* out) {
+  const std::size_t start = out->size();
+  WriteSink s(std::move(*out));
   FrameHeader h = make_frame_header(e, round);
   frame_header_fields(s, h);
 
-  WriteSink body;
-  if (e.body != nullptr) {
-    if (!encode_payload(body, *e.body) || !body.ok()) return false;
+  // The body-length prefix uses the memoized encoded_size() so the body can
+  // be written directly after it with no intermediate buffer; the byte-count
+  // check below keeps the two honest (test_wire pins their agreement).
+  const std::uint64_t body_size = e.body ? e.body->encoded_size() : 0;
+  s.varint(body_size);
+  const std::size_t body_at = s.data().size();
+  bool ok = true;
+  if (e.body != nullptr) ok = encode_payload(s, *e.body);
+  ok = ok && s.ok() && s.data().size() - body_at == body_size;
+  if (!ok) {
+    *out = s.take();
+    out->resize(start);
+    return false;
   }
-  s.varint(body.data().size());
-  s.append(body.data());
-  if (!s.ok()) return false;
 
-  s.u64le(fnv1a(s.data().data(), s.data().size()));
+  s.u64le(fnv1a(s.data().data() + start, s.data().size() - start));
   *out = s.take();
   return true;
 }

@@ -89,6 +89,13 @@ struct DecodedEnvelope {
 bool encode_envelope(const sim::Envelope& e, Round round,
                      std::vector<std::uint8_t>* out);
 
+/// Appends the frame to `out` in place — no temporary buffers, so once
+/// `out` has warm capacity the encode allocates nothing (the datagram fast
+/// path encodes straight into a pooled buffer; tests/test_net_alloc.cpp
+/// pins this). On failure `out` is restored to its original size.
+bool encode_envelope_append(const sim::Envelope& e, Round round,
+                            std::vector<std::uint8_t>* out);
+
 /// Parses bytes produced by encode_envelope(). Rejects bad checksums,
 /// unknown versions, out-of-range enum tags, body under/overruns and
 /// trailing garbage; `error` (when non-null) describes the first problem.

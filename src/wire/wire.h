@@ -85,6 +85,12 @@ class WriteSink {
  public:
   static constexpr bool kReading = false;
 
+  WriteSink() = default;
+  /// Adopts `buf` and appends to it; take() returns it, prior content
+  /// intact. This is what lets the datagram fast path encode frames
+  /// directly into a pooled buffer instead of through a temporary.
+  explicit WriteSink(std::vector<std::uint8_t> buf) : buf_(std::move(buf)) {}
+
   bool ok() const { return ok_; }
   /// Marks the encode as failed (e.g. a nested payload the codec cannot
   /// serialize). The buffer content is unspecified afterwards.

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "harness/cluster.h"
+#include "wire/compress.h"
 
 namespace congos {
 namespace {
@@ -98,6 +99,29 @@ TEST(Cluster, SurvivesSeededFaultShim) {
   // drop <= 10%, delays bounded by the retransmission layer's budget.
   cfg.fault_spec = "drop:0.05,dup:0.03,delay:2,delay-rate:0.05,seed:7";
   cfg.max_link_delay = 2;
+  const harness::ClusterResult r = harness::run_cluster(cfg);
+  expect_cluster_ok(r);
+}
+
+// The default cluster above runs the batched sendmmsg/recvmmsg fast path;
+// this one forces the single-syscall fallback on every daemon. Identical
+// acceptance bar: the two wire paths must be behaviorally equivalent at
+// cluster scale, not just in the transport unit tests.
+TEST(Cluster, SingleSyscallFallbackPathPassesSameAudits) {
+  if (daemon_path().empty()) GTEST_SKIP() << "CONGOS_D_BIN not set";
+  harness::ClusterConfig cfg = base_config("nobatch");
+  cfg.udp_batch = false;
+  const harness::ClusterResult r = harness::run_cluster(cfg);
+  expect_cluster_ok(r);
+}
+
+// All daemons LZ4-compress their outbound datagrams (the receive side
+// auto-detects, so this also exercises the container unwrap on every hop).
+TEST(Cluster, Lz4CompressedClusterPassesSameAudits) {
+  if (daemon_path().empty()) GTEST_SKIP() << "CONGOS_D_BIN not set";
+  if (!wire::lz4_available()) GTEST_SKIP() << "LZ4 not available";
+  harness::ClusterConfig cfg = base_config("lz4");
+  cfg.compress = true;
   const harness::ClusterResult r = harness::run_cluster(cfg);
   expect_cluster_ok(r);
 }

@@ -16,6 +16,7 @@
 #include "congos/fragment.h"
 #include "gossip/continuous_gossip.h"
 #include "net/framing.h"
+#include "wire/compress.h"
 #include "wire/envelope.h"
 #include "wire/payload_codec.h"
 #include "wire/wire.h"
@@ -640,6 +641,111 @@ TEST(WireDatagram, CorruptFrameBodyCaughtByEnvelopeChecksum) {
   wire::DecodedEnvelope d;
   EXPECT_FALSE(wire::decode_envelope(frame.data(), frame.size(), &d));
   EXPECT_EQ(sp.next(&frame), net::FrameSplitter::Status::kDone);
+}
+
+// -- LZ4 datagram container (wire/compress.h + net/framing.h) ----------------
+
+TEST(WireLz4, RawApiRoundTripsAndEnforcesExactLength) {
+  if (!wire::lz4_available()) GTEST_SKIP() << "LZ4 not available";
+  Rng rng(0x124);
+  for (int i = 0; i < 32; ++i) {
+    // Mixed compressibility: runs of a repeated byte with random islands.
+    std::vector<std::uint8_t> src(64 + rng.next_below(2000));
+    for (std::size_t j = 0; j < src.size(); ++j) {
+      src[j] = rng.chance(0.8) ? 0x55 : static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    std::vector<std::uint8_t> packed(wire::lz4_compress_bound(src.size()));
+    const std::size_t written = wire::lz4_compress_raw(
+        src.data(), src.size(), packed.data(), packed.size());
+    ASSERT_GT(written, 0u);
+    std::vector<std::uint8_t> back(src.size());
+    ASSERT_TRUE(wire::lz4_decompress_raw(packed.data(), written, back.data(),
+                                         src.size()));
+    EXPECT_EQ(back, src);
+    // Wrong declared length (one short) must be rejected, not truncated.
+    if (src.size() > 1) {
+      std::vector<std::uint8_t> shorter(src.size() - 1);
+      EXPECT_FALSE(wire::lz4_decompress_raw(packed.data(), written,
+                                            shorter.data(), shorter.size()));
+    }
+  }
+}
+
+TEST(WireFuzz, UnwrapDatagramNeverCrashesOnRandomBuffers) {
+  // The unwrap layer sees raw socket bytes before any checksum: random
+  // buffers - including ones starting with the compressed marker - must be
+  // classified without crashing, over-reading, or unbounded allocation.
+  Rng rng(0xF023);
+  const int iters = fuzz_iters();
+  std::vector<std::uint8_t> scratch;
+  for (int i = 0; i < iters; ++i) {
+    std::vector<std::uint8_t> buf(rng.next_below(300));
+    if (!buf.empty()) rng.fill_bytes(buf.data(), buf.size());
+    if (!buf.empty() && rng.chance(0.5)) {
+      buf[0] = net::kCompressedDatagramMarker;  // force the container path
+    }
+    std::span<const std::uint8_t> frames;
+    const net::DatagramKind kind = net::unwrap_datagram(buf, &scratch, &frames);
+    if (kind == net::DatagramKind::kPlain) {
+      EXPECT_EQ(frames.data(), buf.data());
+    }
+    // Whatever came out feeds the splitter without incident.
+    net::FrameSplitter sp(frames);
+    std::span<const std::uint8_t> frame;
+    while (sp.next(&frame) == net::FrameSplitter::Status::kFrame) {
+      wire::DecodedEnvelope d;
+      (void)wire::decode_envelope(frame.data(), frame.size(), &d);
+    }
+  }
+}
+
+TEST(WireFuzz, MutatedCompressedContainersNeverCrash) {
+  if (!wire::lz4_available()) GTEST_SKIP() << "LZ4 not available";
+  Rng rng(0xF024);
+  // A real multi-frame datagram, compressed, then mutated: every outcome is
+  // acceptable except a crash or a silently-corrupt decoded envelope.
+  std::vector<std::uint8_t> datagram;
+  const sim::Envelope e1 =
+      rand_envelope(rng, rand_payload(rng, sim::PayloadKind::kGossipMsg));
+  const sim::Envelope e2 =
+      rand_envelope(rng, rand_payload(rng, sim::PayloadKind::kFragment));
+  // Repeated frames make the datagram compressible regardless of what the
+  // randomized payloads drew.
+  for (int rep = 0; rep < 4; ++rep) {
+    ASSERT_TRUE(net::append_frame(e1, 7, &datagram));
+    ASSERT_TRUE(net::append_frame(e2, 7, &datagram));
+  }
+  std::vector<std::uint8_t> scratch;
+  ASSERT_TRUE(net::compress_datagram(&datagram, &scratch));
+  const int iters = fuzz_iters();
+  std::vector<std::uint8_t> us;
+  for (int i = 0; i < iters; ++i) {
+    auto mutant = datagram;
+    const std::size_t mutations = 1 + rng.next_below(4);
+    for (std::size_t m = 0; m < mutations; ++m) {
+      mutant[rng.next_below(mutant.size())] =
+          static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    if (rng.chance(0.3)) {
+      mutant.resize(rng.next_below(mutant.size()) + 1);  // truncate too
+    }
+    std::span<const std::uint8_t> frames;
+    if (net::unwrap_datagram(mutant, &us, &frames) ==
+        net::DatagramKind::kMalformed) {
+      continue;
+    }
+    net::FrameSplitter sp(frames);
+    std::span<const std::uint8_t> frame;
+    while (sp.next(&frame) == net::FrameSplitter::Status::kFrame) {
+      wire::DecodedEnvelope d;
+      if (wire::decode_envelope(frame.data(), frame.size(), &d)) {
+        // Accepted frames must re-encode cleanly (same contract as the
+        // plain-frame mutation fuzz below).
+        std::vector<std::uint8_t> again;
+        ASSERT_TRUE(wire::encode_envelope(d.env, d.round, &again));
+      }
+    }
+  }
 }
 
 TEST(WireFuzz, MutatedFramesWithRepairedChecksums) {

@@ -250,6 +250,25 @@ def self_test():
     os.unlink(p)
     os.unlink(p2)
 
+    # The udp datagram lane (BM_UdpLoopback, recorded by check_bench.sh with
+    # datagrams_per_sec mapped into rounds_per_sec) gates rev-over-rev like
+    # any other row once both records are transport=udp.
+    p = trajectory(
+        rec("aaa", "BM_UdpLoopback/batch:1/bytes:1200", 1000.0, transport="udp"),
+        rec("bbb", "BM_UdpLoopback/batch:1/bytes:1200", 500.0, transport="udp"))
+    check("udp-lane-regression", run(p, 0.10, informational=False), 1)
+    os.unlink(p)
+
+    # A benchmark appearing for the first time (head-only name, e.g. the
+    # first recording of BM_DatagramCodec) is reported and skipped - a new
+    # lane must never fail the gate on its debut.
+    p = trajectory(
+        rec("aaa", "BM_UdpLoopback/batch:1/bytes:1200", 1000.0, transport="udp"),
+        rec("bbb", "BM_UdpLoopback/batch:1/bytes:1200", 1000.0, transport="udp"),
+        rec("bbb", "BM_DatagramCodec/lz4:0", 900.0, transport="udp"))
+    check("udp-new-name-skipped", run(p, 0.10, informational=False), 0)
+    os.unlink(p)
+
     if failures:
         for f in failures:
             print(f"self-test FAILED: {f}", file=sys.stderr)

@@ -59,8 +59,8 @@ WIRE_VERSION="$(sed -n 's/^inline constexpr std::uint8_t kWireFormatVersion = \(
   "$(dirname "$0")/../src/wire/wire.h" 2>/dev/null || true)"
 WIRE_VERSION="${WIRE_VERSION:-unknown}"
 # Transport the benchmark ran over (DESIGN.md section 13): "sim" is the
-# lockstep simulator hot path; a future socket-runtime bench would stamp
-# "udp". Wall-clock rounds are not comparable to lockstep rounds, so
+# lockstep simulator hot path; the micro_net lane below stamps "udp".
+# Wall-clock rounds are not comparable to lockstep rounds, so
 # bench_diff.py never compares records across transports.
 TRANSPORT="${CONGOS_BENCH_TRANSPORT:-sim}"
 # CI runs a reduced-scale smoke (e.g. only /256); records made under a
@@ -98,6 +98,43 @@ jq -c --arg rev "$GIT_REV" --arg sha "$GIT_SHA" --argjson dirty "$GIT_DIRTY" \
 
 echo "appended $(jq '.benchmarks | length' "$TMP_JSON") benchmark record(s) to $OUT_FILE:"
 tail -n 2 "$OUT_FILE"
+
+# UDP datagram-path lane (DESIGN.md section 13): transport=udp rows from
+# bench/micro_net. The figure of merit goes into the same rounds_per_sec
+# field the gate reads (datagrams/sec for BM_UdpLoopback, frames/sec for
+# BM_DatagramCodec); the raw counters ride along, including
+# send_syscalls_per_dgram - the batching win that holds across machines
+# even where cheap syscalls flatten the wall-clock difference.
+NET_BIN="$BUILD_DIR/bench/micro_net"
+if [ -x "$NET_BIN" ]; then
+  NET_FILTER="${CONGOS_BENCH_NET_FILTER:-BM_UdpLoopback|BM_DatagramCodec}"
+  TMP_NET_JSON="$(mktemp)"
+  "$NET_BIN" --benchmark_filter="$NET_FILTER" \
+    --benchmark_out="$TMP_NET_JSON" --benchmark_out_format=json \
+    --benchmark_format=console
+
+  jq -c --arg rev "$GIT_REV" --arg sha "$GIT_SHA" --argjson dirty "$GIT_DIRTY" \
+    --arg threads "$THREADS" --arg scale "$SCALE" --arg wire "$WIRE_VERSION" \
+    --arg ethreads "$ENGINE_THREADS" \
+    '.context.date as $date | .benchmarks[] |
+     {date: $date, rev: $rev, sha: $sha, dirty: $dirty, name: .name,
+      real_time_ms: .real_time, cpu_time_ms: .cpu_time,
+      rounds_per_sec: (.datagrams_per_sec // .frames_per_sec),
+      datagrams_per_sec: .datagrams_per_sec,
+      frames_per_sec: .frames_per_sec,
+      send_syscalls_per_dgram: .send_syscalls_per_dgram,
+      bytes_per_second: .bytes_per_second,
+      threads: $threads, bench_scale: $scale,
+      wire_codec_version: $wire, engine_threads: $ethreads,
+      transport: "udp"}' \
+    "$TMP_NET_JSON" >> "$OUT_FILE"
+
+  echo "appended $(jq '.benchmarks | length' "$TMP_NET_JSON") transport=udp record(s) to $OUT_FILE:"
+  tail -n 2 "$OUT_FILE"
+  rm -f "$TMP_NET_JSON"
+else
+  echo "note: $NET_BIN not built; skipping the transport=udp lane" >&2
+fi
 
 # Regression gate: compare the two most recent rev groups in the trajectory.
 # CONGOS_BENCH_DIFF_MODE: strict (default, >10% drop fails), informational

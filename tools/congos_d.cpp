@@ -61,6 +61,10 @@ const char kUsage[] = R"(congos_d - CONGOS daemon over UDP on 127.0.0.1
   --rounds=R        stop after R rounds                    (default 256)
   --duration=SEC    wall-clock cap; exceeded -> exit 3     (default 120)
   --log=PATH        event log (inject/deliver/recv lines)
+  --compress        LZ4-compress outbound datagrams (plain peers interop;
+                    refused at startup when LZ4 is unavailable)
+  --no-batch        single-syscall UDP path (no sendmmsg/recvmmsg)
+  --queue-cap=K     per-peer send-queue cap, 0 = unbounded (default 512)
   --port=P          data socket port, 0 = ephemeral        (default 0)
   --control-port=P  control socket port, 0 = ephemeral     (default 0)
   --start-timeout-ms=MS  max wait for `start`              (default 30000)
@@ -198,7 +202,8 @@ int main(int argc, char** argv) {
   const auto unknown = flags.unknown_keys(
       {"id", "n", "seed", "tau", "no-degenerate", "retransmit",
        "retransmit-budget", "max-link-delay", "faults", "rounds", "duration",
-       "log", "port", "control-port", "start-timeout-ms", "help"});
+       "log", "compress", "no-batch", "queue-cap", "port", "control-port",
+       "start-timeout-ms", "help"});
   if (!unknown.empty()) return fail_usage("unknown flag --" + unknown.front());
 
   net::NodeConfig ncfg;
@@ -213,6 +218,7 @@ int main(int argc, char** argv) {
   ncfg.max_rounds = flags.get_int("rounds", 256);
   if (ncfg.max_rounds <= 0) return fail_usage("--rounds must be positive");
   ncfg.log_path = flags.get("log", "");
+  ncfg.compress = flags.get_bool("compress", false);
   ncfg.congos.tau = static_cast<std::uint32_t>(flags.get_int("tau", 1));
   ncfg.congos.allow_degenerate = !flags.get_bool("no-degenerate", false);
 
@@ -246,6 +252,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: data socket: %s\n", err.c_str());
     return 2;
   }
+  if (flags.get_bool("no-batch", false)) udp.set_batching(false);
+  const std::int64_t queue_cap = flags.get_int("queue-cap", -1);
+  if (queue_cap >= 0) udp.set_queue_cap(static_cast<std::size_t>(queue_cap));
   std::uint16_t control_port = 0;
   const int control_fd = open_control(
       static_cast<std::uint16_t>(flags.get_int("control-port", 0)),
