@@ -4,6 +4,10 @@
 // It observes injections, crashes and restarts (to decide admissibility:
 // source and destination continuously alive over [t, t+d]) and receives
 // every application-level delivery through the DeliveryListener interface.
+// The crash/restart stream comes from the sim engine's lifecycle hooks in
+// lockstep runs, and from the cluster runner's lifecycle.log (real SIGKILLs
+// of congos_d daemons, net/control.h line format) on the real wire - the
+// same admissibility rule judges both (DESIGN.md section 14).
 // finalize() classifies every (rumor, destination) pair:
 //   * admissible + delivered on time  -> ok          (required by Def. 1)
 //   * admissible + late/missing       -> violation   (protocol bug)

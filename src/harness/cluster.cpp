@@ -16,7 +16,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/rng.h"
 #include "congos/congos_process.h"
+#include "net/checkpoint.h"
 #include "net/clock.h"
 #include "net/control.h"
 #include "wire/envelope.h"
@@ -29,11 +31,37 @@ struct Daemon {
   int stdout_fd = -1;          // read end of the stdout pipe
   std::uint16_t data_port = 0;
   std::uint16_t control_port = 0;
-  std::string stdout_tail;     // everything read after READY
+  std::string stdout_tail;     // everything read after READY, all incarnations
   int exit_code = -1;
 };
 
-std::vector<std::string> daemon_args(const ClusterConfig& cfg, ProcessId id) {
+/// True when daemons keep durable checkpoints: asked for explicitly, or
+/// implied by a kill plan (a respawn needs a state file to resume from).
+bool durable(const ClusterConfig& cfg) {
+  return cfg.durable_state || !cfg.kill_plan.empty();
+}
+
+std::string state_path(const ClusterConfig& cfg, ProcessId id) {
+  return cfg.workdir + "/state" + std::to_string(id) + ".ckpt";
+}
+
+std::int64_t duration_for(const ClusterConfig& cfg, ProcessId id) {
+  if (id < cfg.duration_overrides.size() && cfg.duration_overrides[id] > 0) {
+    return cfg.duration_overrides[id];
+  }
+  return cfg.duration_s;
+}
+
+/// Per-spawn variation: a respawn must reuse the dead incarnation's ports
+/// (the peers' tables are fixed at `start`) and resume from its state file.
+struct SpawnExtra {
+  bool resume = false;
+  std::uint16_t data_port = 0;     // 0 = ephemeral
+  std::uint16_t control_port = 0;  // 0 = ephemeral
+};
+
+std::vector<std::string> daemon_args(const ClusterConfig& cfg, ProcessId id,
+                                     const SpawnExtra& extra) {
   std::vector<std::string> args;
   args.push_back(cfg.daemon);
   args.push_back("--id=" + std::to_string(id));
@@ -41,7 +69,7 @@ std::vector<std::string> daemon_args(const ClusterConfig& cfg, ProcessId id) {
   args.push_back("--seed=" + std::to_string(cfg.seed));
   args.push_back("--tau=" + std::to_string(cfg.tau));
   args.push_back("--rounds=" + std::to_string(cfg.rounds));
-  args.push_back("--duration=" + std::to_string(cfg.duration_s));
+  args.push_back("--duration=" + std::to_string(duration_for(cfg, id)));
   args.push_back("--log=" + cfg.workdir + "/node" + std::to_string(id) + ".log");
   if (cfg.no_degenerate) args.push_back("--no-degenerate");
   if (cfg.retransmit) {
@@ -51,11 +79,20 @@ std::vector<std::string> daemon_args(const ClusterConfig& cfg, ProcessId id) {
   if (!cfg.fault_spec.empty()) args.push_back("--faults=" + cfg.fault_spec);
   if (!cfg.udp_batch) args.push_back("--no-batch");
   if (cfg.compress) args.push_back("--compress");
+  if (durable(cfg)) {
+    args.push_back("--state=" + state_path(cfg, id));
+    args.push_back("--checkpoint-every=" + std::to_string(cfg.checkpoint_every));
+  }
+  if (extra.resume) args.push_back("--resume=" + state_path(cfg, id));
+  if (extra.data_port != 0) {
+    args.push_back("--port=" + std::to_string(extra.data_port));
+    args.push_back("--control-port=" + std::to_string(extra.control_port));
+  }
   return args;
 }
 
 bool spawn_daemon(const ClusterConfig& cfg, ProcessId id, Daemon* d,
-                  std::string* error) {
+                  std::string* error, const SpawnExtra& extra = {}) {
   int pipe_fds[2];
   if (::pipe(pipe_fds) < 0) {
     *error = std::string("pipe: ") + std::strerror(errno);
@@ -72,15 +109,18 @@ bool spawn_daemon(const ClusterConfig& cfg, ProcessId id, Daemon* d,
   }
   if (pid == 0) {
     // Child: stdout -> pipe, stderr -> node<i>.err, exec the daemon.
+    // Respawns append: the first incarnation's stderr is crash evidence.
     ::dup2(pipe_fds[1], STDOUT_FILENO);
     ::close(pipe_fds[0]);
     ::close(pipe_fds[1]);
-    const int ef = ::open(err_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    const int ef = ::open(err_path.c_str(),
+                          O_WRONLY | O_CREAT | (extra.resume ? O_APPEND : O_TRUNC),
+                          0644);
     if (ef >= 0) {
       ::dup2(ef, STDERR_FILENO);
       ::close(ef);
     }
-    const std::vector<std::string> args = daemon_args(cfg, id);
+    const std::vector<std::string> args = daemon_args(cfg, id, extra);
     std::vector<char*> argv;
     argv.reserve(args.size() + 1);
     for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
@@ -161,19 +201,27 @@ class ControlClient {
   }
 
   /// Sends `cmd` and waits for a reply starting with `expect`; retries the
-  /// send (commands and acks are datagrams; either may drop). Returns the
-  /// full reply via *reply when non-null.
+  /// send (commands and acks are datagrams; either may drop). Retries back
+  /// off exponentially (x1.5 per attempt, capped at 1s) under an overall
+  /// wall-clock budget, so one lost datagram or a daemon that is mid-restart
+  /// does not fail the run - and a permanently dead control port cannot
+  /// hang it either. Returns the full reply via *reply when non-null.
   bool request(std::uint16_t port, const std::string& cmd,
                const std::string& expect, std::string* reply = nullptr,
-               int tries = 20, int wait_ms = 150) {
+               int tries = 20, int wait_ms = 150,
+               std::int64_t overall_ms = 15000) {
     sockaddr_in to{};
     to.sin_family = AF_INET;
     to.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     to.sin_port = htons(port);
-    for (int t = 0; t < tries; ++t) {
+    const std::int64_t overall_deadline = net::wall_ms_now() + overall_ms;
+    std::int64_t wait = wait_ms;
+    for (int t = 0; t < tries && net::wall_ms_now() < overall_deadline; ++t) {
       (void)::sendto(fd_, cmd.data(), cmd.size(), 0,
                      reinterpret_cast<sockaddr*>(&to), sizeof(to));
-      const std::int64_t deadline = net::wall_ms_now() + wait_ms;
+      const std::int64_t deadline =
+          std::min(net::wall_ms_now() + wait, overall_deadline);
+      wait = std::min<std::int64_t>(wait + wait / 2, 1000);
       for (;;) {
         const std::int64_t now = net::wall_ms_now();
         if (now >= deadline) break;
@@ -210,49 +258,116 @@ void sleep_until(std::int64_t wall_ms) {
   }
 }
 
-/// Reaps `d` within `grace_ms`, escalating SIGTERM -> SIGKILL.
-void reap(Daemon* d, std::int64_t grace_ms) {
-  if (d->pid < 0) return;
-  const std::int64_t deadline = net::wall_ms_now() + grace_ms;
-  bool killed = false;
+/// Drains whatever stdout remains (the STATS line) once the writer is gone
+/// and closes the pipe. The tail accumulates across incarnations.
+void drain_stdout(Daemon* d) {
+  if (d->stdout_fd < 0) return;
+  char buf[4096];
   for (;;) {
+    const ssize_t got = ::read(d->stdout_fd, buf, sizeof(buf));
+    if (got <= 0) break;
+    d->stdout_tail.append(buf, static_cast<std::size_t>(got));
+  }
+  ::close(d->stdout_fd);
+  d->stdout_fd = -1;
+}
+
+/// Status word -> the exit code the shell would report.
+int exit_code_of(int status) {
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return -1;
+}
+
+/// Polls for p to exit until `deadline_ms`; true (with *status) once reaped.
+bool wait_until(pid_t p, std::int64_t deadline_ms, int* status) {
+  for (;;) {
+    const pid_t got = ::waitpid(p, status, WNOHANG);
+    if (got == p) return true;
+    if (got < 0 && errno != EINTR) return false;  // ECHILD: nothing to reap
+    if (net::wall_ms_now() >= deadline_ms) return false;
+    ::usleep(10 * 1000);
+  }
+}
+
+/// Reaps `d`, escalating politely: up to `grace_ms` for a voluntary exit,
+/// SIGTERM and another `grace_ms` (the daemon checkpoints and dumps STATS
+/// on SIGTERM), then SIGKILL - which cannot be ignored - followed by a
+/// blocking wait. The zombie is always collected, and exit_code records
+/// the real status (exit code, or 128+signal), never an assumption about
+/// which escalation step landed.
+void reap(Daemon* d, std::int64_t grace_ms) {
+  if (d->pid >= 0) {
     int status = 0;
-    const pid_t got = ::waitpid(d->pid, &status, WNOHANG);
-    if (got == d->pid) {
-      d->exit_code = WIFEXITED(status) ? WEXITSTATUS(status)
-                                       : 128 + WTERMSIG(status);
-      break;
+    bool reaped = wait_until(d->pid, net::wall_ms_now() + grace_ms, &status);
+    if (!reaped) {
+      (void)::kill(d->pid, SIGTERM);
+      reaped = wait_until(d->pid, net::wall_ms_now() + grace_ms, &status);
     }
-    if (got < 0 && errno != EINTR) {
-      d->exit_code = -1;
-      break;
+    if (!reaped) {
+      (void)::kill(d->pid, SIGKILL);
+      pid_t got;
+      do {
+        got = ::waitpid(d->pid, &status, 0);
+      } while (got < 0 && errno == EINTR);
+      reaped = got == d->pid;
     }
-    const std::int64_t now = net::wall_ms_now();
-    if (now >= deadline) {
-      if (!killed) {
-        ::kill(d->pid, SIGKILL);
-        killed = true;
-      }
+    d->exit_code = reaped ? exit_code_of(status) : -1;
+    d->pid = -1;
+  }
+  drain_stdout(d);
+}
+
+/// One respawn attempt: fork a fresh incarnation on the dead one's ports
+/// with --resume, wait for its READY, and re-send the original `start`
+/// command (same epoch - the daemon validates its state file against it
+/// and rejects stale state with exit 2, which shows up here as a missing
+/// ack). On any failure the half-started child is killed and reaped so a
+/// retry starts clean.
+bool respawn_once(const ClusterConfig& cfg, ProcessId id, Daemon* d,
+                  const std::string& start_line, ControlClient* control,
+                  std::string* why) {
+  SpawnExtra extra;
+  extra.resume = true;
+  extra.data_port = d->data_port;
+  extra.control_port = d->control_port;
+  Daemon fresh;
+  if (!spawn_daemon(cfg, id, &fresh, why, extra)) return false;
+  const int fl = ::fcntl(fresh.stdout_fd, F_GETFL, 0);
+  ::fcntl(fresh.stdout_fd, F_SETFL, fl | O_NONBLOCK);
+
+  const auto abandon = [&](const std::string& reason) {
+    *why = reason;
+    if (fresh.pid > 0) {
+      (void)::kill(fresh.pid, SIGKILL);
       int st = 0;
-      (void)::waitpid(d->pid, &st, 0);
-      d->exit_code = 128 + SIGKILL;
-      break;
+      pid_t got;
+      do {
+        got = ::waitpid(fresh.pid, &st, 0);
+      } while (got < 0 && errno == EINTR);
     }
-    ::usleep(20 * 1000);
+    drain_stdout(&fresh);
+    d->stdout_tail += fresh.stdout_tail;
+    return false;
+  };
+
+  std::string line;
+  Daemon parsed = fresh;
+  if (!read_line(fresh.stdout_fd, net::wall_ms_now() + 5000, &line) ||
+      !parse_ready(line, id, &parsed)) {
+    return abandon("no READY from respawned daemon (got '" + line + "')");
   }
-  d->pid = -1;
-  // Drain whatever stdout remains (the STATS line) now that the writer is
-  // gone.
-  if (d->stdout_fd >= 0) {
-    char buf[4096];
-    for (;;) {
-      const ssize_t got = ::read(d->stdout_fd, buf, sizeof(buf));
-      if (got <= 0) break;
-      d->stdout_tail.append(buf, static_cast<std::size_t>(got));
-    }
-    ::close(d->stdout_fd);
-    d->stdout_fd = -1;
+  if (parsed.data_port != d->data_port ||
+      parsed.control_port != d->control_port) {
+    return abandon("respawned daemon bound different ports");
   }
+  if (!control->request(parsed.control_port, start_line, "ok start", nullptr,
+                        /*tries=*/10, /*wait_ms=*/100, /*overall_ms=*/3000)) {
+    return abandon("respawned daemon never acked start");
+  }
+  d->pid = fresh.pid;
+  d->stdout_fd = fresh.stdout_fd;
+  return true;
 }
 
 std::string stats_line_of(const std::string& tail) {
@@ -337,6 +452,55 @@ void audit_logs(const ClusterConfig& cfg, ClusterResult* r) {
     conf.on_inject(rumor, round);
     horizon = std::max(horizon, round + rumor.deadline + 1);
   }
+
+  // Lifecycle events gate admissibility exactly like sim churn: a rumor
+  // pair whose source or destination was down inside [injected, deadline]
+  // is inadmissible per the paper's continuously-alive rule, so a killed
+  // destination shows up as a (permitted) bonus or nothing - never as a
+  // false QoD violation - while admissible pairs keep the full guarantee.
+  struct LifeEv {
+    Round round = 0;
+    ProcessId id = 0;
+    bool crash = false;
+  };
+  std::vector<LifeEv> life;
+  {
+    std::ifstream in(cfg.workdir + "/lifecycle.log");
+    std::string text;
+    while (std::getline(in, text)) {
+      if (text.empty()) continue;
+      net::Line line;
+      if (!net::parse_line(text, &line)) {
+        ++r->log_parse_errors;
+        continue;
+      }
+      if (line.verb != "crash" && line.verb != "restart") {
+        continue;  // respawn-failed etc.: runner bookkeeping, not liveness
+      }
+      bool ok = true;
+      LifeEv e;
+      e.round = line.get_int("round", &ok);
+      e.id = static_cast<ProcessId>(line.get_int("id", &ok));
+      e.crash = line.verb == "crash";
+      if (!ok || e.id >= cfg.n) {
+        ++r->log_parse_errors;
+        continue;
+      }
+      life.push_back(e);
+    }
+  }
+  std::stable_sort(life.begin(), life.end(),
+                   [](const LifeEv& a, const LifeEv& b) {
+                     return a.round < b.round;
+                   });
+  for (const LifeEv& e : life) {
+    if (e.crash) {
+      qod.on_crash(e.id, e.round);
+    } else {
+      qod.on_restart(e.id, e.round);
+    }
+  }
+
   for (const LoggedDelivery& d : deliveries) {
     qod.on_rumor_delivered(d.at, d.uid, d.when, d.data);
   }
@@ -347,6 +511,31 @@ void audit_logs(const ClusterConfig& cfg, ClusterResult* r) {
       continue;
     }
     conf.on_envelope_delivered(dec.env, round);
+  }
+
+  // Checkpoint files are readable by anyone with the disk, so they face
+  // the same Definition 2 scrutiny as wire traffic: every journaled frame
+  // is replayed through the confidentiality auditor. (Inject events are
+  // the node's own rumors - it is their source, inside D by definition.)
+  if (durable(cfg)) {
+    for (ProcessId id = 0; id < cfg.n; ++id) {
+      net::NodeCheckpoint ck;
+      std::string err;
+      if (!net::read_checkpoint_file(state_path(cfg, id), &ck, &err)) {
+        ++r->state_file_errors;
+        continue;
+      }
+      ++r->state_files_audited;
+      for (const net::CheckpointEvent& e : ck.events) {
+        if (e.kind != net::CheckpointEvent::Kind::kRecv) continue;
+        wire::DecodedEnvelope dec;
+        if (!wire::decode_envelope(e.frame.data(), e.frame.size(), &dec)) {
+          ++r->state_file_errors;
+          continue;
+        }
+        conf.on_envelope_delivered(dec.env, e.round);
+      }
+    }
   }
 
   r->qod = qod.finalize(horizon);
@@ -360,6 +549,48 @@ void audit_logs(const ClusterConfig& cfg, ClusterResult* r) {
 }
 
 }  // namespace
+
+std::vector<KillEvent> make_kill_schedule(const KillScheduleConfig& gen,
+                                          std::size_t n, Round rounds) {
+  Rng rng(gen.seed);
+  const Round down_max = std::max(gen.down_min, gen.down_max);
+  Round max_round = gen.max_round;
+  if (max_round <= 0) {
+    // Leave the worst-case victim time to resume and drain: downtime plus
+    // a rejoin cushion before the round budget runs out.
+    max_round = rounds - down_max - 8;
+  }
+  if (max_round < gen.min_round) max_round = gen.min_round;
+
+  std::vector<bool> excluded(n, false);
+  for (const ProcessId p : gen.protected_ids) {
+    if (p < n) excluded[p] = true;
+  }
+  std::vector<KillEvent> plan;
+  for (std::size_t k = 0; k < gen.kills; ++k) {
+    // Distinct victims, like RandomChurn's at-most-one-crash-per-process
+    // constraint between restarts: killing a daemon twice would need its
+    // second checkpoint to land between the two kills, which a static
+    // schedule cannot guarantee.
+    std::vector<ProcessId> candidates;
+    for (ProcessId p = 0; p < n; ++p) {
+      if (!excluded[p]) candidates.push_back(p);
+    }
+    if (candidates.empty()) break;
+    KillEvent e;
+    e.target = candidates[rng.next_below(candidates.size())];
+    e.kill_round =
+        rng.uniform_int(gen.min_round, max_round);
+    e.down_rounds = rng.uniform_int(gen.down_min, down_max);
+    excluded[e.target] = true;
+    plan.push_back(e);
+  }
+  std::stable_sort(plan.begin(), plan.end(),
+                   [](const KillEvent& a, const KillEvent& b) {
+                     return a.kill_round < b.kill_round;
+                   });
+  return plan;
+}
 
 ClusterResult run_cluster(const ClusterConfig& cfg) {
   ClusterResult result;
@@ -421,34 +652,159 @@ ClusterResult run_cluster(const ClusterConfig& cfg) {
   }
   const net::RoundClock clock(start.epoch_ms, start.round_ms);
 
-  // Injections, grouped by target round in ascending order.
+  // Injections and scheduled kills/respawns share one supervised timeline,
+  // and a waitpid sweep between events catches any unscheduled death - a
+  // daemon that dies off-schedule is recorded and surfaced, never respawned
+  // (masking a real crash would hide exactly the bug chaos runs hunt for).
   std::vector<ClusterInject> plan = cfg.injections;
   std::stable_sort(plan.begin(), plan.end(),
                    [](const ClusterInject& a, const ClusterInject& b) {
                      return a.round < b.round;
                    });
-  for (const ClusterInject& inj : plan) {
-    sleep_until(clock.start_of(inj.round) + cfg.round_ms / 4);
-    if (inj.source >= cfg.n) return fail("inject source out of range");
-    net::InjectCommand cmd;
-    cmd.seq = inj.seq;
-    cmd.deadline = inj.deadline;
-    cmd.dest = inj.dest;
-    cmd.data = inj.data;
-    if (!control.request(daemons[inj.source].control_port,
-                         net::encode_inject(cmd),
-                         "ok inject seq=" + std::to_string(inj.seq))) {
-      return fail("daemon " + std::to_string(inj.source) +
-                  " never acked inject seq=" + std::to_string(inj.seq));
+  std::vector<KillEvent> kills = cfg.kill_plan;
+  std::stable_sort(kills.begin(), kills.end(),
+                   [](const KillEvent& a, const KillEvent& b) {
+                     return a.kill_round < b.kill_round;
+                   });
+  for (const KillEvent& k : kills) {
+    if (k.target >= cfg.n || k.kill_round < 1 || k.down_rounds < 1) {
+      return fail("bad kill plan entry (target " + std::to_string(k.target) +
+                  " round " + std::to_string(k.kill_round) + ")");
     }
   }
 
-  // Let the cluster run out its round budget, then reap. Daemons exit on
-  // their own at --rounds; `stop` just hurries along any straggler.
-  sleep_until(clock.start_of(cfg.rounds) + 200);
+  // Every lifecycle event lands here for the offline auditors: `crash` and
+  // `restart` lines drive the continuously-alive admissibility rule.
+  std::ofstream lifecycle(cfg.workdir + "/lifecycle.log", std::ios::trunc);
+
+  struct PendingRespawn {
+    ProcessId id = 0;
+    std::int64_t at_ms = 0;
+  };
+  std::vector<PendingRespawn> respawns;
+  std::size_t next_kill = 0;
+  std::size_t next_inject = 0;
+  const std::int64_t end_ms = clock.start_of(cfg.rounds) + 200;
+
+  for (;;) {
+    const std::int64_t now_ms = net::wall_ms_now();
+    if (now_ms >= end_ms) break;
+
+    // Scheduled kills fire mid-round - SIGKILL, no grace, a real crash:
+    // whatever the daemon buffered since its last checkpoint is gone.
+    while (next_kill < kills.size() &&
+           now_ms >=
+               clock.start_of(kills[next_kill].kill_round) + cfg.round_ms / 2) {
+      const KillEvent& k = kills[next_kill++];
+      Daemon& d = daemons[k.target];
+      if (d.pid <= 0) continue;  // an unexpected exit beat the schedule
+      (void)::kill(d.pid, SIGKILL);
+      int st = 0;
+      pid_t got;
+      do {
+        got = ::waitpid(d.pid, &st, 0);
+      } while (got < 0 && errno == EINTR);
+      drain_stdout(&d);
+      d.pid = -1;
+      ++result.scheduled_kills;
+      lifecycle << "crash round=" << clock.round_at(net::wall_ms_now())
+                << " id=" << k.target << " scheduled=1 code="
+                << exit_code_of(st) << "\n"
+                << std::flush;
+      respawns.push_back(
+          {k.target, clock.start_of(k.kill_round + k.down_rounds)});
+    }
+
+    // Injections due this round.
+    while (next_inject < plan.size() &&
+           now_ms >= clock.start_of(plan[next_inject].round) + cfg.round_ms / 4) {
+      const ClusterInject& inj = plan[next_inject++];
+      if (inj.source >= cfg.n) return fail("inject source out of range");
+      net::InjectCommand cmd;
+      cmd.seq = inj.seq;
+      cmd.deadline = inj.deadline;
+      cmd.dest = inj.dest;
+      cmd.data = inj.data;
+      if (!control.request(daemons[inj.source].control_port,
+                           net::encode_inject(cmd),
+                           "ok inject seq=" + std::to_string(inj.seq))) {
+        return fail("daemon " + std::to_string(inj.source) +
+                    " never acked inject seq=" + std::to_string(inj.seq));
+      }
+    }
+
+    // Respawns whose downtime has elapsed: bounded retries with backoff.
+    for (std::size_t i = 0; i < respawns.size();) {
+      if (now_ms < respawns[i].at_ms) {
+        ++i;
+        continue;
+      }
+      const ProcessId id = respawns[i].id;
+      respawns.erase(respawns.begin() + i);
+      bool up = false;
+      std::string why;
+      for (int attempt = 0; attempt < cfg.respawn_retries && !up; ++attempt) {
+        if (attempt > 0) {
+          ::usleep(static_cast<useconds_t>((100u << attempt) * 1000u));
+        }
+        up = respawn_once(cfg, id, &daemons[id], start_line, &control, &why);
+      }
+      if (up) {
+        ++result.resumes;
+        lifecycle << "restart round=" << clock.round_at(net::wall_ms_now())
+                  << " id=" << id << " resume=1\n"
+                  << std::flush;
+      } else {
+        ++result.respawn_failures;
+        lifecycle << "respawn-failed round="
+                  << clock.round_at(net::wall_ms_now()) << " id=" << id << "\n"
+                  << std::flush;
+        daemons[id].stdout_tail += "\nrespawn failed: " + why + "\n";
+      }
+    }
+
+    // Unscheduled deaths. Only before the round budget ends: at --rounds
+    // every daemon exits on its own, and those exits belong to the final
+    // reap below, not the crash ledger.
+    if (clock.round_at(now_ms) < cfg.rounds) {
+      for (ProcessId id = 0; id < cfg.n; ++id) {
+        Daemon& d = daemons[id];
+        if (d.pid <= 0) continue;
+        int st = 0;
+        if (::waitpid(d.pid, &st, WNOHANG) != d.pid) continue;
+        drain_stdout(&d);
+        d.pid = -1;
+        d.exit_code = exit_code_of(st);
+        ++result.unexpected_exits;
+        lifecycle << "crash round=" << clock.round_at(net::wall_ms_now())
+                  << " id=" << id << " scheduled=0 code=" << d.exit_code
+                  << "\n"
+                  << std::flush;
+      }
+    }
+
+    // Sleep to the next due event, bounded by the 50ms supervision beat.
+    std::int64_t next = now_ms + 50;
+    if (next_kill < kills.size()) {
+      next = std::min(
+          next, clock.start_of(kills[next_kill].kill_round) + cfg.round_ms / 2);
+    }
+    if (next_inject < plan.size()) {
+      next = std::min(
+          next, clock.start_of(plan[next_inject].round) + cfg.round_ms / 4);
+    }
+    for (const PendingRespawn& p : respawns) next = std::min(next, p.at_ms);
+    next = std::min(next, end_ms);
+    sleep_until(std::max(next, now_ms + 1));
+  }
+
+  // Round budget exhausted: daemons exit on their own at --rounds; `stop`
+  // just hurries along any straggler, then the hardened reap collects the
+  // real exit status of every final incarnation.
   for (const Daemon& d : daemons) {
+    if (d.pid <= 0) continue;
     (void)control.request(d.control_port, "stop", "ok stop", nullptr,
-                          /*tries=*/3, /*wait_ms=*/100);
+                          /*tries=*/3, /*wait_ms=*/100, /*overall_ms=*/1000);
   }
   for (Daemon& d : daemons) reap(&d, 5000);
 

@@ -40,6 +40,40 @@ struct ClusterInject {
   std::vector<std::uint8_t> data;
 };
 
+/// One scheduled crash in a chaos run: daemon `target` is SIGKILLed (never
+/// graceful - the kernel gives it no chance to flush anything) once
+/// `kill_round` opens, and respawned `down_rounds` rounds later with
+/// congos_d --resume pointed at its last durable checkpoint.
+struct KillEvent {
+  ProcessId target = 0;
+  Round kill_round = 8;
+  Round down_rounds = 4;
+};
+
+/// Seeded kill-schedule generator - the real-wire echo of the sim
+/// adversary's RandomChurn (adversary/patterns.h): which daemons die, when,
+/// and for how long are all drawn from one Rng, so a chaos cluster run is
+/// reproducible from (seed, n, rounds) alone.
+struct KillScheduleConfig {
+  std::uint64_t seed = 1;
+  /// Scheduled kills to draw (distinct victims; capped by eligible daemons).
+  std::size_t kills = 2;
+  /// Kill rounds are uniform in [min_round, max_round]; max_round <= 0
+  /// derives a bound that leaves every victim time to resume and drain
+  /// before the round budget ends.
+  Round min_round = 8;
+  Round max_round = 0;
+  /// Downtime drawn uniform in [down_min, down_max] rounds.
+  Round down_min = 4;
+  Round down_max = 8;
+  /// Never killed - the RandomChurn min_alive/protected_ids analogue (e.g.
+  /// injection sources that must outlive their own deadline fallback).
+  std::vector<ProcessId> protected_ids;
+};
+
+std::vector<KillEvent> make_kill_schedule(const KillScheduleConfig& gen,
+                                          std::size_t n, Round rounds);
+
 struct ClusterConfig {
   /// Path to the congos_d binary (tests take it from $CONGOS_D_BIN).
   std::string daemon;
@@ -72,6 +106,22 @@ struct ClusterConfig {
   std::int64_t round_ms = 30;
   /// Per-daemon wall-clock cap (congos_d --duration backstop).
   std::int64_t duration_s = 60;
+  /// Per-daemon --duration override in seconds (0 / missing = duration_s).
+  /// Tests use this to provoke an unscheduled mid-run exit and assert the
+  /// supervisor surfaces it.
+  std::vector<std::int64_t> duration_overrides;
+
+  /// Durable checkpoints (congos_d --state / --checkpoint-every): written
+  /// to <workdir>/state<i>.ckpt. Forced on whenever kill_plan is non-empty,
+  /// since a respawn without a state file has nothing to resume from.
+  bool durable_state = false;
+  Round checkpoint_every = 8;
+  /// Scheduled SIGKILL + resume events; supervised by run_cluster's
+  /// waitpid loop (see KillEvent / make_kill_schedule).
+  std::vector<KillEvent> kill_plan;
+  /// Respawn attempts per scheduled kill before the daemon is declared
+  /// lost (bounded exponential backoff between attempts).
+  int respawn_retries = 3;
 
   std::vector<ClusterInject> injections;
 };
@@ -93,6 +143,21 @@ struct ClusterResult {
   std::uint64_t recv_frames = 0;
   std::uint64_t log_parse_errors = 0;
 
+  // Crash/restart bookkeeping (mirrors <workdir>/lifecycle.log, which the
+  // offline auditors also consume for continuously-alive admissibility).
+  std::uint64_t scheduled_kills = 0;
+  std::uint64_t resumes = 0;
+  /// Daemons that died without a scheduled kill (a real crash or a
+  /// mis-specified run). Surfaced, never masked: ok() fails on any.
+  std::uint64_t unexpected_exits = 0;
+  /// Scheduled respawns that exhausted their retry budget.
+  std::uint64_t respawn_failures = 0;
+  /// Checkpoint files decoded and replayed through the confidentiality
+  /// auditor after the run (a state file is readable by anyone with the
+  /// disk, so it gets the same scrutiny as wire traffic).
+  std::uint64_t state_files_audited = 0;
+  std::uint64_t state_file_errors = 0;
+
   /// Exit code per daemon (0 = clean; 128+sig when killed).
   std::vector<int> exit_codes;
   /// Each daemon's final `STATS` JSON line (empty when it produced none).
@@ -104,11 +169,16 @@ struct ClusterResult {
     }
     return !exit_codes.empty();
   }
-  /// The cluster acceptance gate: everything launched, every daemon exited
-  /// clean, QoD held and no confidentiality violation was observed.
+  /// The cluster acceptance gate: everything launched, every daemon's
+  /// final incarnation exited clean (scheduled mid-run kills are recorded
+  /// in lifecycle counters, not here), no unscheduled death or failed
+  /// respawn, QoD held under continuously-alive admissibility, and no
+  /// confidentiality violation was observed on the wire or in state files.
   bool ok() const {
     return error.empty() && daemons_ok() && qod.ok() && leaks == 0 &&
-           foreign_fragments == 0 && log_parse_errors == 0;
+           foreign_fragments == 0 && log_parse_errors == 0 &&
+           unexpected_exits == 0 && respawn_failures == 0 &&
+           state_file_errors == 0;
   }
 };
 

@@ -1,0 +1,126 @@
+// Durable daemon checkpoints: the on-disk state file behind congos_d
+// --state/--resume (DESIGN.md section 14).
+//
+// The file does not serialize the service stack field by field. A
+// CongosProcess is deterministic in (seed, injection sequence, per-round
+// inbox contents) - the exact property PR 3's replay subsystem proves and
+// the golden traces pin - so the checkpoint stores those *inputs* instead:
+// the node's config binding, the shared RoundClock epoch, and the ordered
+// journal of every event that mutated the process (rumor injections and
+// accepted envelope frames, stamped with the runtime round they happened
+// in). NodeRuntime::resume() reconstructs the live state by re-running the
+// engine phase contract over the journal with outbound datagrams and event
+// logging suppressed; the result is byte-identical to the state at the
+// checkpoint round, including the partially buffered inbox of the round in
+// progress (tests/test_checkpoint.cpp pins this over a SimLink cluster).
+//
+// Confidentiality by construction: the journal holds exactly the bytes the
+// process legitimately held - its own injected rumors (it is their source)
+// and the envelope frames addressed to it that already crossed the wire.
+// A curious reader of the file learns nothing a wiretap of that node's
+// inbound link plus its own injections would not reveal, which is what the
+// cluster auditor re-checks offline by replaying every checkpointed frame
+// through the confidentiality auditor (harness/cluster.cpp).
+//
+// Wire format (replay/codec.h conventions: little-endian, length-prefixed,
+// fully bounds-checked reader):
+//
+//   u64   magic   "CGDSTATE"
+//   u32   version (kCheckpointVersion)
+//   ...   config binding + clock binding + progress (see NodeCheckpoint)
+//   u64   event count, then per event: i64 round, u8 kind, fields
+//   u64   FNV-1a over every preceding byte
+//
+// Readers reject truncation, any bit flip (checksum), unknown versions or
+// event kinds, non-monotone event rounds, and events past the checkpoint
+// round - a corrupted or tampered state file degrades into a clean load
+// error, never into a trusted resume. Staleness (a file from a different
+// cluster run) is caught by validate_checkpoint_clock(): the shared epoch
+// the runner distributes must match the one the file was written under.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/types.h"
+#include "congos/config.h"
+
+namespace congos::net {
+
+inline constexpr std::uint64_t kCheckpointMagic = 0x4554415453444743ull;  // "CGDSTATE"
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// One journaled state mutation, in the order it happened.
+struct CheckpointEvent {
+  enum class Kind : std::uint8_t { kInject = 0, kRecv = 1 };
+
+  Round round = 0;
+  Kind kind = Kind::kInject;
+
+  // kInject: one locally sourced rumor (seq/deadline/dest/data).
+  std::uint64_t seq = 0;
+  Round deadline = 0;
+  DynamicBitset dest;
+  std::vector<std::uint8_t> data;
+
+  // kRecv: one accepted envelope frame, verbatim wire bytes.
+  std::vector<std::uint8_t> frame;
+
+  friend bool operator==(const CheckpointEvent&, const CheckpointEvent&) = default;
+};
+
+struct NodeCheckpoint {
+  // -- config binding: a resume must match the daemon's own flags ------------
+  ProcessId id = 0;
+  std::uint64_t n = 0;
+  std::uint64_t seed = 0;
+  std::uint32_t tau = 0;
+  bool allow_degenerate = true;
+  core::RetransmitConfig retransmit;
+  Round max_rounds = 0;
+
+  // -- clock binding: rejects state files from a different cluster run -------
+  std::int64_t epoch_ms = 0;
+  std::int64_t round_ms = 0;
+
+  // -- progress ---------------------------------------------------------------
+  /// Runtime round the checkpoint was taken at: send_phase(round) has run,
+  /// receive_phase(round) has not; kRecv events at `round` are the pending
+  /// inbox.
+  Round round = 0;
+  /// Resumes this state has already been through (0 on first incarnation).
+  std::uint32_t resume_count = 0;
+
+  std::vector<CheckpointEvent> events;
+
+  friend bool operator==(const NodeCheckpoint&, const NodeCheckpoint&) = default;
+};
+
+/// Serializes `ck` (including the trailing whole-file checksum).
+std::vector<std::uint8_t> encode_checkpoint(const NodeCheckpoint& ck);
+
+/// Strict parse + validation; on failure *error says what was rejected.
+bool decode_checkpoint(const std::uint8_t* data, std::size_t len,
+                       NodeCheckpoint* out, std::string* error);
+bool decode_checkpoint(const std::vector<std::uint8_t>& bytes, NodeCheckpoint* out,
+                       std::string* error);
+
+/// Atomic durable write: the bytes land in `path + ".tmp"`, are fsynced,
+/// then renamed over `path`, so a crash mid-write leaves the previous
+/// complete file (or nothing), never a torn one.
+bool write_checkpoint_file(const std::string& path, const NodeCheckpoint& ck,
+                           std::string* error);
+
+/// Reads and fully validates `path`.
+bool read_checkpoint_file(const std::string& path, NodeCheckpoint* out,
+                          std::string* error);
+
+/// Staleness gate: true iff the file was written under the same shared
+/// RoundClock the cluster runner just distributed. A mismatch means the
+/// state belongs to an earlier run and must not be rejoined.
+bool validate_checkpoint_clock(const NodeCheckpoint& ck, std::int64_t epoch_ms,
+                               std::int64_t round_ms, std::string* error);
+
+}  // namespace congos::net

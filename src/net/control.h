@@ -23,6 +23,15 @@
 // the traffic through the confidentiality auditor offline. Bitsets are
 // hex of their canonical wire encoding (wire::WriteSink::bitset), so the
 // destination set round-trips exactly.
+//
+// The cluster runner's <workdir>/lifecycle.log uses the same
+// `verb key=value` encoding for crash/restart supervision (DESIGN.md
+// section 14); these lines feed the QoD auditor's continuously-alive
+// admissibility rule:
+//
+//   crash round=<r> id=<i> scheduled=<0|1> code=<exit or 128+sig>
+//   restart round=<r> id=<i> resume=1
+//   respawn-failed round=<r> id=<i>
 #pragma once
 
 #include <cstdint>

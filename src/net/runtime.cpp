@@ -42,7 +42,7 @@ NodeRuntime::~NodeRuntime() {
   if (log_ != nullptr) std::fclose(log_);
 }
 
-bool NodeRuntime::start(std::string* error) {
+bool NodeRuntime::boot(const char* log_mode, std::string* error) {
   if (cfg_.compress && !wire::lz4_available()) {
     if (error != nullptr) {
       *error = "compression requested but LZ4 is unavailable in this process";
@@ -50,12 +50,14 @@ bool NodeRuntime::start(std::string* error) {
     return false;
   }
   if (!cfg_.log_path.empty()) {
-    log_ = std::fopen(cfg_.log_path.c_str(), "w");
+    log_ = std::fopen(cfg_.log_path.c_str(), log_mode);
     if (log_ == nullptr) {
       if (error != nullptr) *error = "cannot open log '" + cfg_.log_path + "'";
       return false;
     }
   }
+  journaling_ = cfg_.journal || !cfg_.state_path.empty();
+  last_heard_.assign(cfg_.n, kNoRound);
   ccfg_ = std::make_shared<const core::CongosConfig>(cfg_.congos);
   partitions_ = core::CongosProcess::build_partitions(cfg_.n, *ccfg_);
   // Same per-process seed schedule as harness::run_scenario: process p gets
@@ -66,8 +68,124 @@ bool NodeRuntime::start(std::string* error) {
   for (ProcessId p = 0; p < cfg_.id; ++p) pseed = seeder.next();
   process_ = std::make_unique<core::CongosProcess>(cfg_.id, ccfg_, partitions_,
                                                    pseed, this);
+  return true;
+}
+
+bool NodeRuntime::start(std::string* error) {
+  if (!boot("w", error)) return false;
   process_->on_start(0);
   run_send_phase();
+  return true;
+}
+
+bool NodeRuntime::resume(const NodeCheckpoint& ck, std::string* error) {
+  if (started()) {
+    if (error != nullptr) *error = "resume on an already-started runtime";
+    return false;
+  }
+  if (ck.id != cfg_.id || ck.n != cfg_.n || ck.seed != cfg_.seed ||
+      ck.tau != cfg_.congos.tau ||
+      ck.allow_degenerate != cfg_.congos.allow_degenerate ||
+      !(ck.retransmit == cfg_.congos.retransmit) ||
+      ck.max_rounds != cfg_.max_rounds) {
+    if (error != nullptr) {
+      *error = "state file config binding does not match this daemon's flags";
+    }
+    return false;
+  }
+  if (clock_bound_ &&
+      !validate_checkpoint_clock(ck, epoch_ms_, round_ms_, error)) {
+    return false;
+  }
+  // Append: the pre-crash event-log lines are the audit evidence for
+  // everything this incarnation is about to *not* re-log.
+  if (!boot("a", error)) return false;
+
+  // Replay the journal through the live phase machinery. Determinism in
+  // (seed, journal) makes the result byte-identical to the pre-crash state;
+  // replaying_ keeps the re-run invisible on the wire and in the log.
+  replaying_ = true;
+  process_->on_start(0);
+  run_send_phase();
+  std::size_t next = 0;
+  for (Round r = 0; r < ck.round; ++r) {
+    // Journal order within a round is live order: injections landed after
+    // send_phase(r), frames were consumed by receive_phase(r) in tick().
+    while (next < ck.events.size() && ck.events[next].round == r) {
+      apply_journal_event(ck.events[next++]);
+    }
+    tick();
+  }
+  // Events at the checkpoint round itself are the pending inbox (and any
+  // round-R injections): applied, not yet consumed - exactly where the
+  // previous incarnation stood between send_phase(R) and receive_phase(R).
+  while (next < ck.events.size()) apply_journal_event(ck.events[next++]);
+  replaying_ = false;
+
+  journal_ = ck.events;
+  resume_count_ = ck.resume_count + 1;
+  resumed_at_ = ck.round;
+  return true;
+}
+
+void NodeRuntime::apply_journal_event(const CheckpointEvent& e) {
+  if (e.kind == CheckpointEvent::Kind::kInject) {
+    sim::Rumor rumor;
+    rumor.uid = RumorUid{cfg_.id, e.seq};
+    rumor.data = e.data;
+    rumor.deadline = e.deadline;
+    rumor.dest = e.dest;
+    rumor.injected_at = now_;
+    ++injections_;
+    process_->inject(rumor);
+    return;
+  }
+  wire::DecodedEnvelope dec;
+  if (!wire::decode_envelope(e.frame.data(), e.frame.size(), &dec) ||
+      dec.env.to != cfg_.id) {
+    // The frame was validated when first accepted and the file passed its
+    // checksum, so this can only be a logic regression - surface it.
+    ++decode_errors_;
+    return;
+  }
+  ++frames_received_;
+  if (dec.env.from < last_heard_.size()) last_heard_[dec.env.from] = now_;
+  inbox_.push_back(std::move(dec.env));
+}
+
+void NodeRuntime::set_clock_binding(std::int64_t epoch_ms, std::int64_t round_ms) {
+  clock_bound_ = true;
+  epoch_ms_ = epoch_ms;
+  round_ms_ = round_ms;
+}
+
+NodeCheckpoint NodeRuntime::make_checkpoint() const {
+  NodeCheckpoint ck;
+  ck.id = cfg_.id;
+  ck.n = cfg_.n;
+  ck.seed = cfg_.seed;
+  ck.tau = cfg_.congos.tau;
+  ck.allow_degenerate = cfg_.congos.allow_degenerate;
+  ck.retransmit = cfg_.congos.retransmit;
+  ck.max_rounds = cfg_.max_rounds;
+  ck.epoch_ms = epoch_ms_;
+  ck.round_ms = round_ms_;
+  ck.round = now_;
+  ck.resume_count = resume_count_;
+  ck.events = journal_;
+  return ck;
+}
+
+bool NodeRuntime::save_checkpoint(std::string* error) {
+  if (cfg_.state_path.empty()) {
+    if (error != nullptr) *error = "no state_path configured";
+    return false;
+  }
+  if (!write_checkpoint_file(cfg_.state_path, make_checkpoint(), error)) {
+    return false;
+  }
+  ++checkpoint_writes_;
+  last_checkpoint_round_ = now_;
   return true;
 }
 
@@ -106,7 +224,15 @@ void NodeRuntime::handle_datagram(ProcessId /*from_hint*/,
       continue;
     }
     ++frames_received_;
+    if (dec.env.from < last_heard_.size()) last_heard_[dec.env.from] = now_;
     log_line(encode_recv_event(now_, frame));
+    if (journaling_) {
+      CheckpointEvent ev;
+      ev.round = now_;
+      ev.kind = CheckpointEvent::Kind::kRecv;
+      ev.frame.assign(frame.begin(), frame.end());
+      journal_.push_back(std::move(ev));
+    }
     inbox_.push_back(std::move(dec.env));
   }
 }
@@ -124,6 +250,7 @@ void NodeRuntime::run_send_phase() {
 }
 
 void NodeRuntime::ship(ProcessId to, DatagramHandle d) {
+  if (replaying_) return;  // already on the wire in the previous incarnation
   if (cfg_.compress && compress_datagram(&d->bytes, &compress_scratch_)) {
     ++datagrams_compressed_;
   }
@@ -152,6 +279,16 @@ void NodeRuntime::inject(std::uint64_t seq, Round deadline, DynamicBitset dest,
   rumor.dest = std::move(dest);
   rumor.injected_at = now_;
   log_line(encode_inject_event(now_, rumor));
+  if (journaling_) {
+    CheckpointEvent ev;
+    ev.round = now_;
+    ev.kind = CheckpointEvent::Kind::kInject;
+    ev.seq = seq;
+    ev.deadline = deadline;
+    ev.dest = rumor.dest;
+    ev.data = rumor.data;
+    journal_.push_back(std::move(ev));
+  }
   ++injections_;
   process_->inject(rumor);
 }
@@ -184,6 +321,25 @@ std::string NodeRuntime::stats_json() const {
       << ",\"datagrams_compressed\":" << datagrams_compressed_
       << ",\"compressed_received\":" << compressed_received_
       << ",\"unsupported_datagrams\":" << unsupported_datagrams_
+      << ",\"uptime_rounds\":" << (now_ - resumed_at_)
+      << ",\"resume_count\":" << resume_count_
+      << ",\"checkpoint_writes\":" << checkpoint_writes_
+      << ",\"last_checkpoint_round\":" << last_checkpoint_round_;
+  // Peer liveness: last round an accepted frame arrived from each peer
+  // (-1 = never heard). The cluster supervisor reads this to distinguish a
+  // resumed peer (last_heard advances again) from a silent one.
+  std::size_t peers_heard = 0;
+  out << ",\"last_heard\":[";
+  for (std::size_t p = 0; p < last_heard_.size(); ++p) {
+    if (p != 0) out << ",";
+    if (last_heard_[p] == kNoRound) {
+      out << -1;
+    } else {
+      out << last_heard_[p];
+      ++peers_heard;
+    }
+  }
+  out << "],\"peers_heard\":" << peers_heard
       << ",\"transport\":{\"datagrams_sent\":" << t.datagrams_sent
       << ",\"datagrams_received\":" << t.datagrams_received
       << ",\"bytes_sent\":" << t.bytes_sent
@@ -215,7 +371,7 @@ std::string NodeRuntime::stats_json() const {
 }
 
 void NodeRuntime::log_line(const std::string& line) {
-  if (log_ == nullptr) return;
+  if (log_ == nullptr || replaying_) return;
   std::fputs(line.c_str(), log_);
   std::fputc('\n', log_);
 }

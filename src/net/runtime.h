@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "congos/congos_process.h"
+#include "net/checkpoint.h"
 #include "net/fault_shim.h"
 #include "net/framing.h"
 #include "net/transport.h"
@@ -47,6 +48,13 @@ struct NodeConfig {
   /// with different settings interoperate; start() fails when compression
   /// is requested but LZ4 is unavailable in this process.
   bool compress = false;
+  /// Durable state file (net/checkpoint.h); empty = no file. When set,
+  /// every state mutation is journaled and save_checkpoint() atomically
+  /// rewrites the file so a SIGKILLed daemon can rejoin via resume().
+  std::string state_path;
+  /// Journal state mutations even without a state_path, for in-process
+  /// tests that checkpoint via make_checkpoint() instead of the filesystem.
+  bool journal = false;
 };
 
 class NodeRuntime final : public sim::DeliveryListener {
@@ -65,6 +73,27 @@ class NodeRuntime final : public sim::DeliveryListener {
   /// (with *error) when the event log cannot be opened.
   bool start(std::string* error);
   bool started() const { return process_ != nullptr; }
+
+  /// Rebuilds this node's state from a decoded checkpoint instead of
+  /// start(): the journal is replayed through the same phase contract with
+  /// outbound datagrams and event logging suppressed, which reproduces the
+  /// exact pre-crash state (process, retransmission timers, pending inbox)
+  /// because the protocol is deterministic in (seed, journal). The event
+  /// log is reopened in append mode so pre-crash audit evidence survives.
+  /// Fails when the checkpoint's config binding does not match `cfg` -
+  /// resuming under different flags would silently diverge.
+  bool resume(const NodeCheckpoint& ck, std::string* error);
+
+  /// Binds the shared RoundClock parameters stamped into checkpoints (the
+  /// daemon calls this when the `start` command arrives); resume() uses it
+  /// to reject state files from a different cluster run.
+  void set_clock_binding(std::int64_t epoch_ms, std::int64_t round_ms);
+
+  /// Current state as a checkpoint value (config + clock binding + journal).
+  NodeCheckpoint make_checkpoint() const;
+
+  /// Atomically rewrites cfg.state_path with make_checkpoint().
+  bool save_checkpoint(std::string* error);
 
   Round now() const { return now_; }
   bool done() const { return cfg_.max_rounds > 0 && now_ >= cfg_.max_rounds; }
@@ -95,6 +124,18 @@ class NodeRuntime final : public sim::DeliveryListener {
   std::uint64_t compressed_received() const { return compressed_received_; }
   std::uint64_t unsupported_datagrams() const { return unsupported_datagrams_; }
 
+  /// Resumes this incarnation chain has been through (0 = first boot).
+  std::uint32_t resume_count() const { return resume_count_; }
+  /// Round this incarnation came up at (0 on a fresh start).
+  Round resumed_at() const { return resumed_at_; }
+  std::uint64_t checkpoint_writes() const { return checkpoint_writes_; }
+  /// Round of the last successful save_checkpoint(), or -1 when none.
+  Round last_checkpoint_round() const { return last_checkpoint_round_; }
+  /// Peer liveness: last round an accepted frame arrived from each peer
+  /// (kNoRound = never heard). The supervisor reads this out of stats JSON
+  /// to tell a resumed peer from a silent one.
+  const std::vector<Round>& last_heard() const { return last_heard_; }
+
   /// Local invariants that must hold on a healthy node: every frame decoded,
   /// no unencodable payloads, no group-filter drops in the gossip stack.
   bool healthy() const;
@@ -116,8 +157,14 @@ class NodeRuntime final : public sim::DeliveryListener {
   void run_send_phase();
   /// Final hop of one outbound datagram: optional LZ4 wrap, then the
   /// transport takes the handle (zero copy all the way to the socket).
+  /// No-op while replaying a checkpoint journal (the bytes already went
+  /// over the wire in the previous incarnation).
   void ship(ProcessId to, DatagramHandle d);
   void log_line(const std::string& line);
+  /// Shared start()/resume() setup: log file, partitions, process stack.
+  bool boot(const char* log_mode, std::string* error);
+  /// Re-applies one journaled mutation at its original round during resume.
+  void apply_journal_event(const CheckpointEvent& e);
 
   NodeConfig cfg_;
   Transport* transport_;
@@ -147,6 +194,23 @@ class NodeRuntime final : public sim::DeliveryListener {
   /// Compressed datagrams dropped because this process lacks LZ4; nonzero
   /// means a capability mismatch in the cluster - flagged unhealthy.
   std::uint64_t unsupported_datagrams_ = 0;
+
+  // -- crash/restart survival (DESIGN.md section 14) --------------------------
+  /// Ordered history of every state mutation since round 0 (injections and
+  /// accepted frames), carried across resumes; this *is* the durable state.
+  std::vector<CheckpointEvent> journal_;
+  bool journaling_ = false;
+  /// True while resume() re-runs the journal: sends and log lines are
+  /// suppressed, everything else executes exactly as it did live.
+  bool replaying_ = false;
+  std::uint32_t resume_count_ = 0;
+  Round resumed_at_ = 0;
+  std::uint64_t checkpoint_writes_ = 0;
+  Round last_checkpoint_round_ = -1;
+  bool clock_bound_ = false;
+  std::int64_t epoch_ms_ = 0;
+  std::int64_t round_ms_ = 0;
+  std::vector<Round> last_heard_;
 };
 
 }  // namespace congos::net

@@ -63,7 +63,10 @@ class SimLink {
   Rng rng_;
   Round round_ = 0;
   // All-clear lifecycle filters: the transport layer has no crash/restart
-  // notion; the daemon runtime's process lifecycle lives above it.
+  // notion; process lifecycle lives above it - NodeRuntime's journal
+  // checkpoint + resume (DESIGN.md section 14), which is exactly why
+  // tests/test_checkpoint.cpp can crash and resume a node over this link
+  // without the link itself noticing.
   std::vector<sim::PartialDelivery> all_deliver_;
   DynamicBitset no_filter_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;

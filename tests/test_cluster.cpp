@@ -9,12 +9,16 @@
 // stays runnable from unusual build layouts.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "harness/cluster.h"
+#include "net/checkpoint.h"
 #include "wire/compress.h"
 
 namespace congos {
@@ -124,6 +128,188 @@ TEST(Cluster, Lz4CompressedClusterPassesSameAudits) {
   cfg.compress = true;
   const harness::ClusterResult r = harness::run_cluster(cfg);
   expect_cluster_ok(r);
+}
+
+// -- crash/restart survival (DESIGN.md section 14) ---------------------------
+
+TEST(KillSchedule, ReproducibleFromSeedAndRespectsProtectedIds) {
+  harness::KillScheduleConfig gen;
+  gen.seed = 99;
+  gen.kills = 3;
+  gen.protected_ids = {0, 4};
+  const auto a = harness::make_kill_schedule(gen, 8, 64);
+  const auto b = harness::make_kill_schedule(gen, 8, 64);
+  ASSERT_EQ(a.size(), 3u);
+  ASSERT_EQ(b.size(), a.size());
+  std::vector<bool> seen(8, false);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].target, b[i].target);
+    EXPECT_EQ(a[i].kill_round, b[i].kill_round);
+    EXPECT_EQ(a[i].down_rounds, b[i].down_rounds);
+    EXPECT_NE(a[i].target, 0u);
+    EXPECT_NE(a[i].target, 4u);
+    EXPECT_FALSE(seen[a[i].target]) << "victim drawn twice";
+    seen[a[i].target] = true;
+    EXPECT_GE(a[i].kill_round, gen.min_round);
+    // Auto max leaves room to resume and drain before the round budget.
+    EXPECT_LE(a[i].kill_round + a[i].down_rounds, 64 - 8);
+    EXPECT_GE(a[i].down_rounds, gen.down_min);
+    EXPECT_LE(a[i].down_rounds, gen.down_max);
+    if (i > 0) EXPECT_GE(a[i].kill_round, a[i - 1].kill_round);
+  }
+  // A different seed draws a different schedule.
+  gen.seed = 100;
+  const auto c = harness::make_kill_schedule(gen, 8, 64);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    any_diff = any_diff || c[i].target != a[i].target ||
+               c[i].kill_round != a[i].kill_round;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+// The chaos acceptance gate from the issue: SIGKILL two of the eight
+// daemons mid-run on a fixed schedule, respawn them with --resume from
+// their durable checkpoints, and require both auditors to pass under the
+// paper's continuously-alive admissibility rule. Daemon 6 is a destination
+// of rumor 2 and dies inside its delivery window, so (rumor2, 6) becomes
+// inadmissible; daemon 2 is neither source nor destination. Everything
+// else must still deliver on time.
+TEST(Cluster, SurvivesScheduledKillsWithResume) {
+  if (daemon_path().empty()) GTEST_SKIP() << "CONGOS_D_BIN not set";
+  harness::ClusterConfig cfg = base_config("chaos");
+  cfg.checkpoint_every = 4;
+  cfg.kill_plan = {{/*target=*/2, /*kill_round=*/10, /*down_rounds=*/6},
+                   {/*target=*/6, /*kill_round=*/14, /*down_rounds=*/8}};
+  const harness::ClusterResult r = harness::run_cluster(cfg);
+
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  ASSERT_EQ(r.exit_codes.size(), 8u);
+  for (std::size_t i = 0; i < r.exit_codes.size(); ++i) {
+    EXPECT_EQ(r.exit_codes[i], 0) << "daemon " << i << " stats: "
+                                  << r.stats_json[i];
+  }
+  EXPECT_EQ(r.scheduled_kills, 2u);
+  EXPECT_EQ(r.resumes, 2u);
+  EXPECT_EQ(r.unexpected_exits, 0u);
+  EXPECT_EQ(r.respawn_failures, 0u);
+
+  EXPECT_EQ(r.injected, 2u);
+  EXPECT_TRUE(r.qod.ok()) << "late=" << r.qod.late
+                          << " missing=" << r.qod.missing
+                          << " mismatches=" << r.qod.data_mismatches;
+  EXPECT_EQ(r.qod.admissible_pairs, 4u);   // (rumor2, 6) crashed out
+  EXPECT_EQ(r.qod.delivered_on_time, 4u);
+
+  // Confidentiality across crash/restart - wire frames AND the checkpoint
+  // files the respawned daemons left on disk.
+  EXPECT_EQ(r.leaks, 0u);
+  EXPECT_EQ(r.foreign_fragments, 0u);
+  EXPECT_EQ(r.state_files_audited, 8u);
+  EXPECT_EQ(r.state_file_errors, 0u);
+  EXPECT_GT(r.weakest_coalition, 1u);
+
+  // The resumed incarnations report their lineage.
+  for (const ProcessId victim : {2, 6}) {
+    EXPECT_NE(r.stats_json[victim].find("\"resume_count\":1"),
+              std::string::npos)
+        << "daemon " << victim << " stats: " << r.stats_json[victim];
+  }
+  EXPECT_TRUE(r.ok());
+}
+
+// Same gate, but with the kill schedule drawn from a seed instead of
+// hand-picked - the real-wire echo of the sim adversary's RandomChurn.
+// Victims and timings vary with the seed, so the QoD assertion is the
+// invariant form: no admissible pair may be late or missing.
+TEST(Cluster, SeededKillSchedulePassesBothAuditors) {
+  if (daemon_path().empty()) GTEST_SKIP() << "CONGOS_D_BIN not set";
+  harness::ClusterConfig cfg = base_config("seeded");
+  harness::KillScheduleConfig gen;
+  gen.seed = cfg.seed;
+  gen.kills = 2;
+  gen.protected_ids = {0, 4};  // injection sources outlive their deadlines
+  cfg.kill_plan = harness::make_kill_schedule(gen, cfg.n, cfg.rounds);
+  ASSERT_EQ(cfg.kill_plan.size(), 2u);
+  cfg.checkpoint_every = 4;
+  const harness::ClusterResult r = harness::run_cluster(cfg);
+
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_EQ(r.scheduled_kills, 2u);
+  EXPECT_EQ(r.resumes, 2u);
+  EXPECT_EQ(r.unexpected_exits, 0u);
+  EXPECT_TRUE(r.qod.ok()) << "late=" << r.qod.late
+                          << " missing=" << r.qod.missing;
+  EXPECT_LE(r.qod.admissible_pairs, 5u);
+  EXPECT_EQ(r.qod.delivered_on_time, r.qod.admissible_pairs);
+  EXPECT_EQ(r.leaks, 0u);
+  EXPECT_EQ(r.state_files_audited, 8u);
+  EXPECT_EQ(r.state_file_errors, 0u);
+  EXPECT_TRUE(r.ok());
+}
+
+// An unscheduled death must be surfaced, never masked: daemon 3's
+// --duration backstop is shrunk so it exits mid-run (code 3) with no kill
+// scheduled. The supervisor records it as an unexpected exit and ok()
+// fails, even though the run itself completes.
+TEST(Cluster, UnexpectedExitIsSurfacedNotMasked) {
+  if (daemon_path().empty()) GTEST_SKIP() << "CONGOS_D_BIN not set";
+  harness::ClusterConfig cfg = base_config("unexpected");
+  cfg.duration_overrides.assign(cfg.n, 0);
+  cfg.duration_overrides[3] = 1;  // dies ~1s in, long before round 64
+  const harness::ClusterResult r = harness::run_cluster(cfg);
+
+  EXPECT_TRUE(r.error.empty()) << r.error;  // surfaced as data, not failure
+  EXPECT_EQ(r.unexpected_exits, 1u);
+  EXPECT_EQ(r.scheduled_kills, 0u);
+  EXPECT_EQ(r.resumes, 0u);
+  ASSERT_EQ(r.exit_codes.size(), 8u);
+  EXPECT_EQ(r.exit_codes[3], 3);  // the real exit code, recorded verbatim
+  EXPECT_FALSE(r.daemons_ok());
+  EXPECT_FALSE(r.ok());
+}
+
+// congos_d --resume must reject damaged state files with exit code 2
+// (setup failure) before touching the network: garbage bytes and a
+// truncated-but-genuine checkpoint both count.
+TEST(Cluster, DaemonRejectsCorruptOrTruncatedStateFile) {
+  if (daemon_path().empty()) GTEST_SKIP() << "CONGOS_D_BIN not set";
+  const auto run_resume = [&](const std::string& state) {
+    const std::string cmd = daemon_path() + " --id=0 --n=2 --resume=" + state +
+                            " >/dev/null 2>&1";
+    const int st = std::system(cmd.c_str());
+    EXPECT_TRUE(WIFEXITED(st));
+    return WIFEXITED(st) ? WEXITSTATUS(st) : -1;
+  };
+
+  const std::string tag = std::to_string(::getpid());
+  const std::string garbage = "resume_garbage_" + tag + ".ckpt";
+  std::FILE* f = std::fopen(garbage.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("definitely not a checkpoint", f);
+  std::fclose(f);
+  EXPECT_EQ(run_resume(garbage), 2);
+
+  net::NodeCheckpoint ck;
+  ck.id = 0;
+  ck.n = 2;
+  ck.seed = 5;
+  ck.round_ms = 40;
+  ck.round = 4;
+  const std::vector<std::uint8_t> bytes = net::encode_checkpoint(ck);
+  ASSERT_GT(bytes.size(), 5u);
+  const std::string truncated = "resume_truncated_" + tag + ".ckpt";
+  f = std::fopen(truncated.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size() - 5, f),
+            bytes.size() - 5);
+  std::fclose(f);
+  EXPECT_EQ(run_resume(truncated), 2);
+
+  EXPECT_EQ(run_resume("no_such_state_file.ckpt"), 2);
+
+  std::remove(garbage.c_str());
+  std::remove(truncated.c_str());
 }
 
 TEST(Cluster, ReportsSpawnFailure) {

@@ -61,6 +61,11 @@ const char kUsage[] = R"(congos_d - CONGOS daemon over UDP on 127.0.0.1
   --rounds=R        stop after R rounds                    (default 256)
   --duration=SEC    wall-clock cap; exceeded -> exit 3     (default 120)
   --log=PATH        event log (inject/deliver/recv lines)
+  --state=PATH      durable checkpoint file (net/checkpoint.h), rewritten
+                    atomically every --checkpoint-every rounds and at exit
+  --checkpoint-every=K  rounds between checkpoint writes   (default 8)
+  --resume=PATH     reload a checkpoint and rejoin the running cluster;
+                    corrupted/truncated/stale files are rejected (exit 2)
   --compress        LZ4-compress outbound datagrams (plain peers interop;
                     refused at startup when LZ4 is unavailable)
   --no-batch        single-syscall UDP path (no sendmmsg/recvmmsg)
@@ -203,7 +208,7 @@ int main(int argc, char** argv) {
       {"id", "n", "seed", "tau", "no-degenerate", "retransmit",
        "retransmit-budget", "max-link-delay", "faults", "rounds", "duration",
        "log", "compress", "no-batch", "queue-cap", "port", "control-port",
-       "start-timeout-ms", "help"});
+       "start-timeout-ms", "state", "checkpoint-every", "resume", "help"});
   if (!unknown.empty()) return fail_usage("unknown flag --" + unknown.front());
 
   net::NodeConfig ncfg;
@@ -219,6 +224,12 @@ int main(int argc, char** argv) {
   if (ncfg.max_rounds <= 0) return fail_usage("--rounds must be positive");
   ncfg.log_path = flags.get("log", "");
   ncfg.compress = flags.get_bool("compress", false);
+  ncfg.state_path = flags.get("state", "");
+  const Round checkpoint_every = flags.get_int("checkpoint-every", 8);
+  if (checkpoint_every <= 0) {
+    return fail_usage("--checkpoint-every must be positive");
+  }
+  const std::string resume_path = flags.get("resume", "");
   ncfg.congos.tau = static_cast<std::uint32_t>(flags.get_int("tau", 1));
   ncfg.congos.allow_degenerate = !flags.get_bool("no-degenerate", false);
 
@@ -241,6 +252,19 @@ int main(int argc, char** argv) {
   }
   const std::int64_t duration_s = flags.get_int("duration", 120);
   const std::int64_t start_timeout_ms = flags.get_int("start-timeout-ms", 30000);
+
+  // A corrupted, truncated or foreign state file must fail loudly before
+  // the daemon joins the wire - never fall back to a fresh start, which
+  // would silently re-run rounds the cluster already saw from this id.
+  net::NodeCheckpoint resume_ck;
+  const bool resuming = !resume_path.empty();
+  if (resuming) {
+    std::string ck_err;
+    if (!net::read_checkpoint_file(resume_path, &resume_ck, &ck_err)) {
+      std::fprintf(stderr, "error: --resume: %s\n", ck_err.c_str());
+      return 2;
+    }
+  }
 
   std::signal(SIGTERM, on_signal);
   std::signal(SIGINT, on_signal);
@@ -277,6 +301,16 @@ int main(int argc, char** argv) {
   Controller ctl;
   ctl.fd = control_fd;
   ctl.rt = &runtime;
+  // Control-level idempotence must survive the crash too: a runner retry of
+  // an inject the previous incarnation already took has to be re-acked,
+  // never re-injected, so the journal's seqs seed the duplicate filter.
+  if (resuming) {
+    for (const net::CheckpointEvent& e : resume_ck.events) {
+      if (e.kind == net::CheckpointEvent::Kind::kInject) {
+        ctl.seen_seqs.push_back(e.seq);
+      }
+    }
+  }
 
   const std::int64_t boot_ms = net::wall_ms_now();
 
@@ -305,15 +339,29 @@ int main(int argc, char** argv) {
     return 2;
   }
   const net::RoundClock clock(ctl.start.epoch_ms, ctl.start.round_ms);
+  runtime.set_clock_binding(ctl.start.epoch_ms, ctl.start.round_ms);
+  if (resuming) {
+    // Staleness gate: the checkpoint must come from *this* cluster run.
+    // The shared epoch the runner just distributed is the run's identity.
+    std::string ck_err;
+    if (!net::validate_checkpoint_clock(resume_ck, ctl.start.epoch_ms,
+                                        ctl.start.round_ms, &ck_err)) {
+      std::fprintf(stderr, "error: --resume: %s\n", ck_err.c_str());
+      return 2;
+    }
+  }
 
-  // Phase 2: idle until round 0 opens, then boot the protocol.
+  // Phase 2: idle until round 0 opens, then boot the protocol. A resumed
+  // daemon rejoins mid-run, so the wall clock is already past round 0 and
+  // this loop exits immediately; the round loop's catch-up then ticks the
+  // downtime rounds (empty inboxes, live sends) up to the current round.
   while (clock.round_at(net::wall_ms_now()) < 0 && g_signal == 0 && !ctl.stop) {
     pollfd pfd{control_fd, POLLIN, 0};
     (void)::poll(&pfd, 1,
                  static_cast<int>(clock.ms_until_next(net::wall_ms_now())));
     ctl.drain();
   }
-  if (!runtime.start(&err)) {
+  if (resuming ? !runtime.resume(resume_ck, &err) : !runtime.start(&err)) {
     std::fprintf(stderr, "error: %s\n", err.c_str());
     return 2;
   }
@@ -338,6 +386,11 @@ int main(int argc, char** argv) {
       udp.drain(sink);  // everything that arrived inside the closing window
       runtime.advance_to(target);
       runtime.flush_log();
+      if (!ncfg.state_path.empty() &&
+          runtime.now() - runtime.last_checkpoint_round() >= checkpoint_every &&
+          !runtime.save_checkpoint(&err)) {
+        std::fprintf(stderr, "warning: checkpoint: %s\n", err.c_str());
+      }
       continue;
     }
     udp.flush();
@@ -351,6 +404,11 @@ int main(int argc, char** argv) {
   }
 
   runtime.flush_log();
+  // Final checkpoint on every exit path - stop command, --rounds bound,
+  // SIGTERM - so a graceful shutdown is always resumable.
+  if (!ncfg.state_path.empty() && !runtime.save_checkpoint(&err)) {
+    std::fprintf(stderr, "warning: checkpoint: %s\n", err.c_str());
+  }
   std::printf("STATS %s\n", runtime.stats_json().c_str());
   std::fflush(stdout);
   ::close(control_fd);
